@@ -1,0 +1,188 @@
+// Figure 3 — "Query execution breakdown of the R-Tree in memory."
+//
+// Paper result: in memory, ~80 % of query time goes to intersection tests —
+// ~55 % "in the tree structure of the R-Tree" (every box test the tree
+// performs while navigating and filtering) and ~25 % "testing the
+// intersection of single elements with the query" (refining each candidate
+// against its true cylinder geometry); reading data and the remaining
+// computation split the rest.
+//
+// Here: the instrumented in-memory R-Tree executes the filter step; every
+// candidate is then refined with the exact capsule-vs-box predicate (the
+// dataset's elements are neuron cylinders, as in the paper). Counts are
+// converted to time with DRAM-calibrated unit costs; the residual against
+// measured wall time is "remaining computation". Also reported: the
+// CR-Tree (paper: compression gives "only ... a factor of two ... because
+// the fundamental problem of overlap remains") and a fanout ablation.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "crtree/crtree.h"
+#include "rtree/rtree.h"
+
+namespace simspatial {
+namespace {
+
+using bench::Flags;
+
+struct Run {
+  double filter_ns = 0;  ///< Time inside the index (tree navigation).
+  double refine_ns = 0;  ///< Time testing candidate geometry (measured).
+  QueryCounters counters;
+  std::uint64_t refinements = 0;
+  std::uint64_t matches = 0;
+};
+
+// Filter via `fn`, then refine every candidate against the exact capsule;
+// the two phases are timed separately so "tests: elements" is a direct
+// measurement, not an attribution.
+template <typename QueryFn>
+Run Measure(const datagen::NeuronDataset& ds, const std::vector<AABB>& queries,
+            const QueryFn& fn) {
+  Run r;
+  std::vector<ElementId> out;
+  for (const AABB& q : queries) {
+    Stopwatch fw;
+    fn(q, &out, &r.counters);
+    r.filter_ns += fw.ElapsedNs();
+    Stopwatch rw;
+    // Candidates refine in id order: ids are generation order along neuron
+    // branches, so sorting turns the capsule fetches into near-sequential
+    // runs (any real filter-refine executor batches like this).
+    std::sort(out.begin(), out.end());
+    for (const ElementId id : out) {
+      r.refinements += 1;
+      r.matches += CapsuleIntersectsAABB(ds.capsules[id], q) ? 1 : 0;
+    }
+    r.refine_ns += rw.ElapsedNs();
+  }
+  return r;
+}
+
+// Figure 3 categories: "tests: tree" covers every box test inside the
+// index (inner-node navigation + leaf-entry filtering), attributed from
+// counts at calibrated unit costs; "tests: elements" is the measured
+// refinement phase; the residual of the filter phase is "remaining".
+TimeBreakdown Fig3Attribution(const Run& run, const CostModel& cost) {
+  TimeBreakdown bd;
+  bd.total_ns = run.filter_ns + run.refine_ns +
+                static_cast<double>(run.counters.io_virtual_ns);
+  bd.reading_ns = static_cast<double>(run.counters.io_virtual_ns) +
+                  run.counters.io_bytes * cost.ns_per_byte_read;
+  bd.tree_test_ns = std::min(
+      run.filter_ns,
+      run.counters.TotalIntersectionTests() * cost.ns_per_structure_test +
+          run.counters.pointer_hops * cost.ns_per_pointer_hop);
+  bd.element_test_ns = run.refine_ns;
+  bd.remaining_ns = std::max(
+      0.0, bd.total_ns - bd.reading_ns - bd.tree_test_ns - bd.element_test_ns);
+  return bd;
+}
+
+void AddBreakdownRow(TablePrinter* t, const char* name, const Run& run,
+                     const CostModel& cost) {
+  const TimeBreakdown bd = Fig3Attribution(run, cost);
+  t->AddRow({name, FormatDuration(bd.total_ns),
+             TablePrinter::Pct(bd.ReadingPct()),
+             TablePrinter::Pct(bd.TreeTestPct()),
+             TablePrinter::Pct(bd.ElementTestPct()),
+             TablePrinter::Pct(bd.RemainingPct())});
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t n = flags.GetSize("n", 500000);
+  const std::size_t num_queries = flags.GetSize("queries", 200);
+  // Preserve the paper's ~1000 results/query at reduced scale (see fig2).
+  const double selectivity =
+      flags.GetDouble("selectivity",
+                      flags.GetDouble("results_per_query", 1000) / double(n));
+
+  bench::PrintHeader("Figure 3: in-memory R-Tree query time breakdown",
+                     "Heinis et al., EDBT'14, Figure 3 + Section 3.1");
+  const auto ds = bench::MakeBenchDataset(n);
+  const auto wl = bench::MakeBenchWorkload(ds, num_queries, selectivity);
+  const CostModel cost = CostModel::Calibrate();
+  std::printf("dataset: %zu cylinder elements; %zu queries; unit costs: "
+              "box test %.2f ns, pointer hop %.2f ns, refinement %.0f ns\n",
+              n, num_queries, cost.ns_per_element_test,
+              cost.ns_per_pointer_hop, cost.ns_per_refinement);
+
+  // Disk-heritage fanout (4KB nodes -> 146 entries) vs cache-conscious.
+  rtree::RTreeOptions disk_era;
+  disk_era.max_entries = 146;
+  disk_era.min_entries = 58;
+  rtree::RTree rt_disk_era(disk_era);
+  rt_disk_era.BulkLoadStr(ds.elements);
+
+  rtree::RTree rt_mem;  // Default 36-entry (~1KB) nodes, the §3.3 band.
+  rt_mem.BulkLoadStr(ds.elements);
+
+  crtree::CRTree cr;  // 768-byte cache-conscious nodes.
+  cr.Build(ds.elements);
+
+  const Run run_disk_era =
+      Measure(ds, wl.queries, [&](const AABB& q, auto* out, auto* c) {
+        rt_disk_era.RangeQuery(q, out, c);
+      });
+  const Run run_mem =
+      Measure(ds, wl.queries, [&](const AABB& q, auto* out, auto* c) {
+        rt_mem.RangeQuery(q, out, c);
+      });
+  const Run run_cr =
+      Measure(ds, wl.queries, [&](const AABB& q, auto* out, auto* c) {
+        cr.RangeQuery(q, out, c);
+      });
+
+  TablePrinter t({"index", "total", "reading data", "tests: tree",
+                  "tests: elements", "remaining"});
+  AddBreakdownRow(&t, "R-Tree (4KB-era fanout 146)", run_disk_era, cost);
+  AddBreakdownRow(&t, "R-Tree (in-memory fanout 36)", run_mem, cost);
+  AddBreakdownRow(&t, "CR-Tree (768B nodes, QRMBR)", run_cr, cost);
+  t.AddRow({"paper: R-Tree in memory", "40 s", "small", "~55%", "~25%",
+            "rest"});
+  t.Print();
+
+  const TimeBreakdown bd = Fig3Attribution(run_disk_era, cost);
+  std::printf("\n%s\n",
+              PercentBar({{"Reading", bd.ReadingPct()},
+                          {"TreeTests", bd.TreeTestPct()},
+                          {"ElemTests", bd.ElementTestPct()},
+                          {"Remaining", bd.RemainingPct()}})
+                  .c_str());
+  std::printf("per query: %.0f tree box tests, %.0f candidate refinements, "
+              "%.0f true matches\n",
+              double(run_disk_era.counters.TotalIntersectionTests()) /
+                  num_queries,
+              double(run_disk_era.refinements) / num_queries,
+              double(run_disk_era.matches) / num_queries);
+
+  const double tests_pct = bd.TreeTestPct() + bd.ElementTestPct();
+  bench::PrintClaim(
+      "intersection tests dominate in-memory query time (~80% in paper)",
+      tests_pct > 60.0);
+  // The tree/element split within the ~80% depends on the refinement
+  // implementation and memory latency; the paper's testbed saw 55/25.
+  // The substrate-independent claim is that navigating the tree structure
+  // is a first-order cost in its own right — far from free even though the
+  // data is in memory.
+  bench::PrintClaim(
+      "tree-structure tests are a first-order cost (>25% of query time; "
+      "paper: 55%)",
+      bd.TreeTestPct() > 25.0 && bd.TreeTestPct() > bd.ReadingPct() &&
+          bd.TreeTestPct() > bd.RemainingPct());
+  const double cr_speedup =
+      run_mem.filter_ns / std::max(1.0, run_cr.filter_ns);
+  std::printf("CR-Tree speedup over R-Tree: %.2fx (paper [16]: ~2x, bounded "
+              "because overlap remains)\n", cr_speedup);
+  bench::PrintClaim("CR-Tree helps but is no silver bullet (< 4x)",
+                    cr_speedup < 4.0);
+  return 0;
+}
+
+}  // namespace simspatial
+
+int main(int argc, char** argv) { return simspatial::Main(argc, argv); }

@@ -1,0 +1,118 @@
+// §2.2 / §3.3 / §4.3 — the in-memory spatial join: synapse detection.
+//
+// Paper: the self-join runs at every step ("wherever two neurons are within
+// a given distance of each other, they will form a synapse"); in memory the
+// join is comparison-bound [21]; the sweep line compares distant objects;
+// TOUCH fixes that with hierarchical data-oriented partitioning but "depends
+// on a costly data-oriented partitioning & indexing step prior to the
+// join"; a grid "may not necessarily speed up the join, but will certainly
+// speed up the preprocessing/indexing and thus the overall join" (§3.3).
+//
+// This bench reports, for each algorithm on the synapse workload: total
+// time, partitioning/build time vs probe time, and comparisons performed.
+// The nested loop runs at reduced scale and is extrapolated.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bruteforce.h"
+#include "join/spatial_join.h"
+
+namespace simspatial {
+namespace {
+
+using bench::Flags;
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t n = flags.GetSize("n", 150000);
+  const float eps = static_cast<float>(flags.GetDouble("eps", 0.25));
+
+  bench::PrintHeader(
+      "Spatial self-join (synapse detection) across algorithms",
+      "Heinis et al., EDBT'14, Sections 2.2, 3.3, 4.3");
+  const auto ds = bench::MakeBenchDataset(n);
+  std::printf("dataset: %zu neuron segments; distance predicate eps=%.2f um\n",
+              n, eps);
+
+  TablePrinter t({"algorithm", "total ms", "comparisons", "pairs",
+                  "comparisons per pair"});
+
+  // Nested loop at reduced scale (quadratic), extrapolated.
+  {
+    const std::size_t small = std::min<std::size_t>(n, 20000);
+    std::vector<Element> subset(ds.elements.begin(),
+                                ds.elements.begin() + small);
+    QueryCounters c;
+    Stopwatch sw;
+    const auto pairs = NestedLoopSelfJoin(subset, eps, &c);
+    const double ms = sw.ElapsedMs();
+    const double scale = double(n) / double(small);
+    t.AddRow({"nested loop (extrapolated)",
+              TablePrinter::Num(ms * scale * scale, 0) + " (est)",
+              TablePrinter::Count(static_cast<std::uint64_t>(
+                  double(c.element_tests) * scale * scale)) +
+                  " (est)",
+              TablePrinter::Count(pairs.size()) + " @" +
+                  TablePrinter::Num(double(small) / 1000, 0) + "k",
+              "-"});
+  }
+
+  const auto run = [&](const char* name, auto&& fn) {
+    QueryCounters c;
+    Stopwatch sw;
+    const auto pairs = fn(&c);
+    const double ms = sw.ElapsedMs();
+    t.AddRow({name, TablePrinter::Num(ms, 1),
+              TablePrinter::Count(c.element_tests),
+              TablePrinter::Count(pairs.size()),
+              TablePrinter::Num(pairs.empty()
+                                    ? 0.0
+                                    : double(c.element_tests) /
+                                          double(pairs.size()),
+                                1)});
+    return pairs.size();
+  };
+
+  const std::size_t p_sweep = run("plane sweep", [&](QueryCounters* c) {
+    return join::PlaneSweepSelfJoin(ds.elements, eps, c);
+  });
+  const std::size_t p_pbsm = run("PBSM (grid partitioning)",
+                                 [&](QueryCounters* c) {
+                                   return join::PbsmSelfJoin(ds.elements, eps,
+                                                             {}, c);
+                                 });
+  const std::size_t p_touch = run("TOUCH (hierarchical)",
+                                  [&](QueryCounters* c) {
+                                    return join::TouchSelfJoin(ds.elements,
+                                                               eps, {}, c);
+                                  });
+  const std::size_t p_grid = run("grid join (centre cells, Sec 4.3)",
+                                 [&](QueryCounters* c) {
+                                   return join::GridSelfJoin(ds.elements, eps,
+                                                             {}, c);
+                                 });
+  t.Print();
+
+  bench::PrintClaim("all algorithms agree on the synapse pair count",
+                    p_sweep == p_pbsm && p_pbsm == p_touch &&
+                        p_touch == p_grid);
+
+  // Comparisons: who tests distant objects?
+  QueryCounters c_sweep, c_touch, c_grid;
+  join::PlaneSweepSelfJoin(ds.elements, eps, &c_sweep);
+  join::TouchSelfJoin(ds.elements, eps, {}, &c_touch);
+  join::GridSelfJoin(ds.elements, eps, {}, &c_grid);
+  bench::PrintClaim(
+      "the sweep performs more comparisons than spatially-partitioned joins "
+      "(it does not ensure only close objects are compared)",
+      c_sweep.element_tests > c_touch.element_tests &&
+          c_sweep.element_tests > c_grid.element_tests);
+  return 0;
+}
+
+}  // namespace simspatial
+
+int main(int argc, char** argv) { return simspatial::Main(argc, argv); }

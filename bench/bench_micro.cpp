@@ -1,0 +1,228 @@
+// Microbenchmarks (google-benchmark): build / range / kNN / update kernels
+// for the principal structures. These complement the figure harnesses with
+// statistically sound per-operation numbers and serve as the regression
+// guard for the §3.3 cache-size ablations (R-Tree fanout, CR-Tree node
+// bytes).
+
+#include <benchmark/benchmark.h>
+
+#include "common/bruteforce.h"
+#include "core/memgrid.h"
+#include "crtree/crtree.h"
+#include "datagen/neuron.h"
+#include "datagen/plasticity.h"
+#include "datagen/workload.h"
+#include "grid/uniform_grid.h"
+#include "rtree/rtree.h"
+
+namespace simspatial {
+namespace {
+
+constexpr std::size_t kN = 100000;
+
+const datagen::NeuronDataset& Dataset() {
+  static const datagen::NeuronDataset ds =
+      datagen::GenerateNeuronsWithSize(kN);
+  return ds;
+}
+
+const std::vector<AABB>& Queries() {
+  static const std::vector<AABB> queries = [] {
+    datagen::RangeWorkloadConfig cfg;
+    cfg.num_queries = 64;
+    cfg.selectivity = 1e-4;
+    return datagen::MakeRangeWorkload(Dataset().elements, Dataset().universe,
+                                      cfg)
+        .queries;
+  }();
+  return queries;
+}
+
+// --- Builds -----------------------------------------------------------------
+
+void BM_BuildRTreeStr(benchmark::State& state) {
+  for (auto _ : state) {
+    rtree::RTree tree;
+    tree.BulkLoadStr(Dataset().elements);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_BuildRTreeStr)->Unit(benchmark::kMillisecond);
+
+void BM_BuildRTreeHilbert(benchmark::State& state) {
+  for (auto _ : state) {
+    rtree::RTree tree;
+    tree.BulkLoadHilbert(Dataset().elements);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_BuildRTreeHilbert)->Unit(benchmark::kMillisecond);
+
+void BM_BuildCRTree(benchmark::State& state) {
+  for (auto _ : state) {
+    crtree::CRTree tree;
+    tree.Build(Dataset().elements);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_BuildCRTree)->Unit(benchmark::kMillisecond);
+
+void BM_BuildMemGrid(benchmark::State& state) {
+  core::MemGridConfig cfg;
+  cfg.cell_size = 4.0f;
+  for (auto _ : state) {
+    core::MemGrid grid(Dataset().universe, cfg);
+    grid.Build(Dataset().elements);
+    benchmark::DoNotOptimize(grid.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_BuildMemGrid)->Unit(benchmark::kMillisecond);
+
+// --- Range queries (fanout / node-size ablation for the R-Tree) -------------
+
+void BM_RangeRTreeFanout(benchmark::State& state) {
+  rtree::RTreeOptions opts;
+  opts.max_entries = static_cast<std::uint32_t>(state.range(0));
+  opts.min_entries = opts.max_entries * 2 / 5;
+  rtree::RTree tree(opts);
+  tree.BulkLoadStr(Dataset().elements);
+  std::vector<ElementId> out;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    tree.RangeQuery(Queries()[q++ % Queries().size()], &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RangeRTreeFanout)
+    ->Arg(8)     // ~300B nodes.
+    ->Arg(20)    // ~700B nodes (the §3.3 sweet spot).
+    ->Arg(36)    // Library default.
+    ->Arg(146);  // Disk-era 4KB nodes.
+
+void BM_RangeCRTree(benchmark::State& state) {
+  crtree::CRTree tree(crtree::CRTreeOptions{
+      .node_bytes = static_cast<std::uint32_t>(state.range(0))});
+  tree.Build(Dataset().elements);
+  std::vector<ElementId> out;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    tree.RangeQuery(Queries()[q++ % Queries().size()], &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RangeCRTree)->Arg(256)->Arg(768)->Arg(4096);
+
+void BM_RangeMemGrid(benchmark::State& state) {
+  core::MemGridConfig cfg;
+  cfg.cell_size = 4.0f;
+  core::MemGrid grid(Dataset().universe, cfg);
+  grid.Build(Dataset().elements);
+  std::vector<ElementId> out;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    grid.RangeQuery(Queries()[q++ % Queries().size()], &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RangeMemGrid);
+
+void BM_RangeMemGridCompact(benchmark::State& state) {
+  core::MemGridConfig cfg;
+  cfg.cell_size = 4.0f;
+  core::MemGrid grid(Dataset().universe, cfg);
+  grid.Build(Dataset().elements);
+  grid.Compact();  // CSR read-mostly layout ablation.
+  std::vector<ElementId> out;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    grid.RangeQuery(Queries()[q++ % Queries().size()], &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RangeMemGridCompact);
+
+void BM_RangeHilbertRTree(benchmark::State& state) {
+  rtree::RTree tree;
+  tree.BulkLoadHilbert(Dataset().elements);
+  std::vector<ElementId> out;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    tree.RangeQuery(Queries()[q++ % Queries().size()], &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RangeHilbertRTree);
+
+void BM_RangeLinearScan(benchmark::State& state) {
+  std::vector<ElementId> out;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    out = ScanRange(Dataset().elements, Queries()[q++ % Queries().size()]);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RangeLinearScan);
+
+// --- Updates (the §4 kernel) -------------------------------------------------
+
+void BM_UpdateStepRTree(benchmark::State& state) {
+  auto elems = Dataset().elements;
+  rtree::RTree tree;
+  tree.BulkLoadStr(elems);
+  datagen::PlasticityConfig pcfg;
+  datagen::PlasticityModel model(pcfg, Dataset().universe);
+  std::vector<ElementUpdate> updates;
+  for (auto _ : state) {
+    state.PauseTiming();
+    model.Step(&elems, &updates);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.ApplyUpdates(updates));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_UpdateStepRTree)->Unit(benchmark::kMillisecond);
+
+void BM_UpdateStepMemGrid(benchmark::State& state) {
+  auto elems = Dataset().elements;
+  core::MemGridConfig cfg;
+  cfg.cell_size = 4.0f;
+  core::MemGrid grid(Dataset().universe, cfg);
+  grid.Build(elems);
+  datagen::PlasticityConfig pcfg;
+  datagen::PlasticityModel model(pcfg, Dataset().universe);
+  std::vector<ElementUpdate> updates;
+  for (auto _ : state) {
+    state.PauseTiming();
+    model.Step(&elems, &updates);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(grid.ApplyUpdates(updates));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_UpdateStepMemGrid)->Unit(benchmark::kMillisecond);
+
+void BM_UpdateStepUniformGrid(benchmark::State& state) {
+  auto elems = Dataset().elements;
+  grid::UniformGrid g(Dataset().universe, 4.0f);
+  g.Build(elems);
+  datagen::PlasticityConfig pcfg;
+  datagen::PlasticityModel model(pcfg, Dataset().universe);
+  std::vector<ElementUpdate> updates;
+  for (auto _ : state) {
+    state.PauseTiming();
+    model.Step(&elems, &updates);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(g.ApplyUpdates(updates));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_UpdateStepUniformGrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simspatial
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// SimSpatial — shared utilities for the experiment harness binaries.
+//
+// Every bench binary reproduces one figure/experiment of the paper and
+// prints (a) the paper's reported numbers, (b) the numbers measured here,
+// and (c) a verdict on whether the paper's qualitative claim holds. Scale
+// is configurable: --n=<elements> (default keeps each binary under ~a
+// minute on a laptop), --seed=<seed>, plus bench-specific flags.
+
+#ifndef SIMSPATIAL_BENCH_BENCH_UTIL_H_
+#define SIMSPATIAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "common/counters.h"
+#include "common/element.h"
+#include "common/stats.h"
+#include "datagen/neuron.h"
+#include "datagen/workload.h"
+
+namespace simspatial::bench {
+
+/// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) continue;
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr) {
+        values_[std::string(arg + 2)] = "1";
+      } else {
+        values_[std::string(arg + 2, eq)] = eq + 1;
+      }
+    }
+  }
+
+  double GetDouble(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  std::size_t GetSize(const std::string& key, std::size_t def) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? def
+               : static_cast<std::size_t>(std::atoll(it->second.c_str()));
+  }
+  std::string GetString(const std::string& key, std::string def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::move(def) : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+/// Standard neuron dataset for the Appendix-A-style experiments.
+inline datagen::NeuronDataset MakeBenchDataset(std::size_t n,
+                                               std::uint64_t seed = 7) {
+  return datagen::GenerateNeuronsWithSize(n, seed);
+}
+
+/// Appendix-A range workload: `queries` queries of selectivity `sel`.
+inline datagen::RangeWorkload MakeBenchWorkload(
+    const datagen::NeuronDataset& ds, std::size_t queries, double sel,
+    std::uint64_t seed = 31) {
+  datagen::RangeWorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.num_queries = queries;
+  cfg.selectivity = sel;
+  return datagen::MakeRangeWorkload(ds.elements, ds.universe, cfg);
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("==========================================================\n");
+}
+
+inline void PrintClaim(const char* claim, bool holds) {
+  std::printf("[%s] %s\n", holds ? "CLAIM HOLDS" : "CLAIM VIOLATED", claim);
+}
+
+}  // namespace simspatial::bench
+
+#endif  // SIMSPATIAL_BENCH_BENCH_UTIL_H_

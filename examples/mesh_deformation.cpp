@@ -1,0 +1,101 @@
+// Material-deformation analysis on a tetrahedral mesh — the §4.3 use case
+// for connectivity-driven query execution (DLS/OCTOPUS).
+//
+// A bar with a drilled hole (concave mesh) deforms under a synthetic
+// bending field. After every deformation step an analyst inspects regions
+// of interest with range queries. The mesh indexes need *no maintenance*:
+// query execution rides on the face-adjacency graph, which the simulation
+// keeps current for free. An R-Tree over the tets is rebuilt every step for
+// comparison.
+//
+//   $ ./examples/mesh_deformation [steps]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/counters.h"
+#include "common/rng.h"
+#include "mesh/mesh_queries.h"
+#include "mesh/tetmesh.h"
+#include "rtree/rtree.h"
+
+using namespace simspatial;
+
+int main(int argc, char** argv) {
+  const std::size_t steps = argc > 1 ? std::atoll(argv[1]) : 8;
+
+  // A 40 x 12 x 12 bar with a hole through the middle.
+  mesh::StructuredMeshConfig cfg;
+  cfg.nx = 40;
+  cfg.ny = 12;
+  cfg.nz = 12;
+  cfg.domain = AABB(Vec3(0, 0, 0), Vec3(40, 12, 12));
+  cfg.jitter = 0.1f;
+  cfg.carve = mesh::SphereCarve(Vec3(20, 6, 6), 4.0f);
+  mesh::TetMesh bar = GenerateStructuredMesh(cfg);
+  std::printf("bar mesh: %zu tets, %zu on the surface, hole carved\n",
+              bar.size(), bar.SurfaceTets().size());
+
+  mesh::OctopusQuery octopus(&bar, 3.0f);
+  Rng rng(5);
+
+  std::printf("%5s %16s %18s %18s\n", "step", "deform+bounds",
+              "OCTOPUS 20 queries", "R-Tree rebuild+20q");
+  for (std::size_t s = 0; s < steps; ++s) {
+    // Bending: displace vertices by a smooth field plus noise.
+    Stopwatch dw;
+    for (Vec3& v : bar.vertices) {
+      const float phase = v.x / 40.0f * 3.14159f;
+      v.y += 0.05f * std::sin(phase) + rng.Normal(0, 0.005f);
+      v.z += rng.Normal(0, 0.005f);
+    }
+    for (mesh::TetId t = 0; t < bar.size(); ++t) {
+      AABB b;
+      for (const std::uint32_t vi : bar.tets[t]) b.Extend(bar.vertices[vi]);
+      bar.bounds[t] = b;
+    }
+    const double deform_ms = dw.ElapsedMs();
+
+    // Analysis queries around the hole (stress concentration region).
+    std::vector<AABB> probes;
+    for (int q = 0; q < 20; ++q) {
+      probes.push_back(AABB::FromCenterHalfExtent(
+          Vec3(20.0f + rng.Normal(0, 4.0f), 6.0f + rng.Normal(0, 2.0f),
+               6.0f + rng.Normal(0, 2.0f)),
+          1.5f));
+    }
+
+    Stopwatch ow;
+    std::vector<mesh::TetId> got;
+    std::size_t octo_hits = 0;
+    for (const AABB& p : probes) {
+      octopus.RangeQuery(p, &got);
+      octo_hits += got.size();
+    }
+    const double octo_ms = ow.ElapsedMs();
+
+    Stopwatch rw;
+    rtree::RTree rt;
+    rt.BulkLoadStr(bar.AsElements());
+    std::vector<ElementId> ids;
+    std::size_t rt_hits = 0;
+    for (const AABB& p : probes) {
+      rt.RangeQuery(p, &ids);
+      for (const ElementId id : ids) {  // Same geometric refinement.
+        rt_hits += TetIntersectsAABB(bar.TetAt(id), p) ? 1 : 0;
+      }
+    }
+    const double rt_ms = rw.ElapsedMs();
+
+    std::printf("%5zu %14.2fms %13.2fms (%zu) %12.2fms (%zu)\n", s,
+                deform_ms, octo_ms, octo_hits, rt_ms, rt_hits);
+    if (octo_hits != rt_hits) {
+      std::printf("      !! result mismatch — should never happen\n");
+      return 1;
+    }
+  }
+  std::printf("\nOCTOPUS needed zero index maintenance across all steps; "
+              "the R-Tree paid a full rebuild per step.\n");
+  return 0;
+}

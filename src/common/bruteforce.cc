@@ -1,0 +1,194 @@
+#include "common/bruteforce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace simspatial {
+
+namespace {
+
+// Query-side grid for BatchScanRange: cell -> indices of queries whose box
+// overlaps the cell.
+struct QueryGrid {
+  float inv_cell = 1.0f;
+  Vec3 origin;
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cells;
+
+  std::int64_t Key(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    return ((x & 0x1fffff) << 42) | ((y & 0x1fffff) << 21) | (z & 0x1fffff);
+  }
+  std::int64_t CoordOf(float v, float lo) const {
+    return static_cast<std::int64_t>(std::floor((v - lo) * inv_cell));
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<ElementId>> BatchScanRange(
+    const std::vector<Element>& elems, const std::vector<AABB>& queries,
+    QueryCounters* counters) {
+  std::vector<std::vector<ElementId>> out(queries.size());
+  if (queries.empty() || elems.empty()) return out;
+
+  // Cell size ~ the mean query side: each query then overlaps O(1) cells
+  // and each element consults O(1) cells.
+  AABB bounds;
+  double mean_side = 0;
+  for (const AABB& q : queries) {
+    bounds.Extend(q);
+    const Vec3 e = q.Extent();
+    mean_side += (e.x + e.y + e.z) / 3.0;
+  }
+  mean_side = std::max(1e-5, mean_side / queries.size());
+
+  QueryGrid g;
+  g.inv_cell = static_cast<float>(1.0 / mean_side);
+  g.origin = bounds.min;
+  for (std::uint32_t qi = 0; qi < queries.size(); ++qi) {
+    const AABB& q = queries[qi];
+    const auto x0 = g.CoordOf(q.min.x, g.origin.x);
+    const auto y0 = g.CoordOf(q.min.y, g.origin.y);
+    const auto z0 = g.CoordOf(q.min.z, g.origin.z);
+    const auto x1 = g.CoordOf(q.max.x, g.origin.x);
+    const auto y1 = g.CoordOf(q.max.y, g.origin.y);
+    const auto z1 = g.CoordOf(q.max.z, g.origin.z);
+    for (auto x = x0; x <= x1; ++x) {
+      for (auto y = y0; y <= y1; ++y) {
+        for (auto z = z0; z <= z1; ++z) {
+          g.cells[g.Key(x, y, z)].push_back(qi);
+        }
+      }
+    }
+  }
+
+  // Stream the dataset once; for each element visit the cells its box
+  // overlaps and test the queries registered there. The reference-point
+  // rule (count the pair only in the cell holding max(mins)) deduplicates
+  // without per-pair state.
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+  for (const Element& e : elems) {
+    c.bytes_read += sizeof(Element);
+    const auto x0 = g.CoordOf(e.box.min.x, g.origin.x);
+    const auto y0 = g.CoordOf(e.box.min.y, g.origin.y);
+    const auto z0 = g.CoordOf(e.box.min.z, g.origin.z);
+    const auto x1 = g.CoordOf(e.box.max.x, g.origin.x);
+    const auto y1 = g.CoordOf(e.box.max.y, g.origin.y);
+    const auto z1 = g.CoordOf(e.box.max.z, g.origin.z);
+    for (auto x = x0; x <= x1; ++x) {
+      for (auto y = y0; y <= y1; ++y) {
+        for (auto z = z0; z <= z1; ++z) {
+          const auto it = g.cells.find(g.Key(x, y, z));
+          if (it == g.cells.end()) continue;
+          for (const std::uint32_t qi : it->second) {
+            const AABB& q = queries[qi];
+            c.element_tests += 1;
+            if (!e.box.Intersects(q)) continue;
+            const Vec3 ref = Vec3::Max(e.box.min, q.min);
+            if (g.CoordOf(ref.x, g.origin.x) == x &&
+                g.CoordOf(ref.y, g.origin.y) == y &&
+                g.CoordOf(ref.z, g.origin.z) == z) {
+              out[qi].push_back(e.id);
+            }
+          }
+        }
+      }
+    }
+  }
+  for (const auto& r : out) c.results += r.size();
+  return out;
+}
+
+std::vector<ElementId> ScanRange(const std::vector<Element>& elems,
+                                 const AABB& range, QueryCounters* counters) {
+  std::vector<ElementId> out;
+  for (const Element& e : elems) {
+    if (e.box.Intersects(range)) out.push_back(e.id);
+  }
+  if (counters != nullptr) {
+    counters->element_tests += elems.size();
+    counters->bytes_read += elems.size() * sizeof(Element);
+    counters->results += out.size();
+  }
+  return out;
+}
+
+std::vector<ElementId> ScanKnn(const std::vector<Element>& elems,
+                               const Vec3& p, std::size_t k,
+                               QueryCounters* counters) {
+  using Entry = std::pair<float, ElementId>;  // (squared distance, id)
+  std::vector<Entry> heap;  // max-heap of the best k so far.
+  heap.reserve(k + 1);
+  for (const Element& e : elems) {
+    const float d = e.box.SquaredDistanceTo(p);
+    if (heap.size() < k) {
+      heap.emplace_back(d, e.id);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (k > 0 && Entry(d, e.id) < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = Entry(d, e.id);
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<ElementId> out;
+  out.reserve(heap.size());
+  for (const Entry& e : heap) out.push_back(e.second);
+  if (counters != nullptr) {
+    counters->distance_computations += elems.size();
+    counters->bytes_read += elems.size() * sizeof(Element);
+    counters->results += out.size();
+  }
+  return out;
+}
+
+std::vector<std::pair<ElementId, ElementId>> NestedLoopSelfJoin(
+    const std::vector<Element>& elems, float eps, QueryCounters* counters) {
+  std::vector<std::pair<ElementId, ElementId>> out;
+  const float eps2 = eps * eps;
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    for (std::size_t j = i + 1; j < elems.size(); ++j) {
+      const bool hit =
+          eps > 0.0f
+              ? elems[i].box.SquaredDistanceTo(elems[j].box) <= eps2
+              : elems[i].box.Intersects(elems[j].box);
+      if (hit) {
+        out.emplace_back(std::min(elems[i].id, elems[j].id),
+                         std::max(elems[i].id, elems[j].id));
+      }
+    }
+  }
+  if (counters != nullptr) {
+    counters->element_tests += elems.size() * (elems.size() - 1) / 2;
+    counters->results += out.size();
+  }
+  return out;
+}
+
+std::vector<std::pair<ElementId, ElementId>> NestedLoopJoin(
+    const std::vector<Element>& a, const std::vector<Element>& b, float eps,
+    QueryCounters* counters) {
+  std::vector<std::pair<ElementId, ElementId>> out;
+  const float eps2 = eps * eps;
+  for (const Element& ea : a) {
+    for (const Element& eb : b) {
+      const bool hit = eps > 0.0f
+                           ? ea.box.SquaredDistanceTo(eb.box) <= eps2
+                           : ea.box.Intersects(eb.box);
+      if (hit) out.emplace_back(ea.id, eb.id);
+    }
+  }
+  if (counters != nullptr) {
+    counters->element_tests += a.size() * b.size();
+    counters->results += out.size();
+  }
+  return out;
+}
+
+void SortPairs(std::vector<std::pair<ElementId, ElementId>>* pairs) {
+  std::sort(pairs->begin(), pairs->end());
+  pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
+}
+
+}  // namespace simspatial

@@ -1,0 +1,63 @@
+// SimSpatial — brute-force reference implementations.
+//
+// Two roles:
+//  1. Ground truth for the differential test suite: every index must return
+//     exactly these results.
+//  2. The paper's "no index" baseline (§4.1): when the whole model changes
+//     every step, "using no index, i.e., a linear scan over the dataset, may
+//     be faster" — the linear scan is a first-class competitor, not just a
+//     test oracle, and carries the same instrumentation as real indexes.
+
+#ifndef SIMSPATIAL_COMMON_BRUTEFORCE_H_
+#define SIMSPATIAL_COMMON_BRUTEFORCE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial {
+
+/// Linear-scan range query: ids of all elements whose box intersects
+/// `range`, in dataset order (ascending id when the dataset is id-sorted).
+std::vector<ElementId> ScanRange(const std::vector<Element>& elems,
+                                 const AABB& range,
+                                 QueryCounters* counters = nullptr);
+
+/// One-pass batched range queries: stream the dataset once and route every
+/// element to all queries it matches through a grid built over the *query*
+/// boxes. §4.1: "the linear scan can be very fast, depending on the number
+/// of queries asked and in case many queries can be batched together" —
+/// this is that batching; per-query cost amortises to a fraction of an
+/// individual scan once the batch is large.
+/// Result i holds the ids matching queries[i], in dataset order.
+std::vector<std::vector<ElementId>> BatchScanRange(
+    const std::vector<Element>& elems, const std::vector<AABB>& queries,
+    QueryCounters* counters = nullptr);
+
+/// Linear-scan k-nearest-neighbours by box distance to `p` (ties broken by
+/// id). Returns up to k ids ordered by increasing distance.
+std::vector<ElementId> ScanKnn(const std::vector<Element>& elems,
+                               const Vec3& p, std::size_t k,
+                               QueryCounters* counters = nullptr);
+
+/// Nested-loop self-join: all unordered pairs (a.id < b.id) whose boxes come
+/// within `eps` of each other (eps = 0: overlap join). O(n^2) — the paper's
+/// §4.3 lower bound that every real join algorithm must beat.
+std::vector<std::pair<ElementId, ElementId>> NestedLoopSelfJoin(
+    const std::vector<Element>& elems, float eps,
+    QueryCounters* counters = nullptr);
+
+/// Nested-loop binary join between two datasets; pairs are (a.id, b.id).
+std::vector<std::pair<ElementId, ElementId>> NestedLoopJoin(
+    const std::vector<Element>& a, const std::vector<Element>& b, float eps,
+    QueryCounters* counters = nullptr);
+
+/// Canonical ordering for pair sets so tests can compare joins directly.
+void SortPairs(std::vector<std::pair<ElementId, ElementId>>* pairs);
+
+}  // namespace simspatial
+
+#endif  // SIMSPATIAL_COMMON_BRUTEFORCE_H_

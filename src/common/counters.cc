@@ -1,0 +1,156 @@
+#include "common/counters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace simspatial {
+
+namespace {
+
+// Prevent the optimizer from deleting the calibration loops.
+inline void DoNotOptimize(float v) {
+  asm volatile("" : : "x"(v) : "memory");
+}
+inline void DoNotOptimize(bool v) {
+  asm volatile("" : : "r"(static_cast<int>(v)) : "memory");
+}
+
+}  // namespace
+
+CostModel CostModel::Calibrate() {
+  CostModel m;
+  Rng rng(42);
+
+  // The working set is deliberately larger than the last-level cache so
+  // the measured per-test cost includes the memory stalls a real query
+  // over a large model pays; an L1-hot loop would undercharge tests and
+  // inflate the "remaining computation" residual.
+  constexpr int kBoxes = 1 << 20;  // 24 MB of boxes.
+  constexpr int kRounds = 3;
+  const AABB universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+  std::vector<AABB> boxes;
+  boxes.reserve(kBoxes);
+  for (int i = 0; i < kBoxes; ++i) {
+    const Vec3 c = rng.PointIn(universe);
+    boxes.push_back(AABB::FromCenterHalfExtent(c, rng.Uniform(0.1f, 2.0f)));
+  }
+  const AABB query = AABB::FromCenterHalfExtent(Vec3(50, 50, 50), 20.0f);
+
+  {  // Box-box intersection test cost.
+    Stopwatch sw;
+    bool acc = false;
+    for (int r = 0; r < kRounds; ++r) {
+      for (const AABB& b : boxes) acc ^= query.Intersects(b);
+    }
+    DoNotOptimize(acc);
+    const double ns = sw.ElapsedNs() / (double(kRounds) * kBoxes);
+    m.ns_per_structure_test = ns;
+    m.ns_per_element_test = ns;
+  }
+
+  {  // Point-box distance cost (kNN path).
+    Stopwatch sw;
+    float acc = 0;
+    const Vec3 p(50, 50, 50);
+    for (int r = 0; r < kRounds; ++r) {
+      for (const AABB& b : boxes) acc += b.SquaredDistanceTo(p);
+    }
+    DoNotOptimize(acc);
+    m.ns_per_distance = sw.ElapsedNs() / (double(kRounds) * kBoxes);
+  }
+
+  {  // Exact capsule-box refinement cost.
+    constexpr int kRefine = 1 << 14;
+    Stopwatch sw;
+    bool acc = false;
+    for (int i = 0; i < kRefine; ++i) {
+      const AABB& b = boxes[static_cast<std::size_t>(i) * 61 % kBoxes];
+      const Capsule c(b.min, b.max, 0.2f);
+      acc ^= CapsuleIntersectsAABB(c, query);
+    }
+    DoNotOptimize(acc);
+    m.ns_per_refinement = sw.ElapsedNs() / double(kRefine);
+  }
+
+  {  // Dependent pointer-chase cost.
+    constexpr int kChain = 1 << 20;  // 4 MB of pointers.
+    std::vector<std::uint32_t> next(kChain);
+    // A random permutation cycle defeats the hardware prefetcher the same
+    // way R-Tree child pointers do.
+    for (int i = 0; i < kChain; ++i) next[i] = i;
+    for (int i = kChain - 1; i > 0; --i) {
+      std::swap(next[i], next[rng.NextBelow(i + 1)]);
+    }
+    constexpr int kHops = kChain / 4;
+    Stopwatch sw;
+    std::uint32_t cursor = 0;
+    for (int i = 0; i < kHops; ++i) cursor = next[cursor];
+    DoNotOptimize(cursor != 0);
+    m.ns_per_pointer_hop = sw.ElapsedNs() / double(kHops);
+  }
+
+  {  // Sequential streaming cost per byte.
+    constexpr int kBytes = 1 << 24;
+    std::vector<std::uint64_t> data(kBytes / 8, 0x0102030405060708ULL);
+    Stopwatch sw;
+    std::uint64_t acc = 0;
+    for (std::uint64_t w : data) acc += w;
+    DoNotOptimize(static_cast<float>(acc & 1));
+    m.ns_per_byte_read = sw.ElapsedNs() / double(kBytes);
+  }
+
+  return m;
+}
+
+TimeBreakdown AttributeTime(const QueryCounters& counters,
+                            double measured_compute_ns,
+                            const CostModel& model) {
+  TimeBreakdown b;
+  b.total_ns =
+      measured_compute_ns + static_cast<double>(counters.io_virtual_ns);
+  // "Reading data" is the storage-layer cost: virtual device time plus the
+  // transfer of bytes across the I/O boundary. Node/bucket scans inside
+  // the query processor are memory-bound *computation* (their bytes are
+  // reported in bytes_read but already paid for by the per-test costs).
+  b.reading_ns = static_cast<double>(counters.io_virtual_ns) +
+                 counters.io_bytes * model.ns_per_byte_read;
+  b.tree_test_ns = counters.structure_tests * model.ns_per_structure_test +
+                   counters.pointer_hops * model.ns_per_pointer_hop;
+  b.element_test_ns = counters.element_tests * model.ns_per_element_test +
+                      counters.distance_computations * model.ns_per_distance;
+
+  // Attribution can exceed the measurement if unit costs were calibrated
+  // under worse cache behaviour than the real run enjoys; scale attributed
+  // categories down proportionally so the breakdown stays a partition.
+  const double attributed = b.reading_ns + b.tree_test_ns + b.element_test_ns;
+  if (attributed > b.total_ns && attributed > 0) {
+    const double scale = b.total_ns / attributed;
+    b.reading_ns *= scale;
+    b.tree_test_ns *= scale;
+    b.element_test_ns *= scale;
+  }
+  b.remaining_ns = std::max(
+      0.0, b.total_ns - b.reading_ns - b.tree_test_ns - b.element_test_ns);
+  return b;
+}
+
+std::string FormatDuration(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace simspatial

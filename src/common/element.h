@@ -1,0 +1,61 @@
+// SimSpatial — the spatial element model.
+//
+// Every index in the library operates on `Element`s: volumetric objects
+// identified by a dense id and approximated by an AABB. Exact primitives
+// (capsules for neuron segments, tetrahedra for mesh cells) live in the
+// dataset layer and are consulted only for refinement, mirroring the
+// filter/refine separation of classical spatial query processing.
+
+#ifndef SIMSPATIAL_COMMON_ELEMENT_H_
+#define SIMSPATIAL_COMMON_ELEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace simspatial {
+
+/// Dense element identifier. Ids index into the owning dataset's element
+/// vector, so indexes can store bare 32/64-bit ids instead of pointers.
+using ElementId = std::uint32_t;
+
+/// Sentinel for "no element".
+inline constexpr ElementId kInvalidElement = 0xffffffffu;
+
+/// A volumetric spatial element: id + bounding box.
+///
+/// 28 bytes; kept deliberately flat (no virtual functions, no pointers) so
+/// that scans and grid buckets stream through the cache, which §3.1 shows is
+/// where in-memory query time goes.
+struct Element {
+  AABB box;
+  ElementId id = kInvalidElement;
+
+  Element() = default;
+  Element(ElementId i, const AABB& b) : box(b), id(i) {}
+
+  Vec3 Center() const { return box.Center(); }
+};
+
+/// A positional update: element `id` moved so that its new bounding box is
+/// `new_box`. Simulations emit one of these for (almost) every element at
+/// every time step (§4: "massive changes").
+struct ElementUpdate {
+  ElementId id = kInvalidElement;
+  AABB new_box;
+
+  ElementUpdate() = default;
+  ElementUpdate(ElementId i, const AABB& b) : id(i), new_box(b) {}
+};
+
+/// Convenience: tight bounds of a set of elements.
+inline AABB BoundsOf(const std::vector<Element>& elems) {
+  AABB b;
+  for (const Element& e : elems) b.Extend(e.box);
+  return b;
+}
+
+}  // namespace simspatial
+
+#endif  // SIMSPATIAL_COMMON_ELEMENT_H_

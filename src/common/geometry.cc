@@ -1,0 +1,309 @@
+#include "common/geometry.h"
+
+#include <cmath>
+
+namespace simspatial {
+
+float SquaredDistancePointSegment(const Vec3& p, const Vec3& a,
+                                  const Vec3& b) {
+  const Vec3 ab = b - a;
+  const float denom = ab.SquaredNorm();
+  if (denom <= 0.0f) return SquaredDistance(p, a);
+  float t = (p - a).Dot(ab) / denom;
+  t = std::clamp(t, 0.0f, 1.0f);
+  return SquaredDistance(p, a + ab * t);
+}
+
+// Ericson, "Real-Time Collision Detection", closest-point-of-two-segments.
+float SquaredDistanceSegmentSegment(const Vec3& p1, const Vec3& q1,
+                                    const Vec3& p2, const Vec3& q2) {
+  const Vec3 d1 = q1 - p1;
+  const Vec3 d2 = q2 - p2;
+  const Vec3 r = p1 - p2;
+  const float a = d1.SquaredNorm();
+  const float e = d2.SquaredNorm();
+  const float f = d2.Dot(r);
+  constexpr float kEps = 1e-12f;
+
+  float s = 0.0f;
+  float t = 0.0f;
+  if (a <= kEps && e <= kEps) {
+    // Both segments degenerate to points.
+    return SquaredDistance(p1, p2);
+  }
+  if (a <= kEps) {
+    t = std::clamp(f / e, 0.0f, 1.0f);
+  } else {
+    const float c = d1.Dot(r);
+    if (e <= kEps) {
+      s = std::clamp(-c / a, 0.0f, 1.0f);
+    } else {
+      const float b = d1.Dot(d2);
+      const float denom = a * e - b * b;
+      if (denom > kEps) {
+        s = std::clamp((b * f - c * e) / denom, 0.0f, 1.0f);
+      }
+      t = (b * s + f) / e;
+      if (t < 0.0f) {
+        t = 0.0f;
+        s = std::clamp(-c / a, 0.0f, 1.0f);
+      } else if (t > 1.0f) {
+        t = 1.0f;
+        s = std::clamp((b - c) / a, 0.0f, 1.0f);
+      }
+    }
+  }
+  const Vec3 c1 = p1 + d1 * s;
+  const Vec3 c2 = p2 + d2 * t;
+  return SquaredDistance(c1, c2);
+}
+
+bool CapsuleContains(const Capsule& c, const Vec3& p) {
+  return SquaredDistancePointSegment(p, c.a, c.b) <= c.radius * c.radius;
+}
+
+bool CapsulesWithinDistance(const Capsule& c1, const Capsule& c2, float eps) {
+  const float reach = c1.radius + c2.radius + eps;
+  return SquaredDistanceSegmentSegment(c1.a, c1.b, c2.a, c2.b) <=
+         reach * reach;
+}
+
+float SquaredDistanceSegmentAABB(const Vec3& a, const Vec3& b,
+                                 const AABB& box) {
+  // f(t) = dist^2(a + t*(b-a), box) is convex in t; ternary search.
+  const Vec3 d = b - a;
+  float lo = 0.0f;
+  float hi = 1.0f;
+  for (int iter = 0; iter < 24; ++iter) {
+    const float m1 = lo + (hi - lo) / 3.0f;
+    const float m2 = hi - (hi - lo) / 3.0f;
+    const float f1 = box.SquaredDistanceTo(a + d * m1);
+    const float f2 = box.SquaredDistanceTo(a + d * m2);
+    if (f1 < f2) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  return box.SquaredDistanceTo(a + d * ((lo + hi) * 0.5f));
+}
+
+namespace {
+
+// Does segment [a,b] pass through `box`? Slab clipping.
+bool SegmentIntersectsAABB(const Vec3& a, const Vec3& b, const AABB& box) {
+  const Vec3 d = b - a;
+  float t0 = 0.0f;
+  float t1 = 1.0f;
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::fabs(d[axis]) < 1e-12f) {
+      if (a[axis] < box.min[axis] || a[axis] > box.max[axis]) return false;
+      continue;
+    }
+    const float inv = 1.0f / d[axis];
+    float near = (box.min[axis] - a[axis]) * inv;
+    float far = (box.max[axis] - a[axis]) * inv;
+    if (near > far) std::swap(near, far);
+    t0 = std::max(t0, near);
+    t1 = std::min(t1, far);
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool CapsuleIntersectsAABB(const Capsule& c, const AABB& box) {
+  // Early accepts cover the overwhelmingly common cases of filter-refine
+  // workloads (candidate fully inside a large query box, or crossing it).
+  const float r2 = c.radius * c.radius * (1.0f + 1e-4f);
+  if (box.SquaredDistanceTo(c.a) <= r2) return true;
+  if (box.SquaredDistanceTo(c.b) <= r2) return true;
+  if (SegmentIntersectsAABB(c.a, c.b, box)) return true;
+  // Grazing case: closest point is in the segment interior near an edge.
+  return SquaredDistanceSegmentAABB(c.a, c.b, box) <= r2;
+}
+
+float Tetrahedron::SignedVolume() const {
+  const Vec3 a = v[1] - v[0];
+  const Vec3 b = v[2] - v[0];
+  const Vec3 c = v[3] - v[0];
+  return a.Cross(b).Dot(c) / 6.0f;
+}
+
+bool Tetrahedron::Contains(const Vec3& p, float eps) const {
+  // p is inside iff the four sub-tets formed by replacing one vertex with p
+  // all have the same orientation as the tet itself.
+  const float vol = SignedVolume();
+  if (std::fabs(vol) < 1e-20f) return false;  // Degenerate tet.
+  const float sign = vol > 0.0f ? 1.0f : -1.0f;
+  const float tol = -eps * std::fabs(vol);
+  const auto sub = [&](const Vec3& a, const Vec3& b, const Vec3& c,
+                       const Vec3& d) {
+    return (b - a).Cross(c - a).Dot(d - a) / 6.0f;
+  };
+  return sign * sub(p, v[1], v[2], v[3]) >= tol &&
+         sign * sub(v[0], p, v[2], v[3]) >= tol &&
+         sign * sub(v[0], v[1], p, v[3]) >= tol &&
+         sign * sub(v[0], v[1], v[2], p) >= tol;
+}
+
+namespace {
+
+// Separating-axis test helper: project triangle onto `axis` and compare with
+// the box projection (box centred at origin with half extents `h`).
+bool AxisSeparates(const Vec3& axis, const Vec3& a, const Vec3& b,
+                   const Vec3& c, const Vec3& h) {
+  const float pa = a.Dot(axis);
+  const float pb = b.Dot(axis);
+  const float pc = c.Dot(axis);
+  const float r = h.x * std::fabs(axis.x) + h.y * std::fabs(axis.y) +
+                  h.z * std::fabs(axis.z);
+  const float lo = std::min({pa, pb, pc});
+  const float hi = std::max({pa, pb, pc});
+  return lo > r || hi < -r;
+}
+
+}  // namespace
+
+// Akenine-Möller triangle/box SAT.
+bool TriangleIntersectsAABB(const Vec3& t0, const Vec3& t1, const Vec3& t2,
+                            const AABB& box) {
+  if (box.IsEmpty()) return false;
+  const Vec3 c = box.Center();
+  const Vec3 h = box.Extent() * 0.5f;
+  const Vec3 a = t0 - c;
+  const Vec3 b = t1 - c;
+  const Vec3 d = t2 - c;
+
+  // 1) Box face normals (AABB overlap of the triangle's bounds).
+  const Vec3 lo = Vec3::Min(Vec3::Min(a, b), d);
+  const Vec3 hi = Vec3::Max(Vec3::Max(a, b), d);
+  if (lo.x > h.x || hi.x < -h.x || lo.y > h.y || hi.y < -h.y || lo.z > h.z ||
+      hi.z < -h.z) {
+    return false;
+  }
+
+  // 2) Triangle normal.
+  const Vec3 e0 = b - a;
+  const Vec3 e1 = d - b;
+  const Vec3 e2 = a - d;
+  const Vec3 n = e0.Cross(e1);
+  if (AxisSeparates(n, a, b, d, h)) return false;
+
+  // 3) Nine cross-product axes.
+  const std::array<Vec3, 3> axes = {Vec3(1, 0, 0), Vec3(0, 1, 0),
+                                    Vec3(0, 0, 1)};
+  for (const Vec3& u : axes) {
+    if (AxisSeparates(u.Cross(e0), a, b, d, h)) return false;
+    if (AxisSeparates(u.Cross(e1), a, b, d, h)) return false;
+    if (AxisSeparates(u.Cross(e2), a, b, d, h)) return false;
+  }
+  return true;
+}
+
+bool TetIntersectsAABB(const Tetrahedron& tet, const AABB& box) {
+  if (!tet.Bounds().Intersects(box)) return false;
+  for (const Vec3& v : tet.v) {
+    if (box.Contains(v)) return true;
+  }
+  for (int corner = 0; corner < 8; ++corner) {
+    const Vec3 p((corner & 1) ? box.max.x : box.min.x,
+                 (corner & 2) ? box.max.y : box.min.y,
+                 (corner & 4) ? box.max.z : box.min.z);
+    if (tet.Contains(p)) return true;
+  }
+  // Partial overlap without containment: some face crosses the box.
+  static constexpr int kFaces[4][3] = {
+      {1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}};
+  for (const auto& f : kFaces) {
+    if (TriangleIntersectsAABB(tet.v[f[0]], tet.v[f[1]], tet.v[f[2]], box)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Spread the low 21 bits of x so that there are two zero bits between each.
+std::uint64_t SpreadBits21(std::uint64_t x) {
+  x &= 0x1fffff;  // 21 bits.
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+}  // namespace
+
+namespace {
+
+// Quantise a position to 21-bit integer lattice coordinates.
+void Quantize21(const Vec3& p, const AABB& universe, std::uint32_t* qx,
+                std::uint32_t* qy, std::uint32_t* qz) {
+  const Vec3 ext = universe.Extent();
+  constexpr float kScale = 2097151.0f;  // 2^21 - 1.
+  const auto normalize = [](float v, float lo, float e) {
+    if (e <= 0.0f) return 0.0f;
+    return std::clamp((v - lo) / e, 0.0f, 1.0f);
+  };
+  *qx = static_cast<std::uint32_t>(normalize(p.x, universe.min.x, ext.x) *
+                                   kScale);
+  *qy = static_cast<std::uint32_t>(normalize(p.y, universe.min.y, ext.y) *
+                                   kScale);
+  *qz = static_cast<std::uint32_t>(normalize(p.z, universe.min.z, ext.z) *
+                                   kScale);
+}
+
+}  // namespace
+
+std::uint64_t MortonEncode(const Vec3& p, const AABB& universe) {
+  std::uint32_t qx, qy, qz;
+  Quantize21(p, universe, &qx, &qy, &qz);
+  return SpreadBits21(qx) | (SpreadBits21(qy) << 1) | (SpreadBits21(qz) << 2);
+}
+
+std::uint64_t HilbertEncode(const Vec3& p, const AABB& universe) {
+  std::uint32_t coords[3];
+  Quantize21(p, universe, &coords[0], &coords[1], &coords[2]);
+
+  // Skilling, "Programming the Hilbert curve" (AIP 2004): transform the
+  // coordinates in place into the transposed Hilbert index.
+  constexpr int kBits = 21;
+  constexpr int kDims = 3;
+  // Inverse undo excess work.
+  for (std::uint32_t q = 1u << (kBits - 1); q > 1; q >>= 1) {
+    const std::uint32_t mask = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (coords[i] & q) {
+        coords[0] ^= mask;  // Invert low bits of x.
+      } else {
+        const std::uint32_t t = (coords[0] ^ coords[i]) & mask;
+        coords[0] ^= t;
+        coords[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i) coords[i] ^= coords[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = 1u << (kBits - 1); q > 1; q >>= 1) {
+    if (coords[kDims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < kDims; ++i) coords[i] ^= t;
+
+  // Interleave the transposed coordinates into one 63-bit key: bit b of
+  // coords[i] becomes bit (b*3 + (2-i)) of the result.
+  std::uint64_t key = 0;
+  for (int b = kBits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      key = (key << 1) | ((coords[i] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+}  // namespace simspatial

@@ -1,0 +1,344 @@
+// SimSpatial — geometry kernel.
+//
+// Minimal 3-D vector / axis-aligned bounding box / primitive toolkit used by
+// every index in the library. The simulation models of the paper (neuron
+// morphologies, material meshes, celestial bodies) reduce to volumetric
+// elements approximated by AABBs plus exact primitives (cylinders/capsules,
+// tetrahedra) for refinement tests.
+
+#ifndef SIMSPATIAL_COMMON_GEOMETRY_H_
+#define SIMSPATIAL_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace simspatial {
+
+/// 3-D point / vector with float components.
+///
+/// Floats (not doubles) are used deliberately: the paper's datasets are
+/// hundreds of millions of elements kept in main memory, so the in-memory
+/// footprint of coordinates dominates capacity. Single precision at the
+/// micrometre scale of the target models (universe ~10^2 µm, displacements
+/// ~10^-2 µm) leaves >4 decimal digits of headroom.
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float px, float py, float pz) : x(px), y(py), z(pz) {}
+
+  constexpr float operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+  float& operator[](int axis) { return axis == 0 ? x : (axis == 1 ? y : z); }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return Vec3(x + o.x, y + o.y, z + o.z);
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return Vec3(x - o.x, y - o.y, z - o.z);
+  }
+  constexpr Vec3 operator*(float s) const { return Vec3(x * s, y * s, z * s); }
+  constexpr Vec3 operator/(float s) const { return Vec3(x / s, y / s, z / s); }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(float s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+  constexpr bool operator!=(const Vec3& o) const { return !(*this == o); }
+
+  constexpr float Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return Vec3(y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x);
+  }
+  constexpr float SquaredNorm() const { return Dot(*this); }
+  float Norm() const { return std::sqrt(SquaredNorm()); }
+
+  /// Component-wise minimum.
+  static constexpr Vec3 Min(const Vec3& a, const Vec3& b) {
+    return Vec3(std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z));
+  }
+  /// Component-wise maximum.
+  static constexpr Vec3 Max(const Vec3& a, const Vec3& b) {
+    return Vec3(std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z));
+  }
+};
+
+inline constexpr Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/// Squared Euclidean distance between two points.
+inline constexpr float SquaredDistance(const Vec3& a, const Vec3& b) {
+  return (a - b).SquaredNorm();
+}
+
+/// Euclidean distance between two points.
+inline float Distance(const Vec3& a, const Vec3& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Axis-aligned bounding box (closed on all faces).
+///
+/// The default-constructed box is *empty*: min > max on every axis, so it
+/// intersects nothing and extending it by a point yields that point's box.
+struct AABB {
+  Vec3 min{std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max()};
+  Vec3 max{std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest()};
+
+  constexpr AABB() = default;
+  constexpr AABB(const Vec3& lo, const Vec3& hi) : min(lo), max(hi) {}
+
+  /// Box covering a single point (zero extent).
+  static constexpr AABB FromPoint(const Vec3& p) { return AABB(p, p); }
+
+  /// Box centred at `c` with half-extent `h` on every axis.
+  static constexpr AABB FromCenterHalfExtent(const Vec3& c, float h) {
+    return AABB(Vec3(c.x - h, c.y - h, c.z - h), Vec3(c.x + h, c.y + h, c.z + h));
+  }
+
+  /// Box centred at `c` with per-axis half extents `h`.
+  static constexpr AABB FromCenterHalfExtents(const Vec3& c, const Vec3& h) {
+    return AABB(c - h, c + h);
+  }
+
+  constexpr bool IsEmpty() const {
+    return min.x > max.x || min.y > max.y || min.z > max.z;
+  }
+
+  constexpr bool operator==(const AABB& o) const {
+    return min == o.min && max == o.max;
+  }
+
+  constexpr Vec3 Center() const { return (min + max) * 0.5f; }
+  constexpr Vec3 Extent() const { return max - min; }
+
+  /// Volume; 0 for empty or degenerate boxes.
+  constexpr float Volume() const {
+    if (IsEmpty()) return 0.0f;
+    const Vec3 e = Extent();
+    return e.x * e.y * e.z;
+  }
+
+  /// Surface area (the R*-Tree "margin" criterion uses the sum of extents;
+  /// see Margin()); 0 for empty boxes.
+  constexpr float SurfaceArea() const {
+    if (IsEmpty()) return 0.0f;
+    const Vec3 e = Extent();
+    return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+  }
+
+  /// Sum of the edge lengths (R*-Tree margin metric); 0 for empty boxes.
+  constexpr float Margin() const {
+    if (IsEmpty()) return 0.0f;
+    const Vec3 e = Extent();
+    return e.x + e.y + e.z;
+  }
+
+  /// True iff this box and `o` share at least one point.
+  constexpr bool Intersects(const AABB& o) const {
+    return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y &&
+           o.min.y <= max.y && min.z <= o.max.z && o.min.z <= max.z;
+  }
+
+  /// True iff `p` lies inside or on the boundary.
+  constexpr bool Contains(const Vec3& p) const {
+    return min.x <= p.x && p.x <= max.x && min.y <= p.y && p.y <= max.y &&
+           min.z <= p.z && p.z <= max.z;
+  }
+
+  /// True iff `o` lies entirely inside this box.
+  constexpr bool Contains(const AABB& o) const {
+    return !o.IsEmpty() && min.x <= o.min.x && o.max.x <= max.x &&
+           min.y <= o.min.y && o.max.y <= max.y && min.z <= o.min.z &&
+           o.max.z <= max.z;
+  }
+
+  /// Grow to cover `p`.
+  void Extend(const Vec3& p) {
+    min = Vec3::Min(min, p);
+    max = Vec3::Max(max, p);
+  }
+
+  /// Grow to cover `o`.
+  void Extend(const AABB& o) {
+    if (o.IsEmpty()) return;
+    min = Vec3::Min(min, o.min);
+    max = Vec3::Max(max, o.max);
+  }
+
+  /// Smallest box covering both inputs.
+  static AABB Union(const AABB& a, const AABB& b) {
+    AABB r = a;
+    r.Extend(b);
+    return r;
+  }
+
+  /// Intersection of the two boxes (empty box if disjoint).
+  static constexpr AABB Intersection(const AABB& a, const AABB& b) {
+    return AABB(Vec3::Max(a.min, b.min), Vec3::Min(a.max, b.max));
+  }
+
+  /// Box expanded by `eps` on every side (grace-window construction, §4.2).
+  constexpr AABB Inflated(float eps) const {
+    return AABB(Vec3(min.x - eps, min.y - eps, min.z - eps),
+                Vec3(max.x + eps, max.y + eps, max.z + eps));
+  }
+
+  /// Box translated by `d`.
+  constexpr AABB Translated(const Vec3& d) const {
+    return AABB(min + d, max + d);
+  }
+
+  /// Squared distance from `p` to the closest point of the box (0 inside).
+  float SquaredDistanceTo(const Vec3& p) const {
+    const float dx = std::max({min.x - p.x, 0.0f, p.x - max.x});
+    const float dy = std::max({min.y - p.y, 0.0f, p.y - max.y});
+    const float dz = std::max({min.z - p.z, 0.0f, p.z - max.z});
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+  /// Squared distance between the closest points of two boxes (0 if they
+  /// intersect). Used by distance joins (synapse detection, §2.2).
+  float SquaredDistanceTo(const AABB& o) const {
+    const float dx =
+        std::max({min.x - o.max.x, 0.0f, o.min.x - max.x});
+    const float dy =
+        std::max({min.y - o.max.y, 0.0f, o.min.y - max.y});
+    const float dz =
+        std::max({min.z - o.max.z, 0.0f, o.min.z - max.z});
+    return dx * dx + dy * dy + dz * dz;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const AABB& b) {
+  return os << "[" << b.min << " .. " << b.max << "]";
+}
+
+/// Capsule (cylinder with hemispherical caps): segment [a,b] with radius r.
+///
+/// Neuron morphologies are modelled as chains of such segments (§2, App. A:
+/// "each modeled with thousands of cylinders"). The capsule is the standard
+/// exact primitive for them because segment-distance tests are cheap.
+struct Capsule {
+  Vec3 a;
+  Vec3 b;
+  float radius = 0.0f;
+
+  constexpr Capsule() = default;
+  constexpr Capsule(const Vec3& pa, const Vec3& pb, float r)
+      : a(pa), b(pb), radius(r) {}
+
+  /// Tight AABB of the capsule.
+  AABB Bounds() const {
+    AABB box(Vec3::Min(a, b), Vec3::Max(a, b));
+    return box.Inflated(radius);
+  }
+
+  Vec3 Center() const { return (a + b) * 0.5f; }
+  float Length() const { return Distance(a, b); }
+};
+
+/// Squared distance from point `p` to segment [a,b].
+float SquaredDistancePointSegment(const Vec3& p, const Vec3& a, const Vec3& b);
+
+/// Squared distance between segments [p1,q1] and [p2,q2].
+float SquaredDistanceSegmentSegment(const Vec3& p1, const Vec3& q1,
+                                    const Vec3& p2, const Vec3& q2);
+
+/// Exact test: does point `p` lie within the capsule?
+bool CapsuleContains(const Capsule& c, const Vec3& p);
+
+/// Exact test: are the two capsules within distance `eps` of each other?
+/// (eps = 0 tests for overlap.) This is the synapse-formation predicate of
+/// §2.2: "wherever two neurons are within a given distance of each other,
+/// they will form a synapse".
+bool CapsulesWithinDistance(const Capsule& c1, const Capsule& c2, float eps);
+
+/// Squared distance between segment [a,b] and `box` (0 when they touch).
+/// The distance along the segment is convex, so a ternary search converges;
+/// accuracy ~1e-3 of the segment length — ample for refinement predicates.
+float SquaredDistanceSegmentAABB(const Vec3& a, const Vec3& b,
+                                 const AABB& box);
+
+/// Exact filter-refinement predicate: does the capsule intersect the box?
+/// This is the "intersection tests elements" step of Figure 3 — candidates
+/// found via their MBRs are verified against the true cylinder geometry.
+bool CapsuleIntersectsAABB(const Capsule& c, const AABB& box);
+
+/// Tetrahedron defined by four vertices. Substrate primitive for the mesh
+/// indexes of §4.3 (DLS / OCTOPUS / FLAT operate on tetrahedral meshes).
+struct Tetrahedron {
+  std::array<Vec3, 4> v;
+
+  AABB Bounds() const {
+    AABB b;
+    for (const Vec3& p : v) b.Extend(p);
+    return b;
+  }
+
+  Vec3 Centroid() const { return (v[0] + v[1] + v[2] + v[3]) * 0.25f; }
+
+  /// Signed volume (positive for positively oriented tets).
+  float SignedVolume() const;
+
+  /// True iff `p` lies inside or on the boundary (barycentric test with
+  /// tolerance `eps` relative to the tet volume).
+  bool Contains(const Vec3& p, float eps = 1e-6f) const;
+};
+
+/// True iff triangle (t0,t1,t2) intersects the box. Exact SAT test; used for
+/// assigning mesh faces/tets to grid cells without over-replication.
+bool TriangleIntersectsAABB(const Vec3& t0, const Vec3& t1, const Vec3& t2,
+                            const AABB& box);
+
+/// Exact tetrahedron-box intersection: any tet vertex in the box, any box
+/// corner in the tet, or any tet face crossing the box. Mesh range queries
+/// use this geometric predicate (an AABB-only filter can report tets whose
+/// boxes touch the query while the solid does not, and the set of
+/// AABB-hits is not face-connected even on convex meshes).
+bool TetIntersectsAABB(const Tetrahedron& tet, const AABB& box);
+
+/// Morton (Z-order) code interleaving 21 bits per axis from a position
+/// normalised to [0,1)^3. Used by bulk loaders and space-filling-curve
+/// partitioners.
+std::uint64_t MortonEncode(const Vec3& p, const AABB& universe);
+
+/// Hilbert-curve index (21 bits per axis, Skilling's transpose algorithm)
+/// of a position normalised to [0,1)^3. Better locality than Morton: no
+/// long jumps between adjacent keys, which tightens bulk-loaded leaves.
+std::uint64_t HilbertEncode(const Vec3& p, const AABB& universe);
+
+}  // namespace simspatial
+
+#endif  // SIMSPATIAL_COMMON_GEOMETRY_H_

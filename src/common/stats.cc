@@ -1,0 +1,133 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace simspatial {
+
+void Summary::Add(double v) {
+  if (values_.empty()) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  values_.push_back(v);
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(values_.size());
+  m2_ += delta * (v - mean_);
+}
+
+double Summary::Stddev() const {
+  if (values_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::Percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  std::sort(values_.begin(), values_.end());
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Fraction(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Count(std::uint64_t v) {
+  // Insert thousands separators for readability.
+  std::string digits = std::to_string(v);
+  std::string out;
+  int cnt = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (cnt > 0 && cnt % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++cnt;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string PercentBar(
+    const std::vector<std::pair<std::string, double>>& parts, int width) {
+  static constexpr char kGlyphs[] = {'#', '=', '-', '.', '+', '*'};
+  std::string bar;
+  std::string legend;
+  int used = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const int cells =
+        (i + 1 == parts.size())
+            ? width - used
+            : static_cast<int>(parts[i].second / 100.0 * width + 0.5);
+    const char g = kGlyphs[i % sizeof(kGlyphs)];
+    bar.append(std::max(0, cells), g);
+    used += cells;
+    char frag[128];
+    std::snprintf(frag, sizeof(frag), "%s%c %s %.1f%%", i ? "  " : "", g,
+                  parts[i].first.c_str(), parts[i].second);
+    legend += frag;
+  }
+  bar.resize(static_cast<std::size_t>(width), ' ');
+  return "[" + bar + "]  " + legend;
+}
+
+}  // namespace simspatial

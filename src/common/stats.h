@@ -1,0 +1,68 @@
+// SimSpatial — summary statistics and benchmark table output.
+
+#ifndef SIMSPATIAL_COMMON_STATS_H_
+#define SIMSPATIAL_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace simspatial {
+
+/// Streaming summary of a sample (Welford's online algorithm).
+class Summary {
+ public:
+  void Add(double v);
+  std::size_t count() const { return values_.size(); }
+  double mean() const { return mean_; }
+  double Stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double Sum() const { return mean_ * static_cast<double>(values_.size()); }
+  /// Exact percentile by sorting the retained sample (q in [0,1]).
+  double Percentile(double q) const;
+
+ private:
+  mutable std::vector<double> values_;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Fraction of samples satisfying a predicate result already reduced to a
+/// count — convenience for "fewer than 0.5% of elements move more than
+/// 0.1 µm"-style statements.
+double Fraction(std::size_t part, std::size_t whole);
+
+/// Fixed-width plain-text table used by the benchmark harness to print
+/// paper-style result rows. Columns are sized to the widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Render to a string (also convenient for golden tests).
+  std::string ToString() const;
+  /// Print to stdout.
+  void Print() const;
+
+  /// Format helpers.
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double v, int precision = 1);
+  static std::string Count(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a one-line horizontal percent bar, e.g.
+///   "Reading 4.7% | Computation 95.3%"  ->  "[#.....................]"
+/// Used by figure benches to echo the paper's stacked bar charts in text.
+std::string PercentBar(const std::vector<std::pair<std::string, double>>& parts,
+                       int width = 60);
+
+}  // namespace simspatial
+
+#endif  // SIMSPATIAL_COMMON_STATS_H_

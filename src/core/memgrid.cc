@@ -1,0 +1,394 @@
+#include "core/memgrid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace simspatial::core {
+
+namespace {
+constexpr std::size_t kMaxCellsPerAxis = 1024;
+}
+
+MemGrid::MemGrid(const AABB& universe, MemGridConfig config)
+    : universe_(universe) {
+  const Vec3 ext = universe.Extent();
+  const float side = std::max({ext.x, ext.y, ext.z, 1e-6f});
+  cell_ = config.cell_size > 0.0f ? config.cell_size : side / 64.0f;
+  cell_ = std::max(cell_, 1e-6f);
+  inv_cell_ = 1.0f / cell_;
+  const auto axis = [&](float e) {
+    return std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::ceil(e * inv_cell_)), 1,
+        kMaxCellsPerAxis);
+  };
+  nx_ = axis(ext.x);
+  ny_ = axis(ext.y);
+  nz_ = axis(ext.z);
+  cells_.resize(nx_ * ny_ * nz_);
+}
+
+void MemGrid::CellCoords(const Vec3& p, std::int32_t* x, std::int32_t* y,
+                         std::int32_t* z) const {
+  const auto clamp_axis = [&](float v, float lo, std::size_t n) {
+    const auto c = static_cast<std::int64_t>((v - lo) * inv_cell_);
+    return static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(c, 0, static_cast<std::int64_t>(n) - 1));
+  };
+  *x = clamp_axis(p.x, universe_.min.x, nx_);
+  *y = clamp_axis(p.y, universe_.min.y, ny_);
+  *z = clamp_axis(p.z, universe_.min.z, nz_);
+}
+
+std::size_t MemGrid::CellOf(const Vec3& p) const {
+  std::int32_t x, y, z;
+  CellCoords(p, &x, &y, &z);
+  return CellIndex(x, y, z);
+}
+
+void MemGrid::Build(std::span<const Element> elements) {
+  compacted_ = false;
+  csr_offsets_.clear();
+  csr_entries_.clear();
+  for (auto& c : cells_) c.clear();
+  where_.clear();
+  where_.reserve(elements.size());
+  update_stats_ = MemGridUpdateStats{};
+  max_half_extent_ = 0.0f;
+
+  // Pass 1: count per-cell occupancy; pass 2: scatter. Reserving exactly
+  // avoids rehash/regrow churn — this is the O(n) "cheap rebuild".
+  std::vector<std::uint32_t> counts(cells_.size(), 0);
+  for (const Element& e : elements) {
+    ++counts[CellOf(e.Center())];
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (counts[i] > 0) cells_[i].reserve(counts[i]);
+  }
+  for (const Element& e : elements) {
+    const std::size_t cell = CellOf(e.Center());
+    cells_[cell].push_back(Entry{e.box, e.id});
+    where_[e.id] = static_cast<std::uint32_t>(cell);
+    const Vec3 ext = e.box.Extent();
+    max_half_extent_ =
+        std::max({max_half_extent_, ext.x * 0.5f, ext.y * 0.5f,
+                  ext.z * 0.5f});
+  }
+}
+
+void MemGrid::Insert(const Element& element) {
+  Decompact();
+  assert(where_.find(element.id) == where_.end());
+  const std::size_t cell = CellOf(element.Center());
+  cells_[cell].push_back(Entry{element.box, element.id});
+  where_[element.id] = static_cast<std::uint32_t>(cell);
+  const Vec3 ext = element.box.Extent();
+  max_half_extent_ = std::max(
+      {max_half_extent_, ext.x * 0.5f, ext.y * 0.5f, ext.z * 0.5f});
+}
+
+bool MemGrid::Erase(ElementId id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) return false;
+  Decompact();
+  auto& bucket = cells_[it->second];
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].id == id) {
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      break;
+    }
+  }
+  where_.erase(it);
+  return true;
+}
+
+bool MemGrid::Update(ElementId id, const AABB& new_box) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) return false;
+  Decompact();
+  ++update_stats_.updates;
+  const std::size_t new_cell = CellOf(new_box.Center());
+  const Vec3 ext = new_box.Extent();
+  max_half_extent_ = std::max(
+      {max_half_extent_, ext.x * 0.5f, ext.y * 0.5f, ext.z * 0.5f});
+  auto& bucket = cells_[it->second];
+  if (new_cell == it->second) {
+    // §4.3 fast path: one bucket write, no structural change.
+    for (Entry& e : bucket) {
+      if (e.id == id) {
+        e.box = new_box;
+        ++update_stats_.in_place;
+        return true;
+      }
+    }
+    assert(false && "where_ said the element is here");
+    return false;
+  }
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].id == id) {
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      break;
+    }
+  }
+  cells_[new_cell].push_back(Entry{new_box, id});
+  it->second = static_cast<std::uint32_t>(new_cell);
+  ++update_stats_.migrations;
+  return true;
+}
+
+std::size_t MemGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
+  std::size_t applied = 0;
+  for (const ElementUpdate& u : updates) {
+    applied += Update(u.id, u.new_box) ? 1 : 0;
+  }
+  return applied;
+}
+
+void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                         QueryCounters* counters) const {
+  out->clear();
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  // Completeness: a box intersecting `range` has its centre within
+  // max_half_extent_ of the range, so inflate the probed cell span.
+  const AABB probe = range.Inflated(max_half_extent_);
+  std::int32_t x0, y0, z0, x1, y1, z1;
+  CellCoords(probe.min, &x0, &y0, &z0);
+  CellCoords(probe.max, &x1, &y1, &z1);
+  for (std::int32_t x = x0; x <= x1; ++x) {
+    for (std::int32_t y = y0; y <= y1; ++y) {
+      for (std::int32_t z = z0; z <= z1; ++z) {
+        const auto [entries, count] = Bucket(CellIndex(x, y, z));
+        c.nodes_visited += 1;
+        c.element_tests += count;
+        c.bytes_read += count * sizeof(Entry);
+        for (std::size_t e = 0; e < count; ++e) {
+          if (entries[e].box.Intersects(range)) out->push_back(entries[e].id);
+        }
+      }
+    }
+  }
+  c.results += out->size();
+}
+
+void MemGrid::KnnQuery(const Vec3& p, std::size_t k,
+                       std::vector<ElementId>* out,
+                       QueryCounters* counters) const {
+  out->clear();
+  if (k == 0 || where_.empty()) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  const double density =
+      static_cast<double>(where_.size()) /
+      std::max(1.0, static_cast<double>(universe_.Volume()));
+  float radius = static_cast<float>(
+      std::cbrt(static_cast<double>(k) / std::max(1e-12, density)));
+  radius = std::max(radius, cell_ * 0.5f);
+  float far2 = 0.0f;
+  for (int corner = 0; corner < 8; ++corner) {
+    const Vec3 v((corner & 1) ? universe_.max.x : universe_.min.x,
+                 (corner & 2) ? universe_.max.y : universe_.min.y,
+                 (corner & 4) ? universe_.max.z : universe_.min.z);
+    far2 = std::max(far2, SquaredDistance(v, p));
+  }
+  const float max_radius = std::sqrt(far2) + cell_ + max_half_extent_;
+
+  std::vector<std::pair<float, ElementId>> cand;
+  while (true) {
+    cand.clear();
+    const AABB probe =
+        AABB::FromCenterHalfExtent(p, radius).Inflated(max_half_extent_);
+    std::int32_t x0, y0, z0, x1, y1, z1;
+    CellCoords(probe.min, &x0, &y0, &z0);
+    CellCoords(probe.max, &x1, &y1, &z1);
+    for (std::int32_t x = x0; x <= x1; ++x) {
+      for (std::int32_t y = y0; y <= y1; ++y) {
+        for (std::int32_t z = z0; z <= z1; ++z) {
+          const auto [entries, count] = Bucket(CellIndex(x, y, z));
+          c.nodes_visited += 1;
+          c.distance_computations += count;
+          for (std::size_t e = 0; e < count; ++e) {
+            cand.emplace_back(entries[e].box.SquaredDistanceTo(p),
+                              entries[e].id);
+          }
+        }
+      }
+    }
+    if (cand.size() >= k) {
+      std::nth_element(cand.begin(), cand.begin() + (k - 1), cand.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first != b.first ? a.first < b.first
+                                                   : a.second < b.second;
+                       });
+      if (cand[k - 1].first <= radius * radius || radius >= max_radius) break;
+    } else if (radius >= max_radius) {
+      break;
+    }
+    radius *= 2.0f;
+  }
+  const std::size_t take = std::min(k, cand.size());
+  std::partial_sort(cand.begin(), cand.begin() + take, cand.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first != b.first ? a.first < b.first
+                                                : a.second < b.second;
+                    });
+  out->reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out->push_back(cand[i].second);
+  c.results += out->size();
+}
+
+void MemGrid::SelfJoin(float eps,
+                       std::vector<std::pair<ElementId, ElementId>>* out,
+                       QueryCounters* counters) const {
+  out->clear();
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+  // Completeness needs matching centres within one cell on each axis.
+  assert(cell_ >= 2.0f * max_half_extent_ + eps &&
+         "cell size too small for single-cell self-join");
+
+  static constexpr int kForward[13][3] = {
+      {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},   {1, -1, 0},
+      {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1},  {1, 1, 1},
+      {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+  const float eps2 = eps * eps;
+  const auto matches = [&](const AABB& a, const AABB& b) {
+    return eps > 0.0f ? a.SquaredDistanceTo(b) <= eps2 : a.Intersects(b);
+  };
+
+  for (std::size_t xi = 0; xi < nx_; ++xi) {
+    for (std::size_t yi = 0; yi < ny_; ++yi) {
+      for (std::size_t zi = 0; zi < nz_; ++zi) {
+        const auto [bucket, bucket_n] = Bucket(CellIndex(
+            static_cast<std::int32_t>(xi), static_cast<std::int32_t>(yi),
+            static_cast<std::int32_t>(zi)));
+        if (bucket_n == 0) continue;
+        c.nodes_visited += 1;
+        for (std::size_t i = 0; i < bucket_n; ++i) {
+          for (std::size_t j = i + 1; j < bucket_n; ++j) {
+            c.element_tests += 1;
+            if (matches(bucket[i].box, bucket[j].box)) {
+              out->emplace_back(std::min(bucket[i].id, bucket[j].id),
+                                std::max(bucket[i].id, bucket[j].id));
+            }
+          }
+        }
+        for (const auto& d : kForward) {
+          const std::int64_t x2 = static_cast<std::int64_t>(xi) + d[0];
+          const std::int64_t y2 = static_cast<std::int64_t>(yi) + d[1];
+          const std::int64_t z2 = static_cast<std::int64_t>(zi) + d[2];
+          if (x2 < 0 || y2 < 0 || z2 < 0 ||
+              x2 >= static_cast<std::int64_t>(nx_) ||
+              y2 >= static_cast<std::int64_t>(ny_) ||
+              z2 >= static_cast<std::int64_t>(nz_)) {
+            continue;
+          }
+          const auto [other, other_n] = Bucket(CellIndex(
+              static_cast<std::int32_t>(x2), static_cast<std::int32_t>(y2),
+              static_cast<std::int32_t>(z2)));
+          if (other_n == 0) continue;
+          for (std::size_t i = 0; i < bucket_n; ++i) {
+            for (std::size_t j = 0; j < other_n; ++j) {
+              c.element_tests += 1;
+              if (matches(bucket[i].box, other[j].box)) {
+                out->emplace_back(std::min(bucket[i].id, other[j].id),
+                                  std::max(bucket[i].id, other[j].id));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  c.results += out->size();
+}
+
+void MemGrid::Compact() {
+  if (compacted_) return;
+  csr_offsets_.assign(cells_.size() + 1, 0);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    csr_offsets_[i + 1] =
+        csr_offsets_[i] + static_cast<std::uint32_t>(cells_[i].size());
+  }
+  csr_entries_.clear();
+  csr_entries_.reserve(csr_offsets_.back());
+  for (const auto& bucket : cells_) {
+    csr_entries_.insert(csr_entries_.end(), bucket.begin(), bucket.end());
+  }
+  for (auto& bucket : cells_) {
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  compacted_ = true;
+}
+
+void MemGrid::Decompact() {
+  if (!compacted_) return;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const std::uint32_t b = csr_offsets_[i];
+    const std::uint32_t e = csr_offsets_[i + 1];
+    cells_[i].assign(csr_entries_.begin() + b, csr_entries_.begin() + e);
+  }
+  csr_entries_.clear();
+  csr_entries_.shrink_to_fit();
+  csr_offsets_.clear();
+  compacted_ = false;
+}
+
+MemGridShape MemGrid::Shape() const {
+  MemGridShape s;
+  s.elements = where_.size();
+  s.cells = cells_.size();
+  s.cell_size = cell_;
+  s.max_half_extent = max_half_extent_;
+  for (std::size_t cell = 0; cell < cells_.size(); ++cell) {
+    const auto [entries, count] = Bucket(cell);
+    (void)entries;
+    s.occupied_cells += count == 0 ? 0 : 1;
+    s.bytes += compacted_ ? count * sizeof(Entry)
+                          : cells_[cell].capacity() * sizeof(Entry);
+  }
+  if (compacted_) s.bytes += csr_offsets_.size() * sizeof(std::uint32_t);
+  s.bytes += cells_.size() * sizeof(cells_[0]);
+  s.bytes += where_.size() * 24;
+  s.mean_occupancy = s.occupied_cells == 0
+                         ? 0.0
+                         : static_cast<double>(s.elements) /
+                               static_cast<double>(s.occupied_cells);
+  return s;
+}
+
+bool MemGrid::CheckInvariants(std::string* error) const {
+  std::size_t total = 0;
+  for (std::size_t cell = 0; cell < cells_.size(); ++cell) {
+    const auto [entries, count] = Bucket(cell);
+    for (std::size_t k = 0; k < count; ++k) {
+      const Entry& e = entries[k];
+      ++total;
+      const auto it = where_.find(e.id);
+      if (it == where_.end() || it->second != cell) {
+        if (error != nullptr) {
+          *error = "where_ inconsistent for element " + std::to_string(e.id);
+        }
+        return false;
+      }
+      if (CellOf(e.box.Center()) != cell) {
+        if (error != nullptr) {
+          *error = "element " + std::to_string(e.id) + " in wrong cell";
+        }
+        return false;
+      }
+    }
+  }
+  if (total != where_.size()) {
+    if (error != nullptr) *error = "entry count mismatch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace simspatial::core

@@ -1,0 +1,149 @@
+// SimSpatial — MemGrid: the paper's envisioned index class, realised.
+//
+// §5: "The solution ... is a new point in the design space: a spatial index
+// that executes spatial queries and the spatial join faster than without
+// index, but at the same time is faster to update or rebuild. ... an
+// approach to address both challenges is likely to be based on grids."
+//
+// MemGrid combines every ingredient the paper derives:
+//   * space-oriented uniform partitioning — no tree traversal, no inner-
+//     node intersection tests (§3.1/§3.3);
+//   * single-cell centre assignment — zero replication, so queries need no
+//     deduplication and updates touch exactly one bucket; completeness is
+//     restored by inflating the probe range by the dataset's largest
+//     element half-extent (tracked online);
+//   * buckets stored as packed (box,id) entries in contiguous memory so
+//     candidate tests stream through the cache (§3.3 node-size insight);
+//   * O(n) counting-sort rebuild — the "faster to build" half of the §5
+//     trade-off;
+//   * displacement-aware updates — an element whose centre stays in its
+//     cell costs one bucket write (§4.3: "only few elements switch grid
+//     cell in every step");
+//   * native self-join over forward neighbour cells (§4.3).
+
+#ifndef SIMSPATIAL_CORE_MEMGRID_H_
+#define SIMSPATIAL_CORE_MEMGRID_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::core {
+
+struct MemGridConfig {
+  /// Cell size; <= 0 chooses ~4 expected elements per occupied cell and at
+  /// least the dataset's maximum element extent (single-cell assignment
+  /// needs cells no smaller than the elements).
+  float cell_size = 0.0f;
+};
+
+struct MemGridShape {
+  std::size_t elements = 0;
+  std::size_t cells = 0;
+  std::size_t occupied_cells = 0;
+  double mean_occupancy = 0;
+  float cell_size = 0;
+  float max_half_extent = 0;
+  std::size_t bytes = 0;
+};
+
+struct MemGridUpdateStats {
+  std::uint64_t updates = 0;
+  std::uint64_t in_place = 0;    ///< Centre stayed in its cell.
+  std::uint64_t migrations = 0;  ///< Bucket-to-bucket moves.
+  double InPlaceFraction() const {
+    return updates == 0
+               ? 0.0
+               : static_cast<double>(in_place) / static_cast<double>(updates);
+  }
+};
+
+/// Grid index with centre assignment, packed buckets and O(1) updates.
+class MemGrid {
+ public:
+  MemGrid(const AABB& universe, MemGridConfig config = {});
+
+  /// O(n) rebuild (counting scatter into flat buckets).
+  void Build(std::span<const Element> elements);
+
+  void Insert(const Element& element);
+  bool Erase(ElementId id);
+  bool Update(ElementId id, const AABB& new_box);
+  std::size_t ApplyUpdates(std::span<const ElementUpdate> updates);
+
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters = nullptr) const;
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* counters = nullptr) const;
+
+  /// Native self-join (§4.3): same-cell plus forward-neighbour comparisons.
+  /// Requires cell_size >= max element extent + eps for completeness; the
+  /// method asserts this and benches pick the cell size accordingly.
+  void SelfJoin(float eps,
+                std::vector<std::pair<ElementId, ElementId>>* out,
+                QueryCounters* counters = nullptr) const;
+
+  /// Pack all buckets into one contiguous CSR block (offsets + entries).
+  /// Queries then stream a single array — the cache-friendly read-mostly
+  /// layout of §3.3. Any mutation transparently unpacks first. Idempotent.
+  void Compact();
+  bool compacted() const { return compacted_; }
+
+  std::size_t size() const { return where_.size(); }
+  float cell_size() const { return cell_; }
+  const AABB& universe() const { return universe_; }
+  const MemGridUpdateStats& update_stats() const { return update_stats_; }
+  MemGridShape Shape() const;
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  struct Entry {
+    AABB box;
+    ElementId id;
+  };
+
+  std::size_t CellOf(const Vec3& p) const;
+  void CellCoords(const Vec3& p, std::int32_t* x, std::int32_t* y,
+                  std::int32_t* z) const;
+  std::size_t CellIndex(std::int32_t x, std::int32_t y, std::int32_t z) const {
+    return (static_cast<std::size_t>(x) * ny_ + static_cast<std::size_t>(y)) *
+               nz_ +
+           static_cast<std::size_t>(z);
+  }
+
+  void Decompact();
+  /// Bucket view valid in both layouts.
+  std::pair<const Entry*, std::size_t> Bucket(std::size_t cell) const {
+    if (compacted_) {
+      return {csr_entries_.data() + csr_offsets_[cell],
+              csr_offsets_[cell + 1] - csr_offsets_[cell]};
+    }
+    return {cells_[cell].data(), cells_[cell].size()};
+  }
+
+  AABB universe_;
+  float cell_ = 1.0f;
+  float inv_cell_ = 1.0f;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  std::size_t nz_ = 1;
+  std::vector<std::vector<Entry>> cells_;
+  bool compacted_ = false;
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<Entry> csr_entries_;
+  /// Element id -> owning cell (centre cell).
+  std::unordered_map<ElementId, std::uint32_t> where_;
+  /// Largest half-extent ever seen; probe inflation bound.
+  float max_half_extent_ = 0.0f;
+  MemGridUpdateStats update_stats_;
+};
+
+}  // namespace simspatial::core
+
+#endif  // SIMSPATIAL_CORE_MEMGRID_H_

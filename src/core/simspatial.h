@@ -1,0 +1,50 @@
+// SimSpatial — umbrella header: the library's public API surface.
+//
+// Downstream users normally need only this include:
+//
+//   #include "core/simspatial.h"
+//
+//   auto ds = simspatial::datagen::GenerateNeuronsWithSize(1'000'000);
+//   auto index = simspatial::core::MakeIndex("memgrid");
+//   index->Build(ds.elements, ds.universe);
+//
+// Specialised structures (paged disk R-Tree, mesh query execution, join
+// algorithms, moving-object strategies, the simulation driver) are exported
+// here as well; include the individual headers instead if compile time
+// matters.
+
+#ifndef SIMSPATIAL_CORE_SIMSPATIAL_H_
+#define SIMSPATIAL_CORE_SIMSPATIAL_H_
+
+// Foundations.
+#include "common/bruteforce.h"
+#include "common/counters.h"
+#include "common/element.h"
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+// The unified index interface, the registry, and MemGrid.
+#include "core/memgrid.h"
+#include "core/spatial_index.h"
+
+// Concrete index families.
+#include "crtree/crtree.h"
+#include "grid/multigrid.h"
+#include "grid/resolution.h"
+#include "grid/uniform_grid.h"
+#include "lsh/lsh_knn.h"
+#include "pam/kdtree.h"
+#include "pam/loose_octree.h"
+#include "pam/octree.h"
+#include "rtree/rtree.h"
+
+// Joins.
+#include "join/spatial_join.h"
+
+// Data and workload generation.
+#include "datagen/neuron.h"
+#include "datagen/plasticity.h"
+#include "datagen/workload.h"
+
+#endif  // SIMSPATIAL_CORE_SIMSPATIAL_H_

@@ -1,0 +1,76 @@
+// SimSpatial — unified spatial index interface.
+//
+// One polymorphic facade over every index family in the library so that the
+// differential test suite and the comparison benches can sweep them under a
+// single protocol. Concrete structures keep their richer native APIs; the
+// adapters live in core/registry.cc.
+
+#ifndef SIMSPATIAL_CORE_SPATIAL_INDEX_H_
+#define SIMSPATIAL_CORE_SPATIAL_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::core {
+
+/// Polymorphic spatial index over volumetric elements.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Discard content and load `elements` inside `universe`.
+  virtual void Build(std::span<const Element> elements,
+                     const AABB& universe) = 0;
+
+  /// All element ids whose box intersects `range` (order unspecified).
+  virtual void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                          QueryCounters* counters = nullptr) const = 0;
+
+  /// Up to k ids by increasing box distance (ties by id). Approximate
+  /// implementations (see KnnIsExact) may miss true neighbours.
+  virtual void KnnQuery(const Vec3& p, std::size_t k,
+                        std::vector<ElementId>* out,
+                        QueryCounters* counters = nullptr) const = 0;
+
+  /// Whether ApplyUpdates() is supported (static structures return false
+  /// and must be rebuilt instead).
+  virtual bool SupportsUpdates() const { return false; }
+
+  /// Apply positional updates; returns how many were applied.
+  virtual std::size_t ApplyUpdates(std::span<const ElementUpdate> updates) {
+    (void)updates;
+    return 0;
+  }
+
+  /// False for approximate kNN (LSH); differential tests then check recall
+  /// instead of exact equality.
+  virtual bool KnnIsExact() const { return true; }
+
+  /// False for structures that only answer kNN (LSH); RangeQuery on them
+  /// returns nothing and callers must not rely on it.
+  virtual bool SupportsRangeQueries() const { return true; }
+
+  virtual std::size_t size() const = 0;
+
+  /// Approximate structure footprint in bytes (0 = not reported).
+  virtual std::size_t MemoryBytes() const { return 0; }
+};
+
+/// Construct an index by registry name (see registry.cc). Returns nullptr
+/// for unknown names.
+std::unique_ptr<SpatialIndex> MakeIndex(std::string_view name);
+
+/// All registered index names, in presentation order.
+std::vector<std::string> AllIndexNames();
+
+}  // namespace simspatial::core
+
+#endif  // SIMSPATIAL_CORE_SPATIAL_INDEX_H_

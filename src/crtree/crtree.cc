@@ -1,0 +1,272 @@
+#include "crtree/crtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace simspatial::crtree {
+
+namespace {
+
+// Entry payload: 6-byte QBox + 4-byte child index.
+constexpr std::size_t kEntryBytes = 6 + 4;
+constexpr std::size_t kHeaderBytes = 32;  // ref(24) + first(4) + counts(4).
+
+float AxisQuantStep(float lo, float hi) {
+  const float ext = hi - lo;
+  return ext > 0.0f ? ext / 255.0f : 0.0f;
+}
+
+}  // namespace
+
+CRTree::CRTree(CRTreeOptions options) : options_(options) {
+  assert(options_.node_bytes % 64 == 0);
+  capacity_ = static_cast<std::uint32_t>(
+      (options_.node_bytes - kHeaderBytes) / kEntryBytes);
+  assert(capacity_ >= 4);
+}
+
+CRTree::QBox CRTree::Quantize(const AABB& box, const AABB& ref) {
+  QBox q;
+  for (int a = 0; a < 3; ++a) {
+    const float step = AxisQuantStep(ref.min[a], ref.max[a]);
+    if (step <= 0.0f) {
+      q.min[a] = 0;
+      q.max[a] = 255;
+      continue;
+    }
+    const float lo = (box.min[a] - ref.min[a]) / step;
+    const float hi = (box.max[a] - ref.min[a]) / step;
+    q.min[a] = static_cast<std::uint8_t>(
+        std::clamp(std::floor(lo), 0.0f, 255.0f));
+    q.max[a] = static_cast<std::uint8_t>(
+        std::clamp(std::ceil(hi), 0.0f, 255.0f));
+  }
+  return q;
+}
+
+AABB CRTree::Dequantize(const QBox& q, const AABB& ref) {
+  AABB out;
+  for (int a = 0; a < 3; ++a) {
+    const float step = AxisQuantStep(ref.min[a], ref.max[a]);
+    out.min[a] = ref.min[a] + q.min[a] * step;
+    out.max[a] = ref.min[a] + q.max[a] * step;
+  }
+  return out;
+}
+
+void CRTree::Build(std::span<const Element> elements) {
+  nodes_.clear();
+  qboxes_.clear();
+  children_.clear();
+  elements_.assign(elements.begin(), elements.end());
+
+  struct EntryRef {
+    AABB box;
+    std::uint32_t value;
+  };
+  std::vector<EntryRef> entries;
+  entries.reserve(elements_.size());
+  for (std::uint32_t i = 0; i < elements_.size(); ++i) {
+    entries.push_back(EntryRef{elements_[i].box, i});
+  }
+
+  if (entries.empty()) {
+    nodes_.push_back(Node{AABB(), 0, 0, 0});
+    root_ = 0;
+    height_ = 1;
+    return;
+  }
+
+  const auto cx = [](const EntryRef& e) { return e.box.min.x + e.box.max.x; };
+  const auto cy = [](const EntryRef& e) { return e.box.min.y + e.box.max.y; };
+  const auto cz = [](const EntryRef& e) { return e.box.min.z + e.box.max.z; };
+
+  std::uint16_t level = 0;
+  while (true) {
+    const std::size_t n = entries.size();
+    const std::size_t node_count = (n + capacity_ - 1) / capacity_;
+
+    const std::size_t sx = static_cast<std::size_t>(
+        std::ceil(std::cbrt(static_cast<double>(node_count))));
+    const std::size_t nodes_per_slab = (node_count + sx - 1) / sx;
+    const std::size_t slab = nodes_per_slab * capacity_;
+    std::sort(entries.begin(), entries.end(),
+              [&](const EntryRef& a, const EntryRef& b) {
+                return cx(a) < cx(b);
+              });
+    for (std::size_t s0 = 0; s0 < n; s0 += slab) {
+      const std::size_t s1 = std::min(n, s0 + slab);
+      const std::size_t slab_nodes = (s1 - s0 + capacity_ - 1) / capacity_;
+      const std::size_t sy = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(slab_nodes))));
+      const std::size_t run = ((slab_nodes + sy - 1) / sy) * capacity_;
+      std::sort(entries.begin() + s0, entries.begin() + s1,
+                [&](const EntryRef& a, const EntryRef& b) {
+                  return cy(a) < cy(b);
+                });
+      for (std::size_t r0 = s0; r0 < s1; r0 += run) {
+        const std::size_t r1 = std::min(s1, r0 + run);
+        std::sort(entries.begin() + r0, entries.begin() + r1,
+                  [&](const EntryRef& a, const EntryRef& b) {
+                    return cz(a) < cz(b);
+                  });
+      }
+    }
+
+    std::vector<EntryRef> next;
+    next.reserve(node_count);
+    for (std::size_t i = 0; i < n;) {
+      const std::size_t take = std::min<std::size_t>(capacity_, n - i);
+      Node node;
+      node.level = level;
+      node.first = static_cast<std::uint32_t>(qboxes_.size());
+      node.count = static_cast<std::uint16_t>(take);
+      AABB ref;
+      for (std::size_t j = 0; j < take; ++j) ref.Extend(entries[i + j].box);
+      node.ref = ref;
+      for (std::size_t j = 0; j < take; ++j) {
+        qboxes_.push_back(Quantize(entries[i + j].box, ref));
+        children_.push_back(entries[i + j].value);
+      }
+      const std::uint32_t node_idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(node);
+      next.push_back(EntryRef{ref, node_idx});
+      i += take;
+    }
+    if (next.size() == 1) {
+      root_ = next[0].value;
+      height_ = level + 1;
+      // Leaf entries are the first |elements_| slots (level 0 was packed
+      // first). Reorder the exact-box array into leaf order so refinement
+      // reads sequentially instead of chasing random input positions.
+      std::vector<Element> reordered(elements_.size());
+      for (std::size_t pos = 0; pos < elements_.size(); ++pos) {
+        reordered[pos] = elements_[children_[pos]];
+        children_[pos] = static_cast<std::uint32_t>(pos);
+      }
+      elements_ = std::move(reordered);
+      return;
+    }
+    entries = std::move(next);
+    ++level;
+  }
+}
+
+void CRTree::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                        QueryCounters* counters) const {
+  out->clear();
+  if (elements_.empty()) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    c.bytes_read += kHeaderBytes + n.count * kEntryBytes;
+    if (!n.ref.Intersects(range)) {
+      c.structure_tests += 1;
+      continue;
+    }
+    // Quantize the query once per node; all child comparisons then run in
+    // the 8-bit integer domain (the CR-Tree's cache trick). Conservative:
+    // the quantized query is the smallest q-grid box covering range∩ref.
+    const QBox qquery = Quantize(AABB::Intersection(range, n.ref), n.ref);
+    if (n.level == 0) {
+      c.element_tests += n.count;
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        const QBox& q = qboxes_[n.first + i];
+        const bool q_hit = q.min[0] <= qquery.max[0] &&
+                           qquery.min[0] <= q.max[0] &&
+                           q.min[1] <= qquery.max[1] &&
+                           qquery.min[1] <= q.max[1] &&
+                           q.min[2] <= qquery.max[2] &&
+                           qquery.min[2] <= q.max[2];
+        if (!q_hit) continue;
+        // Quantized filter passed: refine against the exact box.
+        const Element& e = elements_[children_[n.first + i]];
+        c.element_tests += 1;
+        if (e.box.Intersects(range)) out->push_back(e.id);
+      }
+    } else {
+      c.structure_tests += n.count;
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        const QBox& q = qboxes_[n.first + i];
+        const bool q_hit = q.min[0] <= qquery.max[0] &&
+                           qquery.min[0] <= q.max[0] &&
+                           q.min[1] <= qquery.max[1] &&
+                           qquery.min[1] <= q.max[1] &&
+                           q.min[2] <= qquery.max[2] &&
+                           qquery.min[2] <= q.max[2];
+        if (q_hit) stack.push_back(children_[n.first + i]);
+      }
+    }
+  }
+  c.results += out->size();
+}
+
+void CRTree::KnnQuery(const Vec3& p, std::size_t k,
+                      std::vector<ElementId>* out,
+                      QueryCounters* counters) const {
+  out->clear();
+  if (elements_.empty() || k == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  struct PqEntry {
+    float dist2;
+    bool is_element;
+    ElementId eid;
+    std::uint32_t node;
+    bool operator>(const PqEntry& o) const {
+      if (dist2 != o.dist2) return dist2 > o.dist2;
+      if (is_element != o.is_element) return is_element && !o.is_element;
+      return eid > o.eid;
+    }
+  };
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  pq.push({0.0f, false, 0, root_});
+  while (!pq.empty() && out->size() < k) {
+    const PqEntry e = pq.top();
+    pq.pop();
+    if (e.is_element) {
+      out->push_back(e.eid);
+      continue;
+    }
+    const Node& n = nodes_[e.node];
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    c.distance_computations += n.count;
+    if (n.level == 0) {
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        const Element& el = elements_[children_[n.first + i]];
+        pq.push({el.box.SquaredDistanceTo(p), true, el.id, 0});
+      }
+    } else {
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        // Decoded child box is a superset => its distance is an admissible
+        // lower bound for everything in the subtree.
+        const AABB decoded = Dequantize(qboxes_[n.first + i], n.ref);
+        pq.push({decoded.SquaredDistanceTo(p), false, 0,
+                 children_[n.first + i]});
+      }
+    }
+  }
+  c.results += out->size();
+}
+
+CRTreeShape CRTree::Shape() const {
+  CRTreeShape s;
+  s.elements = elements_.size();
+  s.nodes = nodes_.size();
+  s.height = height_;
+  s.capacity = capacity_;
+  s.bytes = nodes_.size() * options_.node_bytes;
+  return s;
+}
+
+}  // namespace simspatial::crtree

@@ -1,0 +1,95 @@
+// SimSpatial — CR-Tree: cache-conscious R-Tree with quantized relative MBRs.
+//
+// §3.2 ([16], Kim & Kwon, SIGMOD'01): the CR-Tree "optimizes the R-Tree for
+// use in memory by making the nodes fit into a multiple of the cache block
+// through compression, pointer reduction and quantization of the bounding
+// boxes", and §3.3 notes node sizes of 640 B – 1 KB work best in memory.
+//
+// Each node stores one full-precision reference MBR; child boxes are stored
+// as 8-bit-per-coordinate offsets relative to it (QRMBR, 6 bytes instead of
+// 24). Quantization is conservative (floor the mins, ceil the maxes), so
+// decoded boxes contain the originals; queries are compared in the
+// quantized integer domain and exact element boxes are consulted only for
+// final refinement. The paper's observation that this buys "only a factor
+// of two over the R-Tree ... because the fundamental problem of overlap
+// remains" is reproduced by bench_fig3_breakdown.
+//
+// Static structure: STR bulk load, rebuild to update (its role in the paper
+// is the query-side in-memory baseline).
+
+#ifndef SIMSPATIAL_CRTREE_CRTREE_H_
+#define SIMSPATIAL_CRTREE_CRTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::crtree {
+
+struct CRTreeOptions {
+  /// Node footprint in bytes; must be a multiple of the 64 B cache line.
+  /// Default 768 B sits in the paper's 640 B – 1 KB sweet spot.
+  std::uint32_t node_bytes = 768;
+};
+
+struct CRTreeShape {
+  std::size_t elements = 0;
+  std::size_t nodes = 0;
+  std::uint32_t height = 0;
+  std::size_t bytes = 0;
+  std::uint32_t capacity = 0;  ///< Entries per node.
+};
+
+/// Bulk-loaded cache-conscious R-Tree over volumetric elements.
+class CRTree {
+ public:
+  explicit CRTree(CRTreeOptions options = {});
+
+  /// Discard and STR-bulk-load.
+  void Build(std::span<const Element> elements);
+
+  /// Exact range query (quantized filter + exact refinement).
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters = nullptr) const;
+
+  /// Exact k-NN by box distance (conservative quantized bounds for inner
+  /// nodes, exact distances for elements).
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* counters = nullptr) const;
+
+  std::size_t size() const { return elements_.size(); }
+  CRTreeShape Shape() const;
+
+ private:
+  // Quantized box: 8 bits per coordinate relative to the node's reference
+  // MBR. qmin floored, qmax ceiled => decoded superset of the original.
+  struct QBox {
+    std::uint8_t min[3];
+    std::uint8_t max[3];
+  };
+  struct Node {
+    AABB ref;                  // Reference MBR (exact).
+    std::uint32_t first = 0;   // First entry index in qboxes_/children_.
+    std::uint16_t count = 0;
+    std::uint16_t level = 0;   // 0 = leaf.
+  };
+
+  static QBox Quantize(const AABB& box, const AABB& ref);
+  static AABB Dequantize(const QBox& q, const AABB& ref);
+
+  CRTreeOptions options_;
+  std::uint32_t capacity_ = 0;
+  std::vector<Node> nodes_;          // nodes_[0] is the root (after build).
+  std::vector<QBox> qboxes_;         // Entry payloads, node-contiguous.
+  std::vector<std::uint32_t> children_;  // Node index or element slot.
+  std::vector<Element> elements_;    // Exact boxes for refinement.
+  std::uint32_t root_ = 0;
+  std::uint32_t height_ = 0;
+};
+
+}  // namespace simspatial::crtree
+
+#endif  // SIMSPATIAL_CRTREE_CRTREE_H_

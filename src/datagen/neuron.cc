@@ -1,0 +1,163 @@
+#include "datagen/neuron.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simspatial::datagen {
+
+namespace {
+
+// One active growth tip of a neuron under construction.
+struct Tip {
+  Vec3 pos;
+  Vec3 dir;
+  float radius;
+};
+
+// Keep p inside the universe by reflecting the direction at walls.
+void ReflectIntoUniverse(const AABB& u, Vec3* p, Vec3* dir) {
+  for (int axis = 0; axis < 3; ++axis) {
+    if ((*p)[axis] < u.min[axis]) {
+      (*p)[axis] = u.min[axis] + (u.min[axis] - (*p)[axis]);
+      (*dir)[axis] = -(*dir)[axis];
+    }
+    if ((*p)[axis] > u.max[axis]) {
+      (*p)[axis] = u.max[axis] - ((*p)[axis] - u.max[axis]);
+      (*dir)[axis] = -(*dir)[axis];
+    }
+    (*p)[axis] = std::clamp((*p)[axis], u.min[axis], u.max[axis]);
+  }
+}
+
+Vec3 Normalized(const Vec3& v) {
+  const float n = v.Norm();
+  return n > 1e-12f ? v / n : Vec3(1, 0, 0);
+}
+
+}  // namespace
+
+NeuronDataset GenerateNeurons(const NeuronConfig& config) {
+  NeuronDataset ds;
+  Rng rng(config.seed);
+  const float side = config.universe_side;
+  ds.universe = AABB(Vec3(0, 0, 0), Vec3(side, side, side));
+
+  const std::size_t expected =
+      static_cast<std::size_t>(config.num_neurons) *
+      config.segments_per_neuron;
+  ds.capsules.reserve(expected);
+  ds.elements.reserve(expected);
+  ds.neuron_of.reserve(expected);
+
+  for (std::uint32_t n = 0; n < config.num_neurons; ++n) {
+    // Soma position: mildly layered (denser towards the centre), echoing
+    // cortical-column structure without biophysical detail.
+    Vec3 soma = ds.universe.Center() +
+                Vec3(rng.Normal(0.0f, side * 0.22f),
+                     rng.Normal(0.0f, side * 0.22f),
+                     rng.Uniform(-side * 0.45f, side * 0.45f));
+    ReflectIntoUniverse(ds.universe, &soma, &soma);
+
+    const std::uint32_t budget = static_cast<std::uint32_t>(
+        config.segments_per_neuron * rng.Uniform(0.75f, 1.25f));
+
+    std::vector<Tip> tips;
+    tips.push_back(Tip{soma, rng.UnitVector(),
+                       rng.Uniform(config.radius_min, config.radius_max)});
+
+    std::uint32_t produced = 0;
+    std::size_t next_tip = 0;
+    while (produced < budget && !tips.empty()) {
+      Tip& tip = tips[next_tip % tips.size()];
+      ++next_tip;
+
+      // Blend previous direction with a random one for tortuous growth.
+      const Vec3 wander = rng.UnitVector();
+      tip.dir = Normalized(tip.dir * config.persistence +
+                           wander * (1.0f - config.persistence));
+      const float len =
+          rng.Uniform(config.segment_length_min, config.segment_length_max);
+      Vec3 end = tip.pos + tip.dir * len;
+      ReflectIntoUniverse(ds.universe, &end, &tip.dir);
+
+      const Capsule seg(tip.pos, end, tip.radius);
+      ds.capsules.push_back(seg);
+      ds.elements.emplace_back(static_cast<ElementId>(ds.elements.size()),
+                               seg.Bounds());
+      ds.neuron_of.push_back(n);
+      ++produced;
+
+      tip.pos = end;
+      // Branch: fork a new tip with a tapered radius.
+      if (tips.size() < config.max_tips &&
+          rng.NextFloat() < config.branch_probability) {
+        Tip fork = tip;
+        fork.dir = Normalized(tip.dir + rng.UnitVector() * 0.8f);
+        fork.radius = std::max(config.radius_min, tip.radius * 0.8f);
+        tips.push_back(fork);
+      }
+    }
+  }
+  return ds;
+}
+
+NeuronDataset GenerateNeuronsWithSize(std::size_t n, std::uint64_t seed) {
+  NeuronConfig cfg;
+  cfg.seed = seed;
+  cfg.segments_per_neuron = 1000;
+  cfg.num_neurons = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, n / cfg.segments_per_neuron));
+  return GenerateNeurons(cfg);
+}
+
+std::vector<Element> GenerateUniformBoxes(std::size_t n, const AABB& universe,
+                                          float half_extent_min,
+                                          float half_extent_max,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Element> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 c = rng.PointIn(universe);
+    const Vec3 h(rng.Uniform(half_extent_min, half_extent_max),
+                 rng.Uniform(half_extent_min, half_extent_max),
+                 rng.Uniform(half_extent_min, half_extent_max));
+    out.emplace_back(static_cast<ElementId>(i),
+                     AABB::FromCenterHalfExtents(c, h));
+  }
+  return out;
+}
+
+std::vector<Element> GenerateClusteredBoxes(std::size_t n,
+                                            const AABB& universe,
+                                            std::size_t num_clusters,
+                                            float cluster_sigma,
+                                            float half_extent_min,
+                                            float half_extent_max,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> centers;
+  centers.reserve(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    centers.push_back(rng.PointIn(universe));
+  }
+  std::vector<Element> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& mu = centers[rng.NextBelow(num_clusters)];
+    Vec3 c(mu.x + rng.Normal(0.0f, cluster_sigma),
+           mu.y + rng.Normal(0.0f, cluster_sigma),
+           mu.z + rng.Normal(0.0f, cluster_sigma));
+    c.x = std::clamp(c.x, universe.min.x, universe.max.x);
+    c.y = std::clamp(c.y, universe.min.y, universe.max.y);
+    c.z = std::clamp(c.z, universe.min.z, universe.max.z);
+    const Vec3 h(rng.Uniform(half_extent_min, half_extent_max),
+                 rng.Uniform(half_extent_min, half_extent_max),
+                 rng.Uniform(half_extent_min, half_extent_max));
+    out.emplace_back(static_cast<ElementId>(i),
+                     AABB::FromCenterHalfExtents(c, h));
+  }
+  return out;
+}
+
+}  // namespace simspatial::datagen

@@ -1,0 +1,90 @@
+#include "datagen/plasticity.h"
+
+#include <cmath>
+
+namespace simspatial::datagen {
+
+namespace {
+
+// Translate a box rigidly by `d`, reflecting it into the universe if the
+// translation would push it outside.
+AABB TranslateReflected(const AABB& box, Vec3 d, const AABB& universe) {
+  AABB moved = box.Translated(d);
+  for (int axis = 0; axis < 3; ++axis) {
+    const float under = universe.min[axis] - moved.min[axis];
+    if (under > 0) {
+      moved.min[axis] += 2 * under;
+      moved.max[axis] += 2 * under;
+    }
+    const float over = moved.max[axis] - universe.max[axis];
+    if (over > 0) {
+      moved.min[axis] -= 2 * over;
+      moved.max[axis] -= 2 * over;
+    }
+  }
+  return moved;
+}
+
+}  // namespace
+
+PlasticityModel::PlasticityModel(PlasticityConfig config, const AABB& universe)
+    : config_(config),
+      universe_(universe),
+      // Maxwell mean = 2*sigma*sqrt(2/pi)  =>  sigma = mean/2 * sqrt(pi/2).
+      sigma_(config.mean_displacement * 0.5f *
+             std::sqrt(3.14159265358979323846f / 2.0f)),
+      rng_(config.seed) {}
+
+Vec3 PlasticityModel::SampleDisplacement() {
+  return Vec3(rng_.Normal(0.0f, sigma_), rng_.Normal(0.0f, sigma_),
+              rng_.Normal(0.0f, sigma_));
+}
+
+DisplacementStats PlasticityModel::Step(std::vector<Element>* elements,
+                                        std::vector<ElementUpdate>* updates) {
+  return Step(elements, nullptr, updates);
+}
+
+DisplacementStats PlasticityModel::Step(std::vector<Element>* elements,
+                                        std::vector<Capsule>* capsules,
+                                        std::vector<ElementUpdate>* updates) {
+  DisplacementStats stats;
+  if (updates != nullptr) {
+    updates->clear();
+    updates->reserve(elements->size());
+  }
+  double sum = 0;
+  std::size_t over_threshold = 0;
+  for (std::size_t i = 0; i < elements->size(); ++i) {
+    if (config_.moving_fraction < 1.0f &&
+        rng_.NextFloat() >= config_.moving_fraction) {
+      continue;
+    }
+    const Vec3 d = SampleDisplacement();
+    const double mag = d.Norm();
+    sum += mag;
+    stats.max_magnitude = std::max(stats.max_magnitude, mag);
+    if (mag > 0.1) ++over_threshold;
+    Element& e = (*elements)[i];
+    const AABB before = e.box;
+    e.box = TranslateReflected(e.box, d, universe_);
+    if (capsules != nullptr) {
+      // Apply the *effective* translation (after reflection) to the capsule
+      // so primitive and box stay congruent.
+      const Vec3 eff = e.box.min - before.min;
+      Capsule& c = (*capsules)[i];
+      c.a += eff;
+      c.b += eff;
+    }
+    if (updates != nullptr) updates->emplace_back(e.id, e.box);
+    ++stats.moved;
+  }
+  stats.mean_magnitude = stats.moved > 0 ? sum / stats.moved : 0.0;
+  stats.fraction_over_0p1 =
+      elements->empty()
+          ? 0.0
+          : static_cast<double>(over_threshold) / elements->size();
+  return stats;
+}
+
+}  // namespace simspatial::datagen

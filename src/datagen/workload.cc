@@ -1,0 +1,106 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bruteforce.h"
+
+namespace simspatial::datagen {
+
+namespace {
+
+AABB QueryAt(const Vec3& centre, float side, const AABB& universe) {
+  AABB q = AABB::FromCenterHalfExtent(centre, side * 0.5f);
+  // Clamp into the universe so selectivity is not lost at the walls.
+  const Vec3 ext = q.Extent();
+  for (int a = 0; a < 3; ++a) {
+    if (q.min[a] < universe.min[a]) {
+      q.min[a] = universe.min[a];
+      q.max[a] = std::min(universe.max[a], q.min[a] + ext[a]);
+    }
+    if (q.max[a] > universe.max[a]) {
+      q.max[a] = universe.max[a];
+      q.min[a] = std::max(universe.min[a], q.max[a] - ext[a]);
+    }
+  }
+  return q;
+}
+
+Vec3 PlaceCentre(const std::vector<Element>& elements, const AABB& universe,
+                 QueryPlacement placement, Rng* rng) {
+  if (placement == QueryPlacement::kDataCentred && !elements.empty()) {
+    return elements[rng->NextBelow(elements.size())].Center();
+  }
+  return rng->PointIn(universe);
+}
+
+// Measure mean result count of `probes` queries with side `side`.
+double ProbeMeanResults(const std::vector<Element>& elements,
+                        const AABB& universe, QueryPlacement placement,
+                        float side, std::size_t probes, Rng* rng) {
+  double total = 0;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const AABB q =
+        QueryAt(PlaceCentre(elements, universe, placement, rng), side,
+                universe);
+    total += static_cast<double>(ScanRange(elements, q).size());
+  }
+  return total / static_cast<double>(probes);
+}
+
+}  // namespace
+
+RangeWorkload MakeRangeWorkload(const std::vector<Element>& elements,
+                                const AABB& universe,
+                                const RangeWorkloadConfig& config) {
+  RangeWorkload wl;
+  Rng rng(config.seed);
+
+  const double n = static_cast<double>(elements.size());
+  const double target = std::max(1.0, config.selectivity * n);
+
+  // Analytic first guess: uniform density => expected results ≈ n * s^3/V.
+  const double volume = static_cast<double>(universe.Volume());
+  float side = static_cast<float>(
+      std::cbrt(target / std::max(1.0, n) * std::max(1e-30, volume)));
+  side = std::max(side, 1e-4f);
+
+  if (config.calibrate && !elements.empty()) {
+    // Secant-style refinement: results scale roughly with side^3 for small
+    // queries; iterate a few times on a probe sample.
+    constexpr std::size_t kProbes = 24;
+    for (int iter = 0; iter < 6; ++iter) {
+      const double measured = ProbeMeanResults(elements, universe,
+                                               config.placement, side,
+                                               kProbes, &rng);
+      wl.calibrated_mean_results = measured;
+      if (measured <= 0) {
+        side *= 2.0f;
+        continue;
+      }
+      const double ratio = target / measured;
+      if (std::abs(ratio - 1.0) <= config.calibration_tolerance) break;
+      side *= static_cast<float>(std::cbrt(ratio));
+    }
+  }
+
+  wl.side = side;
+  wl.queries.reserve(config.num_queries);
+  for (std::size_t i = 0; i < config.num_queries; ++i) {
+    wl.queries.push_back(
+        QueryAt(PlaceCentre(elements, universe, config.placement, &rng), side,
+                universe));
+  }
+  return wl;
+}
+
+std::vector<Vec3> MakeKnnPoints(const AABB& universe, std::size_t n,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back(rng.PointIn(universe));
+  return pts;
+}
+
+}  // namespace simspatial::datagen

@@ -1,0 +1,58 @@
+// SimSpatial — query workload generation.
+//
+// Appendix A: "execute 200 queries with a selectivity of 5e-4 % at random
+// locations". Selectivity here is result cardinality over dataset size; the
+// generator calibrates the query cube side so that the *expected* result
+// count matches the requested selectivity, either analytically (uniform
+// density assumption) or empirically by probing a sample of queries against
+// the dataset.
+
+#ifndef SIMSPATIAL_DATAGEN_WORKLOAD_H_
+#define SIMSPATIAL_DATAGEN_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/element.h"
+#include "common/rng.h"
+
+namespace simspatial::datagen {
+
+/// How query centres are placed.
+enum class QueryPlacement {
+  kUniform,      ///< Uniform in the universe ("random locations", App. A).
+  kDataCentred,  ///< Centred on random element centres (guaranteed hits).
+};
+
+struct RangeWorkloadConfig {
+  std::uint64_t seed = 31;
+  std::size_t num_queries = 200;
+  /// Target selectivity as a *fraction* (paper's 5e-4 % = 5e-6).
+  double selectivity = 5e-6;
+  QueryPlacement placement = QueryPlacement::kUniform;
+  /// If true, refine the analytic query side empirically so the measured
+  /// mean result count matches the target within `calibration_tolerance`.
+  bool calibrate = true;
+  double calibration_tolerance = 0.15;
+};
+
+/// A generated range-query workload.
+struct RangeWorkload {
+  std::vector<AABB> queries;
+  /// Query cube side length finally used.
+  float side = 0;
+  /// Mean result cardinality measured during calibration (0 if disabled).
+  double calibrated_mean_results = 0;
+};
+
+/// Build a range workload over `elements` within `universe`.
+RangeWorkload MakeRangeWorkload(const std::vector<Element>& elements,
+                                const AABB& universe,
+                                const RangeWorkloadConfig& config);
+
+/// k-NN query points: uniform in the universe.
+std::vector<Vec3> MakeKnnPoints(const AABB& universe, std::size_t n,
+                                std::uint64_t seed = 37);
+
+}  // namespace simspatial::datagen
+
+#endif  // SIMSPATIAL_DATAGEN_WORKLOAD_H_

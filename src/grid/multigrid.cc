@@ -1,0 +1,135 @@
+#include "grid/multigrid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace simspatial::grid {
+
+MultiGrid::MultiGrid(const AABB& universe, MultiGridConfig config)
+    : universe_(universe), config_(config) {
+  const Vec3 ext = universe.Extent();
+  const float side = std::max({ext.x, ext.y, ext.z, 1e-6f});
+  float cell = config_.finest_cell_size > 0.0f ? config_.finest_cell_size
+                                               : side / 256.0f;
+  for (std::uint32_t l = 0; l < config_.max_levels; ++l) {
+    levels_.push_back(std::make_unique<UniformGrid>(universe_, cell));
+    if (cell >= side) break;  // Coarser levels would be a single cell.
+    cell *= config_.growth;
+  }
+}
+
+std::size_t MultiGrid::LevelFor(const AABB& box) const {
+  const Vec3 ext = box.Extent();
+  const float m = std::max({ext.x, ext.y, ext.z, 0.0f});
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l]->cell_size() >= m) return l;
+  }
+  return levels_.size() - 1;  // Oversized elements live at the top.
+}
+
+void MultiGrid::Build(std::span<const Element> elements) {
+  for (auto& level : levels_) level->Build({});
+  level_of_.clear();
+  level_of_.reserve(elements.size());
+  size_ = 0;
+  for (const Element& e : elements) Insert(e);
+}
+
+void MultiGrid::Insert(const Element& element) {
+  const std::size_t l = LevelFor(element.box);
+  levels_[l]->Insert(element);
+  level_of_[element.id] = static_cast<std::uint8_t>(l);
+  ++size_;
+}
+
+bool MultiGrid::Erase(ElementId id) {
+  const auto it = level_of_.find(id);
+  if (it == level_of_.end()) return false;
+  levels_[it->second]->Erase(id);
+  level_of_.erase(it);
+  --size_;
+  return true;
+}
+
+bool MultiGrid::Update(ElementId id, const AABB& new_box) {
+  const auto it = level_of_.find(id);
+  if (it == level_of_.end()) return false;
+  const std::size_t new_level = LevelFor(new_box);
+  if (new_level == it->second) {
+    return levels_[new_level]->Update(id, new_box);
+  }
+  levels_[it->second]->Erase(id);
+  levels_[new_level]->Insert(Element(id, new_box));
+  it->second = static_cast<std::uint8_t>(new_level);
+  return true;
+}
+
+std::size_t MultiGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
+  std::size_t applied = 0;
+  for (const ElementUpdate& u : updates) {
+    applied += Update(u.id, u.new_box) ? 1 : 0;
+  }
+  return applied;
+}
+
+void MultiGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                           QueryCounters* counters) const {
+  out->clear();
+  std::vector<ElementId> level_out;
+  for (const auto& level : levels_) {
+    if (level->size() == 0) continue;
+    level->RangeQuery(range, &level_out, counters);
+    out->insert(out->end(), level_out.begin(), level_out.end());
+  }
+}
+
+void MultiGrid::KnnQuery(const Vec3& p, std::size_t k,
+                         std::vector<ElementId>* out,
+                         QueryCounters* counters) const {
+  out->clear();
+  if (k == 0 || size_ == 0) return;
+  // Each level returns its own top-k, so the union of the per-level
+  // candidate sets contains the global top-k (levels partition the
+  // elements). Merge by exact box distance with id tie-break.
+  std::vector<std::pair<float, ElementId>> merged;
+  std::vector<ElementId> level_out;
+  for (const auto& level : levels_) {
+    if (level->size() == 0) continue;
+    level->KnnQuery(p, k, &level_out, counters);
+    for (const ElementId id : level_out) {
+      const AABB* box = level->FindBox(id);
+      assert(box != nullptr);
+      merged.emplace_back(box->SquaredDistanceTo(p), id);
+    }
+  }
+  const std::size_t take = std::min(k, merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + take, merged.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first != b.first ? a.first < b.first
+                                                : a.second < b.second;
+                    });
+  out->reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out->push_back(merged[i].second);
+}
+
+bool MultiGrid::CheckInvariants(std::string* error) const {
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (!levels_[l]->CheckInvariants(error)) return false;
+    total += levels_[l]->size();
+  }
+  if (total != size_) {
+    if (error != nullptr) *error = "level sizes do not sum to size_";
+    return false;
+  }
+  for (const auto& [id, l] : level_of_) {
+    if (l >= levels_.size()) {
+      if (error != nullptr) *error = "level_of_ out of range";
+      return false;
+    }
+  }
+  return total == level_of_.size();
+}
+
+}  // namespace simspatial::grid

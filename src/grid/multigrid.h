@@ -1,0 +1,74 @@
+// SimSpatial — multi-resolution grid stack.
+//
+// §3.3: "A solution to the resolution challenge may thus be to use several
+// uniform grids each with a different resolution: queries may be split and
+// each part (or the whole query) is executed on the grid with the best
+// suited resolution."
+//
+// Every element lives in exactly one level: the finest level whose cell size
+// is at least its largest extent, which bounds replication at eight cells
+// per element regardless of size skew (the pathology of single-resolution
+// grids on datasets with mixed element sizes). Queries visit all non-empty
+// levels; results are disjoint across levels so no cross-level
+// deduplication is needed.
+
+#ifndef SIMSPATIAL_GRID_MULTIGRID_H_
+#define SIMSPATIAL_GRID_MULTIGRID_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+#include "grid/uniform_grid.h"
+
+namespace simspatial::grid {
+
+struct MultiGridConfig {
+  /// Cell size of the finest level; 0 = derive from the analytical model.
+  float finest_cell_size = 0.0f;
+  /// Cell size ratio between consecutive levels.
+  float growth = 2.0f;
+  /// Maximum number of levels.
+  std::uint32_t max_levels = 8;
+};
+
+/// Stack of uniform grids with geometrically growing cell sizes.
+class MultiGrid {
+ public:
+  MultiGrid(const AABB& universe, MultiGridConfig config = {});
+
+  void Build(std::span<const Element> elements);
+  void Insert(const Element& element);
+  bool Erase(ElementId id);
+  /// Elements may change level when their size changes; pure translations
+  /// stay within their level and enjoy the grid fast path.
+  bool Update(ElementId id, const AABB& new_box);
+  std::size_t ApplyUpdates(std::span<const ElementUpdate> updates);
+
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters = nullptr) const;
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* counters = nullptr) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t num_levels() const { return levels_.size(); }
+  const UniformGrid& level(std::size_t i) const { return *levels_[i]; }
+  /// Level an element of the given box would be assigned to.
+  std::size_t LevelFor(const AABB& box) const;
+
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  AABB universe_;
+  MultiGridConfig config_;
+  std::vector<std::unique_ptr<UniformGrid>> levels_;
+  std::unordered_map<ElementId, std::uint8_t> level_of_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace simspatial::grid
+
+#endif  // SIMSPATIAL_GRID_MULTIGRID_H_

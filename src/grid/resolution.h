@@ -1,0 +1,69 @@
+// SimSpatial — analytical grid-resolution model.
+//
+// §3.3: "Choosing the proper resolution, however, is difficult: a too coarse
+// grained grid means that too many elements need to be tested for
+// intersection. ... Clearly, the optimal resolution depends on the
+// distribution of location and size of the spatial elements and an
+// analytical model needs to be developed to determine it for a given
+// dataset." This header is that model.
+//
+// Expected per-query cost for cell size c, dataset of n elements with mean
+// extent e in a universe of volume V, and query cubes of side q:
+//
+//   cells(c)      = ((q + c) / c)^3                 cells touched per query
+//   cand(c)       = n/V * (q + e + c)^3             candidate tests per query
+//                   (grid snapping inflates the query by ~c per axis, and
+//                    replication makes every element ~(e+c)/c cells wide)
+//   repl(c)       = ((e + c) / c)^3                 slots per element
+//
+//   cost(c) = alpha * cells(c) + beta * cand(c) + gamma * repl(c) * n / Q
+//
+// alpha/beta are the calibrated per-cell-visit and per-test costs; the
+// gamma term amortises the build/update cost of replicated slots over Q
+// queries. The optimum is found by golden-section search on log(c).
+
+#ifndef SIMSPATIAL_GRID_RESOLUTION_H_
+#define SIMSPATIAL_GRID_RESOLUTION_H_
+
+#include <cstddef>
+#include <span>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::grid {
+
+/// Dataset statistics feeding the model.
+struct DatasetStats {
+  std::size_t count = 0;
+  double universe_volume = 0;
+  double mean_extent = 0;  ///< Mean of the per-axis box extents.
+  double max_extent = 0;   ///< Largest single-axis extent of any element.
+
+  static DatasetStats Compute(std::span<const Element> elements,
+                              const AABB& universe);
+};
+
+/// Cost-model weights; defaults follow CostModel::Defaults() ratios.
+struct ResolutionModelConfig {
+  double alpha_cell_visit_ns = 8.0;
+  double beta_candidate_test_ns = 3.0;
+  double gamma_slot_maintenance_ns = 6.0;
+  /// Queries the structure serves before its next rebuild; amortises
+  /// replication maintenance.
+  double queries_per_build = 1000.0;
+};
+
+/// Predicted per-query cost (ns) of a grid with cell size `c`.
+double PredictQueryCostNs(const DatasetStats& stats, double query_side,
+                          double c, const ResolutionModelConfig& config = {});
+
+/// Cell size minimising the predicted cost for query cubes of side
+/// `query_side`. Always >= a small fraction of the universe to bound the
+/// cell count.
+float ChooseCellSize(const DatasetStats& stats, double query_side,
+                     const ResolutionModelConfig& config = {});
+
+}  // namespace simspatial::grid
+
+#endif  // SIMSPATIAL_GRID_RESOLUTION_H_

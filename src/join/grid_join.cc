@@ -1,0 +1,201 @@
+// Grid join — the §4.3 research direction, implemented.
+//
+// "Using grids where objects are quickly assigned to grid cells is an
+// interesting research direction for the spatial join as well. Only objects
+// in grid cells need to be compared with each other ... If, in addition,
+// the size of the grid cells is chosen very small, then pairs of elements
+// do not need to be tested for intersection ... elements may not be
+// assigned to all intersecting cells, but elements in neighboring cells
+// need to be compared with each other to limit replication."
+//
+// Exactly that design: every element is assigned to the single cell of its
+// centre (no replication); candidate pairs come from the same cell and the
+// 13 forward neighbour cells (half of the 26-neighbourhood, so each
+// unordered cell pair is visited once). Completeness requires
+//   cell_size >= max_element_extent + eps,
+// because then two matching boxes have centres within one cell in every
+// axis. The small-cell shortcut emits same-cell pairs without a test when
+// the geometry already guarantees intersection.
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "join/spatial_join.h"
+
+namespace simspatial::join {
+
+namespace {
+
+struct CellKey {
+  std::int32_t x;
+  std::int32_t y;
+  std::int32_t z;
+  bool operator==(const CellKey&) const = default;
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const {
+    std::uint64_t h = static_cast<std::uint32_t>(k.x);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.y);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.z);
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+// The 13 forward neighbours: lexicographically positive offsets.
+constexpr int kForward[13][3] = {
+    {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},   {1, -1, 0},
+    {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1},  {1, 1, 1},
+    {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+
+float MaxExtent(const std::vector<Element>& elems) {
+  float m = 0.0f;
+  for (const Element& e : elems) {
+    const Vec3 ext = e.box.Extent();
+    m = std::max({m, ext.x, ext.y, ext.z});
+  }
+  return m;
+}
+
+float MinExtent(const std::vector<Element>& elems) {
+  float m = std::numeric_limits<float>::max();
+  for (const Element& e : elems) {
+    const Vec3 ext = e.box.Extent();
+    m = std::min({m, ext.x, ext.y, ext.z});
+  }
+  return elems.empty() ? 0.0f : m;
+}
+
+struct CentreGrid {
+  float cell = 1.0f;
+  float inv = 1.0f;
+  std::unordered_map<CellKey, std::vector<const Element*>, CellKeyHash> cells;
+
+  CellKey KeyOf(const Vec3& p) const {
+    return CellKey{static_cast<std::int32_t>(std::floor(p.x * inv)),
+                   static_cast<std::int32_t>(std::floor(p.y * inv)),
+                   static_cast<std::int32_t>(std::floor(p.z * inv))};
+  }
+  void Fill(const std::vector<Element>& elems) {
+    cells.reserve(elems.size());
+    for (const Element& e : elems) cells[KeyOf(e.Center())].push_back(&e);
+  }
+};
+
+}  // namespace
+
+std::vector<JoinPair> GridSelfJoin(const std::vector<Element>& elems,
+                                   float eps, GridJoinOptions options,
+                                   QueryCounters* counters,
+                                   GridJoinStats* stats) {
+  std::vector<JoinPair> out;
+  if (elems.size() < 2) return out;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  CentreGrid g;
+  g.cell = options.cell_size > 0.0f ? options.cell_size
+                                    : MaxExtent(elems) + eps + 1e-5f;
+  g.cell = std::max(g.cell, 1e-5f);
+  g.inv = 1.0f / g.cell;
+  g.Fill(elems);
+  if (stats != nullptr) stats->cell_size = g.cell;
+
+  // Small-cell shortcut precondition (§4.3): if every element extends at
+  // least a full cell diagonal from its centre in every direction, two
+  // same-cell centres always intersect. Conservative sufficient condition:
+  // min extent >= 2 * cell diagonal.
+  const bool shortcut =
+      options.small_cell_shortcut && eps == 0.0f &&
+      MinExtent(elems) >= 2.0f * g.cell * std::sqrt(3.0f);
+
+  const auto test_pair = [&](const Element* a, const Element* b,
+                             bool same_cell) {
+    if (same_cell && shortcut) {
+      if (stats != nullptr) stats->skipped_tests += 1;
+      out.emplace_back(std::min(a->id, b->id), std::max(a->id, b->id));
+      return;
+    }
+    c.element_tests += 1;
+    if (PairMatches(a->box, b->box, eps)) {
+      out.emplace_back(std::min(a->id, b->id), std::max(a->id, b->id));
+    }
+  };
+
+  for (const auto& [key, bucket] : g.cells) {
+    c.nodes_visited += 1;
+    // Within-cell pairs.
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      for (std::size_t j = i + 1; j < bucket.size(); ++j) {
+        test_pair(bucket[i], bucket[j], /*same_cell=*/true);
+      }
+    }
+    // Forward neighbours (each unordered cell pair visited exactly once).
+    for (const auto& d : kForward) {
+      const auto it =
+          g.cells.find(CellKey{key.x + d[0], key.y + d[1], key.z + d[2]});
+      if (it == g.cells.end()) continue;
+      c.structure_tests += 1;
+      for (const Element* a : bucket) {
+        for (const Element* b : it->second) {
+          test_pair(a, b, /*same_cell=*/false);
+        }
+      }
+    }
+  }
+  c.results += out.size();
+  return out;
+}
+
+std::vector<JoinPair> GridJoin(const std::vector<Element>& a,
+                               const std::vector<Element>& b, float eps,
+                               GridJoinOptions options,
+                               QueryCounters* counters,
+                               GridJoinStats* stats) {
+  std::vector<JoinPair> out;
+  if (a.empty() || b.empty()) return out;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  CentreGrid ga;
+  ga.cell = options.cell_size > 0.0f
+                ? options.cell_size
+                : std::max(MaxExtent(a), MaxExtent(b)) + eps + 1e-5f;
+  ga.cell = std::max(ga.cell, 1e-5f);
+  ga.inv = 1.0f / ga.cell;
+  ga.Fill(a);
+  CentreGrid gb;
+  gb.cell = ga.cell;
+  gb.inv = ga.inv;
+  gb.Fill(b);
+  if (stats != nullptr) stats->cell_size = ga.cell;
+
+  // For each b-cell, probe the 27-neighbourhood of a-cells (binary join has
+  // no symmetric halving).
+  for (const auto& [key, bucket_b] : gb.cells) {
+    c.nodes_visited += 1;
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const auto it =
+              ga.cells.find(CellKey{key.x + dx, key.y + dy, key.z + dz});
+          if (it == ga.cells.end()) continue;
+          c.structure_tests += 1;
+          for (const Element* eb : bucket_b) {
+            for (const Element* ea : it->second) {
+              c.element_tests += 1;
+              if (PairMatches(ea->box, eb->box, eps)) {
+                out.emplace_back(ea->id, eb->id);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  c.results += out.size();
+  return out;
+}
+
+}  // namespace simspatial::join

@@ -1,0 +1,248 @@
+// TOUCH — in-memory spatial join by hierarchical data-oriented
+// partitioning [21] (Nobari et al., SIGMOD'13), the authors' own join.
+//
+// Phase 1 builds an STR hierarchy over the build dataset. Phase 2 assigns
+// each probe object to the lowest node whose children cannot route it
+// uniquely: descending is safe exactly while at most one eps-inflated child
+// MBR intersects the probe box (elements in non-intersecting subtrees can
+// never satisfy the predicate). Phase 3 joins every bucketed probe object
+// against its node's subtree with MBR pruning. Compared to the sweep, only
+// spatially close objects are ever tested — the property §4.3 demands.
+
+#include <algorithm>
+#include <cmath>
+
+#include "join/spatial_join.h"
+
+namespace simspatial::join {
+
+namespace {
+
+struct TNode {
+  AABB mbr;
+  std::uint32_t child_begin = 0;  // Into child_index (internal only).
+  std::uint32_t child_count = 0;
+  std::uint32_t elem_begin = 0;   // Into elems (leaf only).
+  std::uint32_t elem_count = 0;
+  std::uint16_t level = 0;
+  std::vector<const Element*> bucket;  // Probe objects assigned here.
+};
+
+struct Hierarchy {
+  std::vector<TNode> nodes;
+  std::vector<std::uint32_t> child_index;
+  std::vector<Element> elems;  // STR-ordered copy of the build side.
+  std::uint32_t root = 0;
+};
+
+// STR tiling over a permutation vector; returns packed [begin,end) ranges
+// into the sorted order.
+template <typename GetBox>
+std::vector<std::pair<std::uint32_t, std::uint32_t>> StrPack(
+    std::uint32_t n, std::uint32_t cap, std::vector<std::uint32_t>* order,
+    const GetBox& box_of) {
+  const auto key = [&](std::uint32_t i, int axis) {
+    const AABB& b = box_of(i);
+    return b.min[axis] + b.max[axis];
+  };
+  const std::size_t node_count = (n + cap - 1) / cap;
+  const std::size_t sx = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(node_count))));
+  const std::size_t nodes_per_slab = (node_count + sx - 1) / sx;
+  const std::size_t slab = nodes_per_slab * cap;
+
+  std::sort(order->begin(), order->end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return key(a, 0) < key(b, 0);
+            });
+  for (std::size_t s0 = 0; s0 < n; s0 += slab) {
+    const std::size_t s1 = std::min<std::size_t>(n, s0 + slab);
+    const std::size_t slab_nodes = (s1 - s0 + cap - 1) / cap;
+    const std::size_t sy = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slab_nodes))));
+    const std::size_t run = ((slab_nodes + sy - 1) / sy) * cap;
+    std::sort(order->begin() + s0, order->begin() + s1,
+              [&](std::uint32_t a, std::uint32_t b) {
+                return key(a, 1) < key(b, 1);
+              });
+    for (std::size_t r0 = s0; r0 < s1; r0 += run) {
+      const std::size_t r1 = std::min(s1, r0 + run);
+      std::sort(order->begin() + r0, order->begin() + r1,
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return key(a, 2) < key(b, 2);
+                });
+    }
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  for (std::uint32_t i = 0; i < n; i += cap) {
+    ranges.emplace_back(i, std::min(n, i + cap));
+  }
+  return ranges;
+}
+
+Hierarchy BuildHierarchy(const std::vector<Element>& build,
+                         std::uint32_t cap) {
+  Hierarchy h;
+  if (build.empty()) {
+    h.nodes.push_back(TNode{});
+    return h;
+  }
+  std::vector<std::uint32_t> order(build.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto leaf_ranges =
+      StrPack(static_cast<std::uint32_t>(build.size()), cap, &order,
+              [&](std::uint32_t i) -> const AABB& { return build[i].box; });
+  h.elems.reserve(build.size());
+  for (const std::uint32_t i : order) h.elems.push_back(build[i]);
+
+  std::vector<std::uint32_t> level_nodes;
+  for (const auto& [b, e] : leaf_ranges) {
+    TNode n;
+    n.level = 0;
+    n.elem_begin = b;
+    n.elem_count = e - b;
+    for (std::uint32_t i = b; i < e; ++i) n.mbr.Extend(h.elems[i].box);
+    level_nodes.push_back(static_cast<std::uint32_t>(h.nodes.size()));
+    h.nodes.push_back(std::move(n));
+  }
+
+  std::uint16_t level = 1;
+  while (level_nodes.size() > 1) {
+    std::vector<std::uint32_t> order2(level_nodes.size());
+    for (std::uint32_t i = 0; i < order2.size(); ++i) order2[i] = i;
+    const auto ranges = StrPack(
+        static_cast<std::uint32_t>(level_nodes.size()), cap, &order2,
+        [&](std::uint32_t i) -> const AABB& {
+          return h.nodes[level_nodes[i]].mbr;
+        });
+    std::vector<std::uint32_t> next_level;
+    for (const auto& [b, e] : ranges) {
+      TNode n;
+      n.level = level;
+      n.child_begin = static_cast<std::uint32_t>(h.child_index.size());
+      n.child_count = e - b;
+      for (std::uint32_t i = b; i < e; ++i) {
+        const std::uint32_t child = level_nodes[order2[i]];
+        h.child_index.push_back(child);
+        n.mbr.Extend(h.nodes[child].mbr);
+      }
+      next_level.push_back(static_cast<std::uint32_t>(h.nodes.size()));
+      h.nodes.push_back(std::move(n));
+    }
+    level_nodes = std::move(next_level);
+    ++level;
+  }
+  h.root = level_nodes[0];
+  return h;
+}
+
+// Does the probe box possibly match anything inside `mbr` under eps?
+inline bool CanMatch(const AABB& probe, const AABB& mbr, float eps) {
+  return eps > 0.0f ? mbr.SquaredDistanceTo(probe) <= eps * eps
+                    : mbr.Intersects(probe);
+}
+
+// Assign probe objects to the lowest uniquely-routable node.
+void AssignProbes(Hierarchy* h, const std::vector<Element>& probes, float eps,
+                  QueryCounters* c) {
+  for (const Element& p : probes) {
+    std::uint32_t cursor = h->root;
+    while (true) {
+      TNode& n = h->nodes[cursor];
+      if (n.level == 0) {
+        n.bucket.push_back(&p);
+        break;
+      }
+      std::uint32_t hit = 0;
+      std::uint32_t hit_child = 0;
+      for (std::uint32_t i = 0; i < n.child_count; ++i) {
+        const std::uint32_t child = h->child_index[n.child_begin + i];
+        c->structure_tests += 1;
+        if (CanMatch(p.box, h->nodes[child].mbr, eps)) {
+          ++hit;
+          hit_child = child;
+          if (hit > 1) break;
+        }
+      }
+      if (hit == 0) break;  // Matches nothing in the whole subtree.
+      if (hit > 1) {
+        n.bucket.push_back(&p);
+        break;
+      }
+      cursor = hit_child;
+    }
+  }
+}
+
+// Join one probe object against the subtree rooted at `node`.
+template <typename Emit>
+void ProbeSubtree(const Hierarchy& h, std::uint32_t node, const Element& p,
+                  float eps, QueryCounters* c, const Emit& emit) {
+  const TNode& n = h.nodes[node];
+  if (n.level == 0) {
+    for (std::uint32_t i = 0; i < n.elem_count; ++i) {
+      const Element& e = h.elems[n.elem_begin + i];
+      c->element_tests += 1;
+      if (PairMatches(e.box, p.box, eps)) emit(&e, &p);
+    }
+    return;
+  }
+  for (std::uint32_t i = 0; i < n.child_count; ++i) {
+    const std::uint32_t child = h.child_index[n.child_begin + i];
+    c->structure_tests += 1;
+    if (CanMatch(p.box, h.nodes[child].mbr, eps)) {
+      ProbeSubtree(h, child, p, eps, c, emit);
+    }
+  }
+}
+
+template <typename Emit>
+void JoinBuckets(const Hierarchy& h, float eps, QueryCounters* c,
+                 const Emit& emit) {
+  for (std::uint32_t node = 0; node < h.nodes.size(); ++node) {
+    for (const Element* p : h.nodes[node].bucket) {
+      ProbeSubtree(h, node, *p, eps, c, emit);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<JoinPair> TouchJoin(const std::vector<Element>& build_side,
+                                const std::vector<Element>& probe_side,
+                                float eps, TouchOptions options,
+                                QueryCounters* counters) {
+  std::vector<JoinPair> out;
+  if (build_side.empty() || probe_side.empty()) return out;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  Hierarchy h = BuildHierarchy(build_side, std::max(4u, options.fanout));
+  AssignProbes(&h, probe_side, eps, &c);
+  JoinBuckets(h, eps, &c, [&](const Element* a, const Element* b) {
+    out.emplace_back(a->id, b->id);
+  });
+  c.results += out.size();
+  return out;
+}
+
+std::vector<JoinPair> TouchSelfJoin(const std::vector<Element>& elems,
+                                    float eps, TouchOptions options,
+                                    QueryCounters* counters) {
+  std::vector<JoinPair> out;
+  if (elems.size() < 2) return out;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  Hierarchy h = BuildHierarchy(elems, std::max(4u, options.fanout));
+  AssignProbes(&h, elems, eps, &c);
+  // Every unordered pair is discovered from both sides (each probe sees all
+  // of its build-side matches); keep the (build < probe) orientation.
+  JoinBuckets(h, eps, &c, [&](const Element* a, const Element* b) {
+    if (a->id < b->id) out.emplace_back(a->id, b->id);
+  });
+  c.results += out.size();
+  return out;
+}
+
+}  // namespace simspatial::join

@@ -1,0 +1,207 @@
+#include "lsh/lsh_knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace simspatial::lsh {
+
+LshKnn::LshKnn(LshOptions options) : options_(options) {
+  options_.tables = std::max<std::uint32_t>(1, options_.tables);
+  options_.hashes_per_table =
+      std::clamp<std::uint32_t>(options_.hashes_per_table, 1, 8);
+  Rng rng(options_.seed);
+  funcs_.resize(options_.tables);
+  for (auto& table : funcs_) {
+    table.resize(options_.hashes_per_table);
+    for (HashFunc& f : table) {
+      f.a = Vec3(rng.Normal(), rng.Normal(), rng.Normal());
+      f.b = rng.NextFloat();  // Scaled by width at hash time.
+    }
+  }
+  tables_.resize(options_.tables);
+}
+
+void LshKnn::HashSignature(std::uint32_t table, const Vec3& p,
+                           std::int32_t* signature) const {
+  const auto& funcs = funcs_[table];
+  for (std::uint32_t i = 0; i < options_.hashes_per_table; ++i) {
+    const HashFunc& f = funcs[i];
+    signature[i] = static_cast<std::int32_t>(
+        std::floor((f.a.Dot(p) + f.b * width_) / width_));
+  }
+}
+
+LshKnn::BucketKey LshKnn::CombineSignature(const std::int32_t* signature,
+                                           std::uint32_t m) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    h ^= static_cast<std::uint32_t>(signature[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+LshKnn::BucketKey LshKnn::KeyFor(std::uint32_t table, const Vec3& p) const {
+  std::int32_t sig[8];
+  HashSignature(table, p, sig);
+  return CombineSignature(sig, options_.hashes_per_table);
+}
+
+void LshKnn::Build(std::span<const Element> elements, const AABB& universe) {
+  for (auto& t : tables_) t.clear();
+  elements_.clear();
+  elements_.reserve(elements.size());
+  if (options_.bucket_width > 0.0f) {
+    width_ = options_.bucket_width;
+  } else {
+    // Default: a bucket should hold a few dozen points at mean density, so
+    // that one probe per table yields enough candidates for small k.
+    const double volume = std::max(1e-30, double(universe.Volume()));
+    const double per_elem =
+        volume / std::max<std::size_t>(1, elements.size());
+    width_ = static_cast<float>(3.0 * std::cbrt(per_elem));
+    if (!(width_ > 0.0f)) width_ = 1.0f;
+  }
+  for (const Element& e : elements) Insert(e);
+}
+
+void LshKnn::InsertIntoTables(ElementId id, const Vec3& centre) {
+  for (std::uint32_t t = 0; t < options_.tables; ++t) {
+    tables_[t][KeyFor(t, centre)].push_back(id);
+  }
+}
+
+void LshKnn::RemoveFromTables(ElementId id, const Vec3& centre) {
+  for (std::uint32_t t = 0; t < options_.tables; ++t) {
+    auto it = tables_[t].find(KeyFor(t, centre));
+    assert(it != tables_[t].end());
+    auto& vec = it->second;
+    const auto pos = std::find(vec.begin(), vec.end(), id);
+    assert(pos != vec.end());
+    *pos = vec.back();
+    vec.pop_back();
+    if (vec.empty()) tables_[t].erase(it);
+  }
+}
+
+void LshKnn::Insert(const Element& element) {
+  assert(elements_.find(element.id) == elements_.end());
+  elements_.emplace(element.id, element.box);
+  InsertIntoTables(element.id, element.box.Center());
+}
+
+bool LshKnn::Erase(ElementId id) {
+  const auto it = elements_.find(id);
+  if (it == elements_.end()) return false;
+  RemoveFromTables(id, it->second.Center());
+  elements_.erase(it);
+  return true;
+}
+
+bool LshKnn::Update(ElementId id, const AABB& new_box) {
+  const auto it = elements_.find(id);
+  if (it == elements_.end()) return false;
+  const Vec3 old_centre = it->second.Center();
+  const Vec3 new_centre = new_box.Center();
+  // Fast path: tiny moves usually keep every hash signature unchanged.
+  bool same_buckets = true;
+  for (std::uint32_t t = 0; t < options_.tables && same_buckets; ++t) {
+    same_buckets = KeyFor(t, old_centre) == KeyFor(t, new_centre);
+  }
+  if (!same_buckets) {
+    RemoveFromTables(id, old_centre);
+    InsertIntoTables(id, new_centre);
+  }
+  it->second = new_box;
+  return true;
+}
+
+std::size_t LshKnn::ApplyUpdates(std::span<const ElementUpdate> updates) {
+  std::size_t applied = 0;
+  for (const ElementUpdate& u : updates) {
+    applied += Update(u.id, u.new_box) ? 1 : 0;
+  }
+  return applied;
+}
+
+void LshKnn::KnnQuery(const Vec3& p, std::size_t k,
+                      std::vector<ElementId>* out,
+                      QueryCounters* counters) const {
+  out->clear();
+  if (k == 0 || elements_.empty()) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  std::vector<ElementId> cand;
+  const auto probe = [&](std::uint32_t table, BucketKey key) {
+    const auto it = tables_[table].find(key);
+    if (it == tables_[table].end()) return;
+    c.nodes_visited += 1;
+    c.bytes_read += it->second.size() * sizeof(ElementId);
+    cand.insert(cand.end(), it->second.begin(), it->second.end());
+  };
+
+  std::int32_t sig[8];
+  for (std::uint32_t t = 0; t < options_.tables; ++t) {
+    HashSignature(t, p, sig);
+    probe(t, CombineSignature(sig, options_.hashes_per_table));
+    // Multi-probe: perturb single signature positions by ±1, nearest
+    // perturbations first (round-robin over dimensions).
+    std::uint32_t issued = 0;
+    for (std::uint32_t i = 0;
+         i < options_.hashes_per_table && issued < options_.multiprobe; ++i) {
+      for (const std::int32_t delta : {+1, -1}) {
+        if (issued >= options_.multiprobe) break;
+        sig[i] += delta;
+        probe(t, CombineSignature(sig, options_.hashes_per_table));
+        sig[i] -= delta;
+        ++issued;
+      }
+    }
+  }
+
+  // Deduplicate and rank by exact box distance.
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  std::vector<std::pair<float, ElementId>> ranked;
+  ranked.reserve(cand.size());
+  for (const ElementId id : cand) {
+    const auto it = elements_.find(id);
+    c.distance_computations += 1;
+    ranked.emplace_back(it->second.SquaredDistanceTo(p), id);
+  }
+  const std::size_t take = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first != b.first ? a.first < b.first
+                                                : a.second < b.second;
+                    });
+  out->reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out->push_back(ranked[i].second);
+  c.results += out->size();
+}
+
+LshShape LshKnn::Shape() const {
+  LshShape s;
+  s.elements = elements_.size();
+  s.bucket_width = width_;
+  std::size_t slots = 0;
+  for (const auto& table : tables_) {
+    s.buckets += table.size();
+    for (const auto& [key, vec] : table) {
+      slots += vec.size();
+      s.bytes += vec.capacity() * sizeof(ElementId) + 32;
+    }
+  }
+  s.mean_bucket_size =
+      s.buckets == 0 ? 0.0
+                     : static_cast<double>(slots) /
+                           static_cast<double>(s.buckets);
+  s.bytes += elements_.size() * (sizeof(AABB) + 16);
+  return s;
+}
+
+}  // namespace simspatial::lsh

@@ -1,0 +1,100 @@
+// SimSpatial — locality-sensitive hashing for low-dimensional kNN.
+//
+// §3.3: "A possible approach for kNN queries could be to use locality
+// sensitive hashing (LSH ...). LSH has traditionally been used for
+// similarity search in very high dimensions but can potentially also be
+// used for finding nearest neighbors in low dimensions. Crucially, LSH
+// avoids a tree structure to organize the data and instead uses several
+// (spatial) hash functions to index each spatial element. ... LSH's hash
+// buckets can also easily be optimized for use in memory."
+//
+// Classic p-stable (Gaussian) E2LSH over element centres: L tables, each
+// hashing with m concatenated functions h(x) = floor((a·x + b) / w). kNN
+// probes the query's bucket in every table (plus optional ±1 multi-probe
+// perturbations), ranks the candidate union by exact box distance, and
+// returns the top k. The structure is *approximate*: recall depends on the
+// table count and bucket width; the test suite asserts a recall contract
+// rather than exactness, and the benches report recall next to speed.
+//
+// Updates are cheap (hash, move between buckets) — LSH is also a §4
+// competitor for massively updated data.
+
+#ifndef SIMSPATIAL_LSH_LSH_KNN_H_
+#define SIMSPATIAL_LSH_LSH_KNN_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::lsh {
+
+struct LshOptions {
+  std::uint64_t seed = 41;
+  /// Number of hash tables (union of probes across tables drives recall).
+  std::uint32_t tables = 8;
+  /// Concatenated hash functions per table (bucket selectivity).
+  std::uint32_t hashes_per_table = 4;
+  /// Bucket width w of the p-stable hash, in dataset distance units. <= 0
+  /// derives it from the dataset density at Build time.
+  float bucket_width = 0.0f;
+  /// Extra ±1 perturbation probes per table (multi-probe LSH); 0 disables.
+  std::uint32_t multiprobe = 8;
+};
+
+struct LshShape {
+  std::size_t elements = 0;
+  std::size_t buckets = 0;
+  double mean_bucket_size = 0;
+  std::size_t bytes = 0;
+  float bucket_width = 0;
+};
+
+/// Approximate kNN index over element centres.
+class LshKnn {
+ public:
+  explicit LshKnn(LshOptions options = {});
+
+  void Build(std::span<const Element> elements, const AABB& universe);
+
+  void Insert(const Element& element);
+  bool Erase(ElementId id);
+  bool Update(ElementId id, const AABB& new_box);
+  std::size_t ApplyUpdates(std::span<const ElementUpdate> updates);
+
+  /// Approximate k nearest neighbours by box distance. May return fewer
+  /// than k ids when the probed buckets contain fewer candidates.
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* counters = nullptr) const;
+
+  std::size_t size() const { return elements_.size(); }
+  LshShape Shape() const;
+
+ private:
+  struct HashFunc {
+    Vec3 a;
+    float b;
+  };
+  using BucketKey = std::uint64_t;
+
+  BucketKey KeyFor(std::uint32_t table, const Vec3& p) const;
+  void HashSignature(std::uint32_t table, const Vec3& p,
+                     std::int32_t* signature) const;
+  static BucketKey CombineSignature(const std::int32_t* signature,
+                                    std::uint32_t m);
+  void InsertIntoTables(ElementId id, const Vec3& centre);
+  void RemoveFromTables(ElementId id, const Vec3& centre);
+
+  LshOptions options_;
+  float width_ = 1.0f;
+  std::vector<std::vector<HashFunc>> funcs_;  // [table][hash].
+  std::vector<std::unordered_map<BucketKey, std::vector<ElementId>>> tables_;
+  std::unordered_map<ElementId, AABB> elements_;
+};
+
+}  // namespace simspatial::lsh
+
+#endif  // SIMSPATIAL_LSH_LSH_KNN_H_

@@ -1,0 +1,179 @@
+#include "mesh/flat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simspatial::mesh {
+
+FlatIndex::FlatIndex(FlatOptions options) : options_(options) {}
+
+std::int64_t FlatIndex::CellKeyOf(const Vec3& p) const {
+  const auto cx = static_cast<std::int64_t>(
+      std::floor((p.x - universe_.min.x) * inv_cell_));
+  const auto cy = static_cast<std::int64_t>(
+      std::floor((p.y - universe_.min.y) * inv_cell_));
+  const auto cz = static_cast<std::int64_t>(
+      std::floor((p.z - universe_.min.z) * inv_cell_));
+  return ((cx & 0x1fffff) << 42) | ((cy & 0x1fffff) << 21) | (cz & 0x1fffff);
+}
+
+void FlatIndex::Build(std::span<const Element> elements,
+                      const AABB& universe) {
+  elements_.assign(elements.begin(), elements.end());
+  universe_ = universe;
+  slot_of_.clear();
+  slot_of_.reserve(elements_.size());
+  for (std::uint32_t i = 0; i < elements_.size(); ++i) {
+    slot_of_[elements_[i].id] = i;
+  }
+
+  if (options_.seed_cell_size > 0.0f) {
+    cell_ = options_.seed_cell_size;
+  } else {
+    const double volume = std::max(1e-30, double(universe.Volume()));
+    const double per =
+        volume / std::max<std::size_t>(1, elements_.size());
+    cell_ = static_cast<float>(4.0 * std::cbrt(per));
+  }
+  cell_ = std::max(cell_, 1e-5f);
+  inv_cell_ = 1.0f / cell_;
+
+  // Seed grid over centres.
+  seed_cells_.clear();
+  for (std::uint32_t i = 0; i < elements_.size(); ++i) {
+    seed_cells_[CellKeyOf(elements_[i].Center())].push_back(i);
+  }
+
+  // Neighbourhood links: all overlapping elements plus the nearest
+  // `link_degree` by box distance, discovered through the seed grid's
+  // 27-neighbourhood (sufficient for the dense datasets FLAT targets).
+  links_.assign(elements_.size(), {});
+  std::vector<std::pair<float, std::uint32_t>> cand;
+  for (std::uint32_t i = 0; i < elements_.size(); ++i) {
+    cand.clear();
+    const Vec3 c = elements_[i].Center();
+    const auto base_x = static_cast<std::int64_t>(
+        std::floor((c.x - universe_.min.x) * inv_cell_));
+    const auto base_y = static_cast<std::int64_t>(
+        std::floor((c.y - universe_.min.y) * inv_cell_));
+    const auto base_z = static_cast<std::int64_t>(
+        std::floor((c.z - universe_.min.z) * inv_cell_));
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const std::int64_t key = (((base_x + dx) & 0x1fffff) << 42) |
+                                   (((base_y + dy) & 0x1fffff) << 21) |
+                                   ((base_z + dz) & 0x1fffff);
+          const auto it = seed_cells_.find(key);
+          if (it == seed_cells_.end()) continue;
+          for (const std::uint32_t j : it->second) {
+            if (j == i) continue;
+            cand.emplace_back(
+                elements_[i].box.SquaredDistanceTo(elements_[j].box), j);
+          }
+        }
+      }
+    }
+    const std::size_t take =
+        std::min<std::size_t>(options_.link_degree, cand.size());
+    std::partial_sort(cand.begin(), cand.begin() + take, cand.end());
+    for (std::size_t t = 0; t < take; ++t) {
+      links_[i].push_back(cand[t].second);
+    }
+    // Ensure all overlapping elements are linked even past the degree cap.
+    for (const auto& [d, j] : cand) {
+      if (d > 0.0f) break;  // Sorted prefix holds all zero-distance pairs.
+      if (std::find(links_[i].begin(), links_[i].end(), j) ==
+          links_[i].end()) {
+        links_[i].push_back(j);
+      }
+    }
+  }
+}
+
+void FlatIndex::Refresh(std::span<const Element> elements) {
+  // Positions changed: update boxes and re-derive the seed grid; keep the
+  // neighbourhood links (still approximately valid for small motion).
+  for (const Element& e : elements) {
+    const auto it = slot_of_.find(e.id);
+    if (it != slot_of_.end()) elements_[it->second].box = e.box;
+  }
+  seed_cells_.clear();
+  for (std::uint32_t i = 0; i < elements_.size(); ++i) {
+    seed_cells_[CellKeyOf(elements_[i].Center())].push_back(i);
+  }
+}
+
+void FlatIndex::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                           QueryCounters* counters) const {
+  out->clear();
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  // Seeds: every element in every coarse cell overlapping the range. An
+  // element's centre is inside its box, so a box intersecting the range has
+  // its centre within one cell of the range's cell span — probe inflated by
+  // one cell.
+  std::vector<std::uint32_t> frontier;
+  std::vector<bool> seen(elements_.size(), false);
+  const auto lo_x = static_cast<std::int64_t>(
+      std::floor((range.min.x - universe_.min.x) * inv_cell_)) - 1;
+  const auto lo_y = static_cast<std::int64_t>(
+      std::floor((range.min.y - universe_.min.y) * inv_cell_)) - 1;
+  const auto lo_z = static_cast<std::int64_t>(
+      std::floor((range.min.z - universe_.min.z) * inv_cell_)) - 1;
+  const auto hi_x = static_cast<std::int64_t>(
+      std::floor((range.max.x - universe_.min.x) * inv_cell_)) + 1;
+  const auto hi_y = static_cast<std::int64_t>(
+      std::floor((range.max.y - universe_.min.y) * inv_cell_)) + 1;
+  const auto hi_z = static_cast<std::int64_t>(
+      std::floor((range.max.z - universe_.min.z) * inv_cell_)) + 1;
+  for (std::int64_t x = lo_x; x <= hi_x; ++x) {
+    for (std::int64_t y = lo_y; y <= hi_y; ++y) {
+      for (std::int64_t z = lo_z; z <= hi_z; ++z) {
+        c.structure_tests += 1;
+        const std::int64_t key =
+            ((x & 0x1fffff) << 42) | ((y & 0x1fffff) << 21) | (z & 0x1fffff);
+        const auto it = seed_cells_.find(key);
+        if (it == seed_cells_.end()) continue;
+        for (const std::uint32_t i : it->second) {
+          if (seen[i]) continue;
+          seen[i] = true;
+          c.element_tests += 1;
+          if (elements_[i].box.Intersects(range)) frontier.push_back(i);
+        }
+      }
+    }
+  }
+  // Crawl: expand through links; catches elements whose centre drifted out
+  // of the probed cells since the last Refresh().
+  std::size_t cursor = 0;
+  while (cursor < frontier.size()) {
+    const std::uint32_t i = frontier[cursor++];
+    out->push_back(elements_[i].id);
+    for (const std::uint32_t j : links_[i]) {
+      if (seen[j]) continue;
+      seen[j] = true;
+      c.element_tests += 1;
+      c.pointer_hops += 1;
+      if (elements_[j].box.Intersects(range)) frontier.push_back(j);
+    }
+  }
+  c.results += out->size();
+}
+
+FlatShape FlatIndex::Shape() const {
+  FlatShape s;
+  s.elements = elements_.size();
+  for (const auto& l : links_) {
+    s.links += l.size();
+    s.bytes += l.capacity() * sizeof(std::uint32_t);
+  }
+  s.mean_degree = s.elements == 0 ? 0.0
+                                  : static_cast<double>(s.links) /
+                                        static_cast<double>(s.elements);
+  s.bytes += elements_.size() * sizeof(Element);
+  return s;
+}
+
+}  // namespace simspatial::mesh

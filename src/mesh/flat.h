@@ -1,0 +1,80 @@
+// SimSpatial — FLAT-style neighbourhood crawling for non-mesh datasets.
+//
+// §4.3: "For datasets other than meshes, disk-based FLAT [28] adds
+// connectivity (neighborhood) information to the dataset and then uses it
+// to execute spatial queries (similar to DLS or OCTOPUS). The same idea can
+// potentially also be used in memory."
+//
+// Preprocessing links every element to its spatial neighbours (all
+// overlapping elements plus enough nearest elements to make the graph
+// usable for crawling). Queries find seed elements through a coarse grid
+// over element centres — the approximate structure that tolerates drift —
+// and then *crawl*: breadth-first expansion over neighbour links restricted
+// to the query range. Because the links are derived from the dataset, small
+// updates leave them approximately valid; RelinkBudget-style maintenance is
+// modelled by Refresh().
+
+#ifndef SIMSPATIAL_MESH_FLAT_H_
+#define SIMSPATIAL_MESH_FLAT_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::mesh {
+
+struct FlatOptions {
+  /// Nearest neighbours linked per element (in addition to all overlaps).
+  std::uint32_t link_degree = 8;
+  /// Coarse seed-grid cell size; <= 0 derives from density.
+  float seed_cell_size = 0.0f;
+};
+
+struct FlatShape {
+  std::size_t elements = 0;
+  std::size_t links = 0;
+  double mean_degree = 0;
+  std::size_t bytes = 0;
+};
+
+/// Neighbourhood-augmented dataset with crawl-based range queries.
+class FlatIndex {
+ public:
+  explicit FlatIndex(FlatOptions options = {});
+
+  /// Build links and the seed grid. O(n · degree) space.
+  void Build(std::span<const Element> elements, const AABB& universe);
+
+  /// Re-derive the seed grid from current positions (links are kept — the
+  /// cheap, infrequent maintenance the paper envisions).
+  void Refresh(std::span<const Element> elements);
+
+  /// Exact range query via seed + crawl. Seeds come from every coarse cell
+  /// overlapping the range, so completeness does not depend on the range
+  /// subgraph being connected.
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters = nullptr) const;
+
+  std::size_t size() const { return elements_.size(); }
+  FlatShape Shape() const;
+
+ private:
+  std::int64_t CellKeyOf(const Vec3& p) const;
+
+  FlatOptions options_;
+  AABB universe_;
+  float cell_ = 1.0f;
+  float inv_cell_ = 1.0f;
+  std::vector<Element> elements_;             // Dense by position.
+  std::unordered_map<ElementId, std::uint32_t> slot_of_;
+  std::vector<std::vector<std::uint32_t>> links_;  // Slot -> neighbour slots.
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> seed_cells_;
+};
+
+}  // namespace simspatial::mesh
+
+#endif  // SIMSPATIAL_MESH_FLAT_H_

@@ -1,0 +1,216 @@
+#include "mesh/mesh_queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace simspatial::mesh {
+
+// --- CentroidGrid -----------------------------------------------------------
+
+CentroidGrid::CentroidGrid(const TetMesh* mesh, float cell_size)
+    : mesh_(mesh), cell_(std::max(cell_size, 1e-5f)), inv_(1.0f / cell_) {
+  Refresh();
+}
+
+std::int64_t CentroidGrid::KeyOf(const Vec3& p) const {
+  const auto cx = static_cast<std::int64_t>(
+      std::floor((p.x - mesh_->domain.min.x) * inv_));
+  const auto cy = static_cast<std::int64_t>(
+      std::floor((p.y - mesh_->domain.min.y) * inv_));
+  const auto cz = static_cast<std::int64_t>(
+      std::floor((p.z - mesh_->domain.min.z) * inv_));
+  return ((cx & 0x1fffff) << 42) | ((cy & 0x1fffff) << 21) | (cz & 0x1fffff);
+}
+
+void CentroidGrid::Refresh() {
+  reps_.clear();
+  for (TetId t = 0; t < mesh_->size(); ++t) {
+    reps_.emplace(KeyOf(mesh_->Centroid(t)), t);  // First one wins.
+  }
+}
+
+TetId CentroidGrid::RepresentativeNear(const Vec3& p,
+                                       QueryCounters* counters) const {
+  if (reps_.empty()) return kNoTet;
+  // Scan outward in Chebyshev shells until a representative appears.
+  for (int r = 0; r < 64; ++r) {
+    for (int dx = -r; dx <= r; ++dx) {
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dz = -r; dz <= r; ++dz) {
+          if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != r) {
+            continue;  // Shell surface only.
+          }
+          const Vec3 probe(p.x + dx * cell_, p.y + dy * cell_,
+                           p.z + dz * cell_);
+          if (counters != nullptr) counters->structure_tests += 1;
+          const auto it = reps_.find(KeyOf(probe));
+          if (it != reps_.end()) return it->second;
+        }
+      }
+    }
+  }
+  return reps_.begin()->second;  // Degenerate fallback.
+}
+
+void CentroidGrid::RepresentativesIn(const AABB& range,
+                                     std::vector<TetId>* out,
+                                     QueryCounters* counters) const {
+  out->clear();
+  const auto lo_x = static_cast<std::int64_t>(
+      std::floor((range.min.x - mesh_->domain.min.x) * inv_));
+  const auto lo_y = static_cast<std::int64_t>(
+      std::floor((range.min.y - mesh_->domain.min.y) * inv_));
+  const auto lo_z = static_cast<std::int64_t>(
+      std::floor((range.min.z - mesh_->domain.min.z) * inv_));
+  const auto hi_x = static_cast<std::int64_t>(
+      std::floor((range.max.x - mesh_->domain.min.x) * inv_));
+  const auto hi_y = static_cast<std::int64_t>(
+      std::floor((range.max.y - mesh_->domain.min.y) * inv_));
+  const auto hi_z = static_cast<std::int64_t>(
+      std::floor((range.max.z - mesh_->domain.min.z) * inv_));
+  for (std::int64_t x = lo_x; x <= hi_x; ++x) {
+    for (std::int64_t y = lo_y; y <= hi_y; ++y) {
+      for (std::int64_t z = lo_z; z <= hi_z; ++z) {
+        if (counters != nullptr) counters->structure_tests += 1;
+        const std::int64_t key = ((x & 0x1fffff) << 42) |
+                                 ((y & 0x1fffff) << 21) | (z & 0x1fffff);
+        const auto it = reps_.find(key);
+        if (it != reps_.end()) out->push_back(it->second);
+      }
+    }
+  }
+}
+
+// --- Shared pieces ----------------------------------------------------------
+
+TetId GreedyWalk(const TetMesh& mesh, TetId start, const Vec3& target,
+                 QueryCounters* counters, MeshQueryStats* stats) {
+  if (start == kNoTet) return kNoTet;
+  TetId cur = start;
+  float best = SquaredDistance(mesh.Centroid(cur), target);
+  // Greedy descent over centroid distance; a local minimum ends the walk
+  // (on convex meshes the minimum is inside/adjacent to the target).
+  while (true) {
+    TetId next = kNoTet;
+    float next_d = best;
+    for (const TetId n : mesh.neighbors[cur]) {
+      if (n == kNoTet) continue;
+      if (counters != nullptr) counters->distance_computations += 1;
+      const float d = SquaredDistance(mesh.Centroid(n), target);
+      if (d < next_d) {
+        next_d = d;
+        next = n;
+      }
+    }
+    if (next == kNoTet) break;
+    cur = next;
+    best = next_d;
+    if (stats != nullptr) stats->walk_steps += 1;
+  }
+  if (stats != nullptr) {
+    stats->walk_stranded = !mesh.bounds[cur].Contains(target);
+  }
+  return cur;
+}
+
+void FloodCollect(const TetMesh& mesh, const AABB& range,
+                  const std::vector<TetId>& seeds, std::vector<TetId>* out,
+                  QueryCounters* counters, MeshQueryStats* stats) {
+  out->clear();
+  std::vector<bool> seen(mesh.size(), false);
+  std::deque<TetId> frontier;
+  // Geometric intersection (not just AABB overlap): on a convex mesh the
+  // set of tets intersecting a convex query is face-connected, which is
+  // exactly the property the flood relies on.
+  const auto hits = [&](TetId t) {
+    if (counters != nullptr) {
+      counters->element_tests += 1;  // AABB prefilter.
+      if (mesh.bounds[t].Intersects(range)) {
+        counters->distance_computations += 1;  // Exact tet test.
+      }
+    }
+    return mesh.bounds[t].Intersects(range) &&
+           TetIntersectsAABB(mesh.TetAt(t), range);
+  };
+  for (const TetId s : seeds) {
+    if (s == kNoTet || seen[s]) continue;
+    seen[s] = true;
+    if (hits(s)) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    const TetId t = frontier.front();
+    frontier.pop_front();
+    out->push_back(t);
+    if (stats != nullptr) stats->flood_visits += 1;
+    for (const TetId n : mesh.neighbors[t]) {
+      if (n == kNoTet || seen[n]) continue;
+      seen[n] = true;
+      if (hits(n)) frontier.push_back(n);
+    }
+  }
+  if (counters != nullptr) counters->results += out->size();
+}
+
+// --- DLS --------------------------------------------------------------------
+
+DlsQuery::DlsQuery(const TetMesh* mesh, float coarse_cell_size)
+    : mesh_(mesh), grid_(mesh, coarse_cell_size) {}
+
+void DlsQuery::RangeQuery(const AABB& range, std::vector<TetId>* out,
+                          QueryCounters* counters,
+                          MeshQueryStats* stats) const {
+  const Vec3 centre = range.Center();
+  const TetId start = grid_.RepresentativeNear(centre, counters);
+  const TetId entry = GreedyWalk(*mesh_, start, centre, counters, stats);
+  FloodCollect(*mesh_, range, {entry}, out, counters, stats);
+}
+
+// --- OCTOPUS ----------------------------------------------------------------
+
+OctopusQuery::OctopusQuery(const TetMesh* mesh, float coarse_cell_size)
+    : mesh_(mesh), grid_(mesh, coarse_cell_size) {
+  surface_ = mesh_->SurfaceTets();
+}
+
+void OctopusQuery::Refresh() {
+  grid_.Refresh();
+  surface_ = mesh_->SurfaceTets();
+}
+
+void OctopusQuery::RangeQuery(const AABB& range, std::vector<TetId>* out,
+                              QueryCounters* counters,
+                              MeshQueryStats* stats) const {
+  std::vector<TetId> seeds;
+  // 1. Surface tets intersecting the range (concavity-proof entry points).
+  for (const TetId s : surface_) {
+    if (counters != nullptr) counters->element_tests += 1;
+    if (mesh_->bounds[s].Intersects(range)) seeds.push_back(s);
+  }
+  // 2. Representatives of every coarse cell overlapping the range. A
+  //    representative that does not itself reach the range is walked
+  //    towards it — its walk end seeds the pocket its cell overlaps.
+  std::vector<TetId> reps;
+  grid_.RepresentativesIn(range, &reps, counters);
+  const Vec3 centre = range.Center();
+  for (const TetId r : reps) {
+    if (mesh_->bounds[r].Intersects(range)) {
+      seeds.push_back(r);
+    } else {
+      // Walk towards the point of the range nearest this representative.
+      const Vec3 c = mesh_->Centroid(r);
+      const Vec3 target(std::clamp(c.x, range.min.x, range.max.x),
+                        std::clamp(c.y, range.min.y, range.max.y),
+                        std::clamp(c.z, range.min.z, range.max.z));
+      seeds.push_back(GreedyWalk(*mesh_, r, target, counters, stats));
+    }
+  }
+  // 3. A directed walk towards the centre (fast path for deep interior
+  //    queries far from any seed).
+  const TetId start = grid_.RepresentativeNear(centre, counters);
+  seeds.push_back(GreedyWalk(*mesh_, start, centre, counters, stats));
+
+  FloodCollect(*mesh_, range, seeds, out, counters, stats);
+}
+
+}  // namespace simspatial::mesh

@@ -1,0 +1,122 @@
+// SimSpatial — mesh-connectivity query execution: DLS and OCTOPUS.
+//
+// §4.3, first research direction: "use indexes that predominantly depend on
+// the dataset itself for query execution. The dataset is updated by the
+// simulation application anyway and is always up to date. If an index uses
+// the dataset directly, then it does not need to perform any updates."
+//
+//   * DLS [22] keeps only a coarse approximate index (here: a low-
+//     resolution centroid grid, refreshed infrequently) to find a start
+//     element, walks the face-adjacency graph towards the query, and
+//     collects the result by flooding within the range. It "only works for
+//     convex meshes (without holes)" — the walk can strand in a local
+//     minimum and disconnected in-range pockets stay invisible. Both
+//     failure modes are demonstrated by the test suite.
+//
+//   * OCTOPUS [29] additionally seeds from the mesh *surface* (and from
+//     every coarse cell overlapping the query), which restores completeness
+//     on concave meshes.
+//
+// Because query execution rides on connectivity, vertex updates cost these
+// indexes nothing until centroids drift out of their coarse cells; the
+// `RefreshApproximateIndex()` cadence is the only maintenance.
+
+#ifndef SIMSPATIAL_MESH_MESH_QUERIES_H_
+#define SIMSPATIAL_MESH_MESH_QUERIES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/counters.h"
+#include "mesh/tetmesh.h"
+
+namespace simspatial::mesh {
+
+/// Coarse "approximate index": cell -> one representative tet. Designed to
+/// tolerate drift: queries only use it to find entry points.
+class CentroidGrid {
+ public:
+  CentroidGrid(const TetMesh* mesh, float cell_size);
+
+  /// Re-scan all centroids (the infrequent maintenance step).
+  void Refresh();
+
+  /// Representative tet of the cell containing `p` (or the nearest
+  /// non-empty cell scanning outward); kNoTet for an empty grid.
+  TetId RepresentativeNear(const Vec3& p, QueryCounters* counters) const;
+
+  /// Representatives of every cell overlapping `range`.
+  void RepresentativesIn(const AABB& range, std::vector<TetId>* out,
+                         QueryCounters* counters) const;
+
+  float cell_size() const { return cell_; }
+
+ private:
+  std::int64_t KeyOf(const Vec3& p) const;
+
+  const TetMesh* mesh_;
+  float cell_;
+  float inv_;
+  std::unordered_map<std::int64_t, TetId> reps_;
+};
+
+struct MeshQueryStats {
+  std::uint64_t walk_steps = 0;
+  std::uint64_t flood_visits = 0;
+  bool walk_stranded = false;  ///< Greedy walk hit a local minimum.
+};
+
+/// DLS-style directed local search. Exact on convex meshes; incomplete on
+/// concave ones (the paper's stated limitation).
+class DlsQuery {
+ public:
+  DlsQuery(const TetMesh* mesh, float coarse_cell_size);
+
+  /// Refresh the approximate index after mesh deformation.
+  void Refresh() { grid_.Refresh(); }
+
+  /// Tets whose bounds intersect `range`.
+  void RangeQuery(const AABB& range, std::vector<TetId>* out,
+                  QueryCounters* counters = nullptr,
+                  MeshQueryStats* stats = nullptr) const;
+
+ private:
+  const TetMesh* mesh_;
+  CentroidGrid grid_;
+};
+
+/// OCTOPUS-style query execution: DLS plus surface seeds and per-cell
+/// representatives; complete on concave meshes.
+class OctopusQuery {
+ public:
+  OctopusQuery(const TetMesh* mesh, float coarse_cell_size);
+
+  void Refresh();
+
+  void RangeQuery(const AABB& range, std::vector<TetId>* out,
+                  QueryCounters* counters = nullptr,
+                  MeshQueryStats* stats = nullptr) const;
+
+ private:
+  const TetMesh* mesh_;
+  CentroidGrid grid_;
+  std::vector<TetId> surface_;
+};
+
+/// Shared flood step: breadth-first expansion over face adjacency,
+/// restricted to tets whose bounds intersect `range`, starting from all
+/// `seeds` that themselves intersect.
+void FloodCollect(const TetMesh& mesh, const AABB& range,
+                  const std::vector<TetId>& seeds, std::vector<TetId>* out,
+                  QueryCounters* counters, MeshQueryStats* stats);
+
+/// Greedy connectivity walk from `start` towards `target`; returns the tet
+/// where the walk stopped (closest reached) and sets `stranded` if it hit a
+/// local minimum before reaching a tet containing/near the target.
+TetId GreedyWalk(const TetMesh& mesh, TetId start, const Vec3& target,
+                 QueryCounters* counters, MeshQueryStats* stats);
+
+}  // namespace simspatial::mesh
+
+#endif  // SIMSPATIAL_MESH_MESH_QUERIES_H_

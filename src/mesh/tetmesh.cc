@@ -1,0 +1,229 @@
+#include "mesh/tetmesh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace simspatial::mesh {
+
+namespace {
+
+// Key for a triangular face: sorted vertex triple.
+struct FaceKey {
+  std::uint32_t a, b, c;
+  bool operator==(const FaceKey&) const = default;
+};
+
+struct FaceKeyHash {
+  std::size_t operator()(const FaceKey& k) const {
+    std::uint64_t h = k.a;
+    h = h * 0x9e3779b97f4a7c15ULL + k.b;
+    h = h * 0x9e3779b97f4a7c15ULL + k.c;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+FaceKey MakeFace(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return FaceKey{a, b, c};
+}
+
+}  // namespace
+
+void TetMesh::RebuildTopology() {
+  neighbors.assign(tets.size(), {kNoTet, kNoTet, kNoTet, kNoTet});
+  bounds.resize(tets.size());
+  domain = AABB();
+  for (std::size_t t = 0; t < tets.size(); ++t) {
+    AABB b;
+    for (const std::uint32_t v : tets[t]) b.Extend(vertices[v]);
+    bounds[t] = b;
+    domain.Extend(b);
+  }
+  // Face map: first visitor records itself, second visitor links both.
+  std::unordered_map<FaceKey, std::pair<TetId, int>, FaceKeyHash> open_faces;
+  open_faces.reserve(tets.size() * 2);
+  for (std::size_t t = 0; t < tets.size(); ++t) {
+    const auto& v = tets[t];
+    for (int f = 0; f < 4; ++f) {
+      const FaceKey key =
+          MakeFace(v[(f + 1) % 4], v[(f + 2) % 4], v[(f + 3) % 4]);
+      const auto it = open_faces.find(key);
+      if (it == open_faces.end()) {
+        open_faces.emplace(key, std::make_pair(static_cast<TetId>(t), f));
+      } else {
+        const auto [other, other_face] = it->second;
+        neighbors[t][f] = other;
+        neighbors[other][other_face] = static_cast<TetId>(t);
+        open_faces.erase(it);
+      }
+    }
+  }
+}
+
+std::vector<TetId> TetMesh::SurfaceTets() const {
+  std::vector<TetId> out;
+  for (std::size_t t = 0; t < tets.size(); ++t) {
+    for (int f = 0; f < 4; ++f) {
+      if (neighbors[t][f] == kNoTet) {
+        out.push_back(static_cast<TetId>(t));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t TetMesh::ConnectedComponents() const {
+  std::vector<bool> seen(tets.size(), false);
+  std::size_t components = 0;
+  std::vector<TetId> stack;
+  for (TetId start = 0; start < tets.size(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const TetId t = stack.back();
+      stack.pop_back();
+      for (const TetId n : neighbors[t]) {
+        if (n != kNoTet && !seen[n]) {
+          seen[n] = true;
+          stack.push_back(n);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool TetMesh::CheckInvariants(std::string* error) const {
+  if (neighbors.size() != tets.size() || bounds.size() != tets.size()) {
+    if (error != nullptr) *error = "topology arrays out of date";
+    return false;
+  }
+  for (std::size_t t = 0; t < tets.size(); ++t) {
+    if (std::fabs(TetAt(static_cast<TetId>(t)).SignedVolume()) < 1e-12f) {
+      if (error != nullptr) {
+        *error = "degenerate tet " + std::to_string(t);
+      }
+      return false;
+    }
+    for (int f = 0; f < 4; ++f) {
+      const TetId n = neighbors[t][f];
+      if (n == kNoTet) continue;
+      if (n >= tets.size()) {
+        if (error != nullptr) *error = "neighbor out of range";
+        return false;
+      }
+      // Symmetry: the neighbor must point back at t through some face.
+      bool back = false;
+      for (int g = 0; g < 4 && !back; ++g) {
+        back = neighbors[n][g] == static_cast<TetId>(t);
+      }
+      if (!back) {
+        if (error != nullptr) {
+          *error = "asymmetric adjacency between " + std::to_string(t) +
+                   " and " + std::to_string(n);
+        }
+        return false;
+      }
+    }
+    AABB b;
+    for (const std::uint32_t v : tets[t]) b.Extend(vertices[v]);
+    if (!(b == bounds[t])) {
+      if (error != nullptr) *error = "stale bounds at " + std::to_string(t);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Element> TetMesh::AsElements() const {
+  std::vector<Element> out;
+  out.reserve(tets.size());
+  for (std::size_t t = 0; t < tets.size(); ++t) {
+    out.emplace_back(static_cast<ElementId>(t), bounds[t]);
+  }
+  return out;
+}
+
+TetMesh GenerateStructuredMesh(const StructuredMeshConfig& config) {
+  TetMesh m;
+  const std::uint32_t nx = std::max(1u, config.nx);
+  const std::uint32_t ny = std::max(1u, config.ny);
+  const std::uint32_t nz = std::max(1u, config.nz);
+  const Vec3 ext = config.domain.Extent();
+  const Vec3 step(ext.x / nx, ext.y / ny, ext.z / nz);
+
+  const auto vid = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (x * (ny + 1) + y) * (nz + 1) + z;
+  };
+
+  Rng rng(config.seed);
+  m.vertices.reserve((nx + 1) * (ny + 1) * (nz + 1));
+  for (std::uint32_t x = 0; x <= nx; ++x) {
+    for (std::uint32_t y = 0; y <= ny; ++y) {
+      for (std::uint32_t z = 0; z <= nz; ++z) {
+        Vec3 p(config.domain.min.x + x * step.x,
+               config.domain.min.y + y * step.y,
+               config.domain.min.z + z * step.z);
+        // Jitter interior vertices only so the hull stays convex.
+        const bool interior = x > 0 && x < nx && y > 0 && y < ny && z > 0 &&
+                              z < nz;
+        if (interior && config.jitter > 0.0f) {
+          p.x += rng.Uniform(-config.jitter, config.jitter) * step.x;
+          p.y += rng.Uniform(-config.jitter, config.jitter) * step.y;
+          p.z += rng.Uniform(-config.jitter, config.jitter) * step.z;
+        }
+        m.vertices.push_back(p);
+      }
+    }
+  }
+
+  // Freudenthal (Kuhn) subdivision: one tet per permutation of the axis
+  // walk from the cube's min corner to its max corner. Face-compatible
+  // across cubes by construction.
+  static constexpr int kPerms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                       {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  m.tets.reserve(static_cast<std::size_t>(nx) * ny * nz * 6);
+  for (std::uint32_t x = 0; x < nx; ++x) {
+    for (std::uint32_t y = 0; y < ny; ++y) {
+      for (std::uint32_t z = 0; z < nz; ++z) {
+        for (const auto& perm : kPerms) {
+          std::array<std::uint32_t, 3> corner{x, y, z};
+          std::array<std::uint32_t, 4> tet;
+          tet[0] = vid(corner[0], corner[1], corner[2]);
+          for (int s = 0; s < 3; ++s) {
+            ++corner[perm[s]];
+            tet[s + 1] = vid(corner[0], corner[1], corner[2]);
+          }
+          if (config.carve) {
+            // Centroid on the unjittered lattice is fine for carving.
+            const Vec3 c = (m.vertices[tet[0]] + m.vertices[tet[1]] +
+                            m.vertices[tet[2]] + m.vertices[tet[3]]) *
+                           0.25f;
+            if (config.carve(c)) continue;
+          }
+          m.tets.push_back(tet);
+        }
+      }
+    }
+  }
+  m.RebuildTopology();
+  return m;
+}
+
+std::function<bool(const Vec3&)> SphereCarve(const Vec3& centre,
+                                             float radius) {
+  const float r2 = radius * radius;
+  return [centre, r2](const Vec3& p) {
+    return SquaredDistance(p, centre) <= r2;
+  };
+}
+
+}  // namespace simspatial::mesh

@@ -1,0 +1,91 @@
+// SimSpatial — tetrahedral mesh substrate.
+//
+// §4.3's mesh-connectivity indexes (DLS [22], OCTOPUS [29], FLAT [28])
+// operate on unstructured tetrahedral meshes of the kind produced by
+// earthquake and material-deformation simulations. This module provides
+// the mesh data structure (vertices, tets, face adjacency), an exact
+// invariant checker, and a generator that builds structured Freudenthal
+// meshes (6 tets per cube, face-compatible across cubes) with optional
+// vertex jitter and carved holes — the concave cases on which DLS's
+// convexity assumption breaks.
+
+#ifndef SIMSPATIAL_MESH_TETMESH_H_
+#define SIMSPATIAL_MESH_TETMESH_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/element.h"
+#include "common/geometry.h"
+
+namespace simspatial::mesh {
+
+/// Index of a tetrahedron within a mesh.
+using TetId = std::uint32_t;
+inline constexpr TetId kNoTet = 0xffffffffu;
+
+/// Face-based tetrahedral mesh with full adjacency.
+struct TetMesh {
+  std::vector<Vec3> vertices;
+  /// Vertex indices per tet.
+  std::vector<std::array<std::uint32_t, 4>> tets;
+  /// neighbors[t][i] = tet sharing the face opposite vertex i (kNoTet at
+  /// the mesh boundary).
+  std::vector<std::array<TetId, 4>> neighbors;
+  /// Cached per-tet bounding boxes (the query-side filter geometry).
+  std::vector<AABB> bounds;
+  AABB domain;
+
+  std::size_t size() const { return tets.size(); }
+
+  Tetrahedron TetAt(TetId t) const {
+    const auto& v = tets[t];
+    return Tetrahedron{{vertices[v[0]], vertices[v[1]], vertices[v[2]],
+                        vertices[v[3]]}};
+  }
+
+  Vec3 Centroid(TetId t) const { return TetAt(t).Centroid(); }
+
+  /// Recompute neighbors and bounds from vertices/tets.
+  void RebuildTopology();
+
+  /// Tets with at least one boundary face.
+  std::vector<TetId> SurfaceTets() const;
+
+  /// Number of face-connected components.
+  std::size_t ConnectedComponents() const;
+
+  /// Adjacency symmetry, non-degenerate volumes, bounds freshness.
+  bool CheckInvariants(std::string* error) const;
+
+  /// View of the mesh as index elements (element id = tet id).
+  std::vector<Element> AsElements() const;
+};
+
+/// Structured-mesh generation parameters.
+struct StructuredMeshConfig {
+  std::uint32_t nx = 8;
+  std::uint32_t ny = 8;
+  std::uint32_t nz = 8;
+  AABB domain{Vec3(0, 0, 0), Vec3(10, 10, 10)};
+  /// Vertex jitter as a fraction of the cell size (< 0.3 keeps tets valid);
+  /// interior vertices only, so the domain hull stays convex.
+  float jitter = 0.0f;
+  std::uint64_t seed = 101;
+  /// Tets whose centroid satisfies this predicate are removed (carving
+  /// holes makes the mesh concave). Null keeps the mesh convex.
+  std::function<bool(const Vec3&)> carve;
+};
+
+/// Generate a Freudenthal-subdivided box mesh.
+TetMesh GenerateStructuredMesh(const StructuredMeshConfig& config);
+
+/// Convenience carve predicate: sphere of `radius` around `centre`.
+std::function<bool(const Vec3&)> SphereCarve(const Vec3& centre, float radius);
+
+}  // namespace simspatial::mesh
+
+#endif  // SIMSPATIAL_MESH_TETMESH_H_

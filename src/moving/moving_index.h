@@ -1,0 +1,56 @@
+// SimSpatial — moving-object index interface.
+//
+// §4.2 surveys update strategies for data where "the entire spatial model
+// undergoes massive changes in each step": predictable-trajectory indexes
+// (TPR family), grace-window / lazy-update indexes, buffered updates,
+// throwaway (rebuild) indexes, and the plain linear scan. Each strategy is
+// implemented behind this interface so the §4 benches can sweep them under
+// one protocol: Build once, then per step ApplyUpdates + queries.
+
+#ifndef SIMSPATIAL_MOVING_MOVING_INDEX_H_
+#define SIMSPATIAL_MOVING_MOVING_INDEX_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::moving {
+
+/// Cumulative maintenance accounting.
+struct MaintenanceStats {
+  std::uint64_t updates_received = 0;
+  std::uint64_t structural_updates = 0;  ///< Delete+reinsert style ops.
+  std::uint64_t rebuilds = 0;
+  std::uint64_t buffered = 0;  ///< Updates absorbed without index work.
+};
+
+/// An index that survives per-step bulk position updates. Queries are
+/// non-const because several strategies (throwaway, buffered) perform
+/// deferred maintenance lazily at query time.
+class MovingIndex {
+ public:
+  virtual ~MovingIndex() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Load the initial model.
+  virtual void Build(std::span<const Element> elements,
+                     const AABB& universe) = 0;
+
+  /// One simulation step's worth of position updates.
+  virtual void ApplyUpdates(std::span<const ElementUpdate> updates) = 0;
+
+  /// Exact range query.
+  virtual void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                          QueryCounters* counters = nullptr) = 0;
+
+  virtual std::size_t size() const = 0;
+  virtual const MaintenanceStats& maintenance_stats() const = 0;
+};
+
+}  // namespace simspatial::moving
+
+#endif  // SIMSPATIAL_MOVING_MOVING_INDEX_H_

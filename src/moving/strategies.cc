@@ -1,0 +1,229 @@
+#include "moving/strategies.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bruteforce.h"
+
+namespace simspatial::moving {
+
+// --- LinearScanIndex --------------------------------------------------------
+
+void LinearScanIndex::Build(std::span<const Element> elements,
+                            const AABB& universe) {
+  (void)universe;
+  elements_.assign(elements.begin(), elements.end());
+  pos_.clear();
+  pos_.reserve(elements_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    pos_[elements_[i].id] = i;
+  }
+  stats_ = MaintenanceStats{};
+}
+
+void LinearScanIndex::ApplyUpdates(std::span<const ElementUpdate> updates) {
+  for (const ElementUpdate& u : updates) {
+    const auto it = pos_.find(u.id);
+    if (it == pos_.end()) continue;
+    elements_[it->second].box = u.new_box;
+    ++stats_.updates_received;
+  }
+}
+
+void LinearScanIndex::RangeQuery(const AABB& range,
+                                 std::vector<ElementId>* out,
+                                 QueryCounters* counters) {
+  *out = ScanRange(elements_, range, counters);
+}
+
+// --- ThrowawayStrIndex ------------------------------------------------------
+
+ThrowawayStrIndex::ThrowawayStrIndex(rtree::RTreeOptions options)
+    : options_(options), tree_(options) {}
+
+void ThrowawayStrIndex::Build(std::span<const Element> elements,
+                              const AABB& universe) {
+  (void)universe;
+  elements_.assign(elements.begin(), elements.end());
+  pos_.clear();
+  pos_.reserve(elements_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    pos_[elements_[i].id] = i;
+  }
+  tree_.BulkLoadStr(elements_);
+  stats_ = MaintenanceStats{};
+  ++stats_.rebuilds;
+  dirty_ = false;
+}
+
+void ThrowawayStrIndex::ApplyUpdates(std::span<const ElementUpdate> updates) {
+  for (const ElementUpdate& u : updates) {
+    const auto it = pos_.find(u.id);
+    if (it == pos_.end()) continue;
+    elements_[it->second].box = u.new_box;
+    ++stats_.updates_received;
+  }
+  if (!updates.empty()) dirty_ = true;
+  // Rebuild eagerly: the throwaway strategy's cost is maintenance, and the
+  // benches account it as such (queries between batches stay cheap).
+  RebuildIfDirty();
+}
+
+void ThrowawayStrIndex::RebuildIfDirty() {
+  if (!dirty_) return;
+  tree_.BulkLoadStr(elements_);
+  ++stats_.rebuilds;
+  dirty_ = false;
+}
+
+void ThrowawayStrIndex::RangeQuery(const AABB& range,
+                                   std::vector<ElementId>* out,
+                                   QueryCounters* counters) {
+  RebuildIfDirty();
+  tree_.RangeQuery(range, out, counters);
+}
+
+// --- IncrementalRTreeIndex --------------------------------------------------
+
+IncrementalRTreeIndex::IncrementalRTreeIndex(rtree::RTreeOptions options)
+    : tree_(options) {}
+
+void IncrementalRTreeIndex::Build(std::span<const Element> elements,
+                                  const AABB& universe) {
+  (void)universe;
+  tree_.BulkLoadStr(elements);
+  stats_ = MaintenanceStats{};
+  ++stats_.rebuilds;
+}
+
+void IncrementalRTreeIndex::ApplyUpdates(
+    std::span<const ElementUpdate> updates) {
+  for (const ElementUpdate& u : updates) {
+    if (tree_.Update(u.id, u.new_box)) {
+      ++stats_.updates_received;
+      ++stats_.structural_updates;
+    }
+  }
+}
+
+void IncrementalRTreeIndex::RangeQuery(const AABB& range,
+                                       std::vector<ElementId>* out,
+                                       QueryCounters* counters) {
+  tree_.RangeQuery(range, out, counters);
+}
+
+// --- LazyUpdateRTreeIndex ---------------------------------------------------
+
+LazyUpdateRTreeIndex::LazyUpdateRTreeIndex(float grace_margin,
+                                           rtree::RTreeOptions options)
+    : grace_(grace_margin), tree_(options) {
+  assert(grace_ >= 0.0f);
+}
+
+void LazyUpdateRTreeIndex::Build(std::span<const Element> elements,
+                                 const AABB& universe) {
+  (void)universe;
+  exact_.clear();
+  grace_box_.clear();
+  std::vector<Element> inflated;
+  inflated.reserve(elements.size());
+  for (const Element& e : elements) {
+    exact_[e.id] = e.box;
+    const AABB g = e.box.Inflated(grace_);
+    grace_box_[e.id] = g;
+    inflated.emplace_back(e.id, g);
+  }
+  tree_.BulkLoadStr(inflated);
+  stats_ = MaintenanceStats{};
+  ++stats_.rebuilds;
+}
+
+void LazyUpdateRTreeIndex::ApplyUpdates(
+    std::span<const ElementUpdate> updates) {
+  for (const ElementUpdate& u : updates) {
+    const auto it = exact_.find(u.id);
+    if (it == exact_.end()) continue;
+    ++stats_.updates_received;
+    it->second = u.new_box;
+    AABB& grace = grace_box_[u.id];
+    if (grace.Contains(u.new_box)) {
+      ++stats_.buffered;  // Still inside the grace window: free.
+      continue;
+    }
+    const AABB fresh = u.new_box.Inflated(grace_);
+    tree_.Update(u.id, fresh);
+    grace = fresh;
+    ++stats_.structural_updates;
+  }
+}
+
+void LazyUpdateRTreeIndex::RangeQuery(const AABB& range,
+                                      std::vector<ElementId>* out,
+                                      QueryCounters* counters) {
+  // Filter over grace boxes, then mandatory refinement over exact boxes —
+  // the query-side cost of looseness.
+  std::vector<ElementId> candidates;
+  tree_.RangeQuery(range, &candidates, counters);
+  out->clear();
+  for (const ElementId id : candidates) {
+    if (counters != nullptr) counters->element_tests += 1;
+    if (exact_.find(id)->second.Intersects(range)) out->push_back(id);
+  }
+  if (counters != nullptr) counters->results += out->size();
+}
+
+// --- BufferedRTreeIndex -----------------------------------------------------
+
+BufferedRTreeIndex::BufferedRTreeIndex(std::size_t flush_threshold,
+                                       rtree::RTreeOptions options)
+    : flush_threshold_(std::max<std::size_t>(1, flush_threshold)),
+      tree_(options) {}
+
+void BufferedRTreeIndex::Build(std::span<const Element> elements,
+                               const AABB& universe) {
+  (void)universe;
+  tree_.BulkLoadStr(elements);
+  buffer_.clear();
+  size_ = elements.size();
+  stats_ = MaintenanceStats{};
+  ++stats_.rebuilds;
+}
+
+void BufferedRTreeIndex::ApplyUpdates(std::span<const ElementUpdate> updates) {
+  for (const ElementUpdate& u : updates) {
+    buffer_[u.id] = u.new_box;
+    ++stats_.updates_received;
+    ++stats_.buffered;
+  }
+  if (buffer_.size() >= flush_threshold_) Flush();
+}
+
+void BufferedRTreeIndex::Flush() {
+  for (const auto& [id, box] : buffer_) {
+    tree_.Update(id, box);
+    ++stats_.structural_updates;
+  }
+  buffer_.clear();
+}
+
+void BufferedRTreeIndex::RangeQuery(const AABB& range,
+                                    std::vector<ElementId>* out,
+                                    QueryCounters* counters) {
+  // Index side: results whose element has not been buffered since the last
+  // flush are current.
+  std::vector<ElementId> from_tree;
+  tree_.RangeQuery(range, &from_tree, counters);
+  out->clear();
+  for (const ElementId id : from_tree) {
+    if (buffer_.find(id) == buffer_.end()) out->push_back(id);
+  }
+  // Buffer side: every buffered element must be tested — the §4.2 overhead
+  // ("buffer and index need to be checked").
+  for (const auto& [id, box] : buffer_) {
+    if (counters != nullptr) counters->element_tests += 1;
+    if (box.Intersects(range)) out->push_back(id);
+  }
+  if (counters != nullptr) counters->results += out->size();
+}
+
+}  // namespace simspatial::moving

@@ -1,0 +1,132 @@
+// SimSpatial — concrete moving-object index strategies (§4.2).
+
+#ifndef SIMSPATIAL_MOVING_STRATEGIES_H_
+#define SIMSPATIAL_MOVING_STRATEGIES_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "moving/moving_index.h"
+#include "rtree/rtree.h"
+
+namespace simspatial::moving {
+
+/// No index at all: the paper's "using no index, i.e., a linear scan over
+/// the dataset, may be faster" baseline. Updates are free (the dataset *is*
+/// the structure); queries pay O(n).
+class LinearScanIndex : public MovingIndex {
+ public:
+  std::string_view name() const override { return "linear-scan"; }
+  void Build(std::span<const Element> elements, const AABB& universe) override;
+  void ApplyUpdates(std::span<const ElementUpdate> updates) override;
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters) override;
+  std::size_t size() const override { return elements_.size(); }
+  const MaintenanceStats& maintenance_stats() const override { return stats_; }
+
+ private:
+  std::vector<Element> elements_;
+  std::unordered_map<ElementId, std::size_t> pos_;
+  MaintenanceStats stats_;
+};
+
+/// Throwaway index [7]: discard and STR-rebuild after every update batch
+/// (lazily, at the first query that sees a dirty state).
+class ThrowawayStrIndex : public MovingIndex {
+ public:
+  explicit ThrowawayStrIndex(rtree::RTreeOptions options = {});
+  std::string_view name() const override { return "throwaway-str"; }
+  void Build(std::span<const Element> elements, const AABB& universe) override;
+  void ApplyUpdates(std::span<const ElementUpdate> updates) override;
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters) override;
+  std::size_t size() const override { return elements_.size(); }
+  const MaintenanceStats& maintenance_stats() const override { return stats_; }
+
+ private:
+  void RebuildIfDirty();
+
+  rtree::RTreeOptions options_;
+  rtree::RTree tree_;
+  std::vector<Element> elements_;
+  std::unordered_map<ElementId, std::size_t> pos_;
+  bool dirty_ = false;
+  MaintenanceStats stats_;
+};
+
+/// Incremental R-Tree: every update is applied to the tree immediately
+/// (classical delete+reinsert, optionally with the bottom-up in-place
+/// patch). The strategy the §4.1 experiment shows losing to rebuilds.
+class IncrementalRTreeIndex : public MovingIndex {
+ public:
+  explicit IncrementalRTreeIndex(rtree::RTreeOptions options = {});
+  std::string_view name() const override { return "incremental-rtree"; }
+  void Build(std::span<const Element> elements, const AABB& universe) override;
+  void ApplyUpdates(std::span<const ElementUpdate> updates) override;
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters) override;
+  std::size_t size() const override { return tree_.size(); }
+  const MaintenanceStats& maintenance_stats() const override { return stats_; }
+
+ private:
+  rtree::RTree tree_;
+  MaintenanceStats stats_;
+};
+
+/// Lazy-update R-Tree [18] / grace-window approach [30]: leaf entries carry
+/// boxes inflated by a grace margin; an element moving within its grace box
+/// costs only a table write. The margin shifts work to queries, which must
+/// refine every candidate against the exact table — §4.2: "the burden is
+/// shifted to the query execution where objects need to be tested for
+/// intersection with the query".
+class LazyUpdateRTreeIndex : public MovingIndex {
+ public:
+  explicit LazyUpdateRTreeIndex(float grace_margin,
+                                rtree::RTreeOptions options = {});
+  std::string_view name() const override { return "lazy-rtree"; }
+  void Build(std::span<const Element> elements, const AABB& universe) override;
+  void ApplyUpdates(std::span<const ElementUpdate> updates) override;
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters) override;
+  std::size_t size() const override { return exact_.size(); }
+  const MaintenanceStats& maintenance_stats() const override { return stats_; }
+  float grace_margin() const { return grace_; }
+
+ private:
+  float grace_;
+  rtree::RTree tree_;  // Indexes grace (inflated) boxes.
+  std::unordered_map<ElementId, AABB> exact_;  // Current tight boxes.
+  std::unordered_map<ElementId, AABB> grace_box_;
+  MaintenanceStats stats_;
+};
+
+/// Buffered updates [6]: updates accumulate in a side buffer; the base tree
+/// is only patched when the buffer overflows. Queries must consult both
+/// structures — the other §4.2 cost shift.
+class BufferedRTreeIndex : public MovingIndex {
+ public:
+  explicit BufferedRTreeIndex(std::size_t flush_threshold,
+                              rtree::RTreeOptions options = {});
+  std::string_view name() const override { return "buffered-rtree"; }
+  void Build(std::span<const Element> elements, const AABB& universe) override;
+  void ApplyUpdates(std::span<const ElementUpdate> updates) override;
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters) override;
+  std::size_t size() const override { return size_; }
+  const MaintenanceStats& maintenance_stats() const override { return stats_; }
+  std::size_t buffered_count() const { return buffer_.size(); }
+
+ private:
+  void Flush();
+
+  std::size_t flush_threshold_;
+  rtree::RTree tree_;                          // State as of last flush.
+  std::unordered_map<ElementId, AABB> buffer_;  // id -> current box.
+  std::size_t size_ = 0;
+  MaintenanceStats stats_;
+};
+
+}  // namespace simspatial::moving
+
+#endif  // SIMSPATIAL_MOVING_STRATEGIES_H_

@@ -1,0 +1,88 @@
+#include "moving/tpr_lite.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace simspatial::moving {
+
+TprLite::TprLite(TprLiteOptions options) : options_(options) {
+  options_.group_size = std::max<std::uint32_t>(4, options_.group_size);
+}
+
+void TprLite::Build(std::span<const Element> elements,
+                    std::span<const Vec3> velocities, double t0) {
+  assert(elements.size() == velocities.size());
+  t0_ = t0;
+  boxes_.clear();
+  vels_.clear();
+  ids_.clear();
+  groups_.clear();
+
+  // Order by Morton code of the predicted midpoint a short horizon ahead,
+  // which groups elements that will stay together (the TPR insight of
+  // integrating velocity into the sort key).
+  AABB bounds;
+  for (const Element& e : elements) bounds.Extend(e.box);
+  std::vector<std::uint32_t> order(elements.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::uint64_t> keys(elements.size());
+  for (std::uint32_t i = 0; i < elements.size(); ++i) {
+    keys[i] = MortonEncode(elements[i].box.Center(), bounds);
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return keys[a] < keys[b];
+  });
+
+  boxes_.reserve(elements.size());
+  vels_.reserve(elements.size());
+  ids_.reserve(elements.size());
+  for (const std::uint32_t i : order) {
+    boxes_.push_back(elements[i].box);
+    vels_.push_back(velocities[i]);
+    ids_.push_back(elements[i].id);
+  }
+  for (std::uint32_t begin = 0; begin < boxes_.size();
+       begin += options_.group_size) {
+    Group g;
+    g.begin = begin;
+    g.end = std::min<std::uint32_t>(begin + options_.group_size,
+                                    static_cast<std::uint32_t>(boxes_.size()));
+    g.vmin = Vec3(std::numeric_limits<float>::max(),
+                  std::numeric_limits<float>::max(),
+                  std::numeric_limits<float>::max());
+    g.vmax = Vec3(std::numeric_limits<float>::lowest(),
+                  std::numeric_limits<float>::lowest(),
+                  std::numeric_limits<float>::lowest());
+    for (std::uint32_t i = g.begin; i < g.end; ++i) {
+      g.mbr0.Extend(boxes_[i]);
+      g.vmin = Vec3::Min(g.vmin, vels_[i]);
+      g.vmax = Vec3::Max(g.vmax, vels_[i]);
+    }
+    groups_.push_back(g);
+  }
+}
+
+void TprLite::QueryAt(double t, const AABB& range, std::vector<ElementId>* out,
+                      QueryCounters* counters) const {
+  out->clear();
+  const float dt = static_cast<float>(t - t0_);
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  for (const Group& g : groups_) {
+    // Group bounds at time t: corner-wise velocity envelope.
+    const AABB at_t(g.mbr0.min + g.vmin * dt, g.mbr0.max + g.vmax * dt);
+    c.structure_tests += 1;
+    if (!at_t.Intersects(range)) continue;
+    c.nodes_visited += 1;
+    for (std::uint32_t i = g.begin; i < g.end; ++i) {
+      c.element_tests += 1;
+      const AABB predicted = boxes_[i].Translated(vels_[i] * dt);
+      if (predicted.Intersects(range)) out->push_back(ids_[i]);
+    }
+  }
+  c.results += out->size();
+}
+
+}  // namespace simspatial::moving

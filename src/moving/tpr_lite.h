@@ -1,0 +1,68 @@
+// SimSpatial — TPR-lite: a time-parameterised predictive index.
+//
+// §4.2: "A first class assumes that moving objects have a predictable
+// trajectory, i.e., approximately constant speed and direction, and this
+// class thus only indexes the trajectory (STRIPES, TPR*-Tree, TPR-Tree).
+// ... These approaches do not work well for simulations because the
+// movement of objects cannot be predicted."
+//
+// TprLite captures the essence of the TPR family: it stores, at a reference
+// time t0, each element's box and velocity, and answers queries at a later
+// time t against *predicted* positions (boxes translated by v·(t−t0); group
+// bounds expanded by the group's velocity envelope). For linear motion the
+// answers are exact; for the random-walk kinetics of real simulations the
+// predictions drift and recall decays — the failure mode the paper calls
+// out, measured by bench_update_policies and the test suite.
+
+#ifndef SIMSPATIAL_MOVING_TPR_LITE_H_
+#define SIMSPATIAL_MOVING_TPR_LITE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::moving {
+
+struct TprLiteOptions {
+  std::uint32_t group_size = 64;
+};
+
+/// Velocity-extrapolating snapshot index.
+class TprLite {
+ public:
+  explicit TprLite(TprLiteOptions options = {});
+
+  /// Snapshot `elements` with per-element `velocities` (units per time) at
+  /// reference time `t0`. Sizes must match.
+  void Build(std::span<const Element> elements,
+             std::span<const Vec3> velocities, double t0);
+
+  /// Range query against positions predicted for time `t` (>= t0).
+  void QueryAt(double t, const AABB& range, std::vector<ElementId>* out,
+               QueryCounters* counters = nullptr) const;
+
+  double reference_time() const { return t0_; }
+  std::size_t size() const { return boxes_.size(); }
+
+ private:
+  struct Group {
+    AABB mbr0;
+    Vec3 vmin;  // Per-axis min velocity in the group.
+    Vec3 vmax;  // Per-axis max velocity in the group.
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  TprLiteOptions options_;
+  double t0_ = 0;
+  std::vector<AABB> boxes_;       // STR-ordered snapshot boxes.
+  std::vector<Vec3> vels_;
+  std::vector<ElementId> ids_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace simspatial::moving
+
+#endif  // SIMSPATIAL_MOVING_TPR_LITE_H_

@@ -1,0 +1,204 @@
+#include "pam/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_set>
+
+namespace simspatial::pam {
+
+struct KdTree::Node {
+  AABB region;                 // Space owned by this node.
+  float split = 0;             // Split plane position (internal only).
+  std::uint8_t axis = 0;       // Split axis (internal only).
+  std::unique_ptr<Node> lo;    // region[axis] <= split.
+  std::unique_ptr<Node> hi;    // region[axis] >= split.
+  std::vector<std::uint32_t> items;  // Leaf: indices into elements_.
+
+  bool IsLeaf() const { return lo == nullptr; }
+};
+
+KdTree::KdTree(KdTreeOptions options) : options_(options) {}
+KdTree::~KdTree() = default;
+KdTree::KdTree(KdTree&&) noexcept = default;
+KdTree& KdTree::operator=(KdTree&&) noexcept = default;
+
+void KdTree::Build(std::span<const Element> elements, const AABB& universe) {
+  elements_.assign(elements.begin(), elements.end());
+  // Grow the root region to cover every element completely; otherwise boxes
+  // protruding past the universe walls would not be fully covered by their
+  // leaves, breaking k-NN admissibility.
+  universe_ = universe;
+  for (const Element& e : elements_) universe_.Extend(e.box);
+  size_ = elements_.size();
+  root_ = std::make_unique<Node>();
+  root_->region = universe_;
+  std::vector<std::uint32_t> idx(elements_.size());
+  for (std::uint32_t i = 0; i < elements_.size(); ++i) idx[i] = i;
+  BuildNode(root_.get(), &idx, 0);
+}
+
+void KdTree::BuildNode(Node* node, std::vector<std::uint32_t>* idx,
+                       std::uint32_t depth) {
+  if (idx->size() <= options_.leaf_capacity || depth >= options_.max_depth) {
+    node->items = std::move(*idx);
+    return;
+  }
+  // Spatial median on the widest axis of the region (cycling axes degrades
+  // on skewed data; widest-axis is the standard robust choice).
+  const Vec3 ext = node->region.Extent();
+  std::uint8_t axis = 0;
+  if (ext.y > ext[axis]) axis = 1;
+  if (ext.z > ext[axis]) axis = 2;
+  const float split =
+      (node->region.min[axis] + node->region.max[axis]) * 0.5f;
+
+  node->axis = axis;
+  node->split = split;
+  node->lo = std::make_unique<Node>();
+  node->hi = std::make_unique<Node>();
+  node->lo->region = node->region;
+  node->lo->region.max[axis] = split;
+  node->hi->region = node->region;
+  node->hi->region.min[axis] = split;
+
+  std::vector<std::uint32_t> lo_idx;
+  std::vector<std::uint32_t> hi_idx;
+  for (const std::uint32_t i : *idx) {
+    const AABB& b = elements_[i].box;
+    // Replication: an element straddling the plane goes to both sides.
+    if (b.min[axis] <= split) lo_idx.push_back(i);
+    if (b.max[axis] >= split) hi_idx.push_back(i);
+  }
+  // Degenerate split (everything straddles): stop subdividing.
+  if (lo_idx.size() == idx->size() && hi_idx.size() == idx->size()) {
+    node->lo.reset();
+    node->hi.reset();
+    node->items = std::move(*idx);
+    return;
+  }
+  idx->clear();
+  idx->shrink_to_fit();
+  BuildNode(node->lo.get(), &lo_idx, depth + 1);
+  BuildNode(node->hi.get(), &hi_idx, depth + 1);
+}
+
+void KdTree::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                        QueryCounters* counters) const {
+  out->clear();
+  if (root_ == nullptr || size_ == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    if (n->IsLeaf()) {
+      c.element_tests += n->items.size();
+      c.bytes_read += n->items.size() * sizeof(std::uint32_t);
+      for (const std::uint32_t i : n->items) {
+        const AABB& b = elements_[i].box;
+        if (!b.Intersects(range)) continue;
+        // Canonical point: the min corner of box∩range lies in exactly one
+        // leaf region under half-open containment (closed only at the root
+        // boundary); report the element only there.
+        const Vec3 canon = Vec3::Max(b.min, range.min);
+        bool canonical = true;
+        for (int axis = 0; axis < 3 && canonical; ++axis) {
+          canonical = canon[axis] >= n->region.min[axis] &&
+                      (canon[axis] < n->region.max[axis] ||
+                       n->region.max[axis] >= universe_.max[axis]);
+        }
+        if (canonical) out->push_back(elements_[i].id);
+      }
+    } else {
+      c.structure_tests += 2;
+      if (range.min[n->axis] <= n->split) stack.push_back(n->lo.get());
+      if (range.max[n->axis] >= n->split) stack.push_back(n->hi.get());
+    }
+  }
+  c.results += out->size();
+}
+
+void KdTree::KnnQuery(const Vec3& p, std::size_t k,
+                      std::vector<ElementId>* out,
+                      QueryCounters* counters) const {
+  out->clear();
+  if (root_ == nullptr || size_ == 0 || k == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  struct PqEntry {
+    float dist2;
+    bool is_element;
+    ElementId eid;
+    const Node* node;
+    bool operator>(const PqEntry& o) const {
+      if (dist2 != o.dist2) return dist2 > o.dist2;
+      if (is_element != o.is_element) return is_element && !o.is_element;
+      return eid > o.eid;
+    }
+  };
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  pq.push({0.0f, false, 0, root_.get()});
+  std::unordered_set<ElementId> enqueued;  // Replication deduplication.
+
+  while (!pq.empty() && out->size() < k) {
+    const PqEntry e = pq.top();
+    pq.pop();
+    if (e.is_element) {
+      out->push_back(e.eid);
+      continue;
+    }
+    const Node* n = e.node;
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    if (n->IsLeaf()) {
+      for (const std::uint32_t i : n->items) {
+        const Element& el = elements_[i];
+        if (!enqueued.insert(el.id).second) continue;
+        c.distance_computations += 1;
+        pq.push({el.box.SquaredDistanceTo(p), true, el.id, nullptr});
+      }
+    } else {
+      c.distance_computations += 2;
+      pq.push({n->lo->region.SquaredDistanceTo(p), false, 0, n->lo.get()});
+      pq.push({n->hi->region.SquaredDistanceTo(p), false, 0, n->hi.get()});
+    }
+  }
+  c.results += out->size();
+}
+
+KdTreeShape KdTree::Shape() const {
+  KdTreeShape s;
+  s.elements = size_;
+  if (root_ == nullptr) return s;
+  struct Frame {
+    const Node* node;
+    std::uint32_t depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 1}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    s.depth = std::max(s.depth, f.depth);
+    if (f.node->IsLeaf()) {
+      ++s.leaves;
+      s.total_slots += f.node->items.size();
+    } else {
+      ++s.internal;
+      stack.push_back({f.node->lo.get(), f.depth + 1});
+      stack.push_back({f.node->hi.get(), f.depth + 1});
+    }
+  }
+  s.replication_factor =
+      s.elements == 0 ? 0.0
+                      : static_cast<double>(s.total_slots) /
+                            static_cast<double>(s.elements);
+  return s;
+}
+
+}  // namespace simspatial::pam

@@ -1,0 +1,77 @@
+// SimSpatial — KD-Tree over space with leaf-level replication.
+//
+// §3.2: point access methods (KD-Tree, Quadtree, Octree) support volumetric
+// objects "by replicating elements which occupy several partitions on the
+// leaf level. However, by doing so, the index size is increased massively."
+// This implementation does exactly that — space is split at the spatial
+// median (cycling axes), elements are copied into every leaf they overlap —
+// and exposes the size blow-up via Shape() so benches can quantify the
+// paper's complaint.
+
+#ifndef SIMSPATIAL_PAM_KDTREE_H_
+#define SIMSPATIAL_PAM_KDTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::pam {
+
+struct KdTreeOptions {
+  std::uint32_t leaf_capacity = 32;
+  std::uint32_t max_depth = 24;
+};
+
+struct KdTreeShape {
+  std::size_t elements = 0;
+  std::size_t leaves = 0;
+  std::size_t internal = 0;
+  std::size_t total_slots = 0;  ///< Replicated entries across leaves.
+  double replication_factor = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Static KD partition of space over volumetric elements (rebuild to
+/// update; the structure is a query-side baseline in the benches).
+class KdTree {
+ public:
+  explicit KdTree(KdTreeOptions options = {});
+  ~KdTree();
+  KdTree(KdTree&&) noexcept;
+  KdTree& operator=(KdTree&&) noexcept;
+
+  void Build(std::span<const Element> elements, const AABB& universe);
+
+  /// Exact range query (canonical-point deduplication across leaves).
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters = nullptr) const;
+
+  /// Exact k-NN by box distance (best-first over partitions; candidate set
+  /// deduplicated).
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* counters = nullptr) const;
+
+  std::size_t size() const { return size_; }
+  KdTreeShape Shape() const;
+
+ private:
+  struct Node;
+
+  void BuildNode(Node* node, std::vector<std::uint32_t>* idx,
+                 std::uint32_t depth);
+
+  KdTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::vector<Element> elements_;  // Indexed copy of the dataset.
+  AABB universe_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace simspatial::pam
+
+#endif  // SIMSPATIAL_PAM_KDTREE_H_

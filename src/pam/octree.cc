@@ -1,0 +1,196 @@
+#include "pam/octree.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace simspatial::pam {
+
+struct Octree::Node {
+  AABB region;
+  std::array<std::unique_ptr<Node>, 8> child;  // Null in leaves.
+  std::vector<std::uint32_t> items;
+  bool is_leaf = true;
+};
+
+Octree::Octree(OctreeOptions options) : options_(options) {}
+Octree::~Octree() = default;
+Octree::Octree(Octree&&) noexcept = default;
+Octree& Octree::operator=(Octree&&) noexcept = default;
+
+void Octree::Build(std::span<const Element> elements, const AABB& universe) {
+  elements_.assign(elements.begin(), elements.end());
+  universe_ = universe;
+  for (const Element& e : elements_) universe_.Extend(e.box);
+  size_ = elements_.size();
+  root_ = std::make_unique<Node>();
+  root_->region = universe_;
+  std::vector<std::uint32_t> idx(elements_.size());
+  for (std::uint32_t i = 0; i < elements_.size(); ++i) idx[i] = i;
+  BuildNode(root_.get(), &idx, 0);
+}
+
+void Octree::BuildNode(Node* node, std::vector<std::uint32_t>* idx,
+                       std::uint32_t depth) {
+  if (idx->size() <= options_.leaf_capacity || depth >= options_.max_depth) {
+    node->items = std::move(*idx);
+    return;
+  }
+  const Vec3 mid = node->region.Center();
+  std::array<std::vector<std::uint32_t>, 8> parts;
+  for (const std::uint32_t i : *idx) {
+    const AABB& b = elements_[i].box;
+    // Octant occupancy bitmask per axis: an element goes to every octant
+    // its box overlaps (replication).
+    const bool lox = b.min.x <= mid.x;
+    const bool hix = b.max.x >= mid.x;
+    const bool loy = b.min.y <= mid.y;
+    const bool hiy = b.max.y >= mid.y;
+    const bool loz = b.min.z <= mid.z;
+    const bool hiz = b.max.z >= mid.z;
+    for (int o = 0; o < 8; ++o) {
+      const bool x_ok = (o & 1) ? hix : lox;
+      const bool y_ok = (o & 2) ? hiy : loy;
+      const bool z_ok = (o & 4) ? hiz : loz;
+      if (x_ok && y_ok && z_ok) parts[o].push_back(i);
+    }
+  }
+  // Degenerate: every octant inherits (nearly) everything -> stop.
+  std::size_t max_part = 0;
+  for (const auto& part : parts) max_part = std::max(max_part, part.size());
+  if (max_part >= idx->size()) {
+    node->items = std::move(*idx);
+    return;
+  }
+  node->is_leaf = false;
+  idx->clear();
+  idx->shrink_to_fit();
+  for (int o = 0; o < 8; ++o) {
+    node->child[o] = std::make_unique<Node>();
+    Node* ch = node->child[o].get();
+    ch->region = node->region;
+    if (o & 1) ch->region.min.x = mid.x; else ch->region.max.x = mid.x;
+    if (o & 2) ch->region.min.y = mid.y; else ch->region.max.y = mid.y;
+    if (o & 4) ch->region.min.z = mid.z; else ch->region.max.z = mid.z;
+    BuildNode(ch, &parts[o], depth + 1);
+  }
+}
+
+void Octree::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                        QueryCounters* counters) const {
+  out->clear();
+  if (root_ == nullptr || size_ == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    if (n->is_leaf) {
+      c.element_tests += n->items.size();
+      for (const std::uint32_t i : n->items) {
+        const AABB& b = elements_[i].box;
+        if (!b.Intersects(range)) continue;
+        const Vec3 canon = Vec3::Max(b.min, range.min);
+        bool canonical = true;
+        for (int axis = 0; axis < 3 && canonical; ++axis) {
+          canonical = canon[axis] >= n->region.min[axis] &&
+                      (canon[axis] < n->region.max[axis] ||
+                       n->region.max[axis] >= universe_.max[axis]);
+        }
+        if (canonical) out->push_back(elements_[i].id);
+      }
+    } else {
+      c.structure_tests += 8;
+      for (const auto& ch : n->child) {
+        if (ch->region.Intersects(range)) stack.push_back(ch.get());
+      }
+    }
+  }
+  c.results += out->size();
+}
+
+void Octree::KnnQuery(const Vec3& p, std::size_t k,
+                      std::vector<ElementId>* out,
+                      QueryCounters* counters) const {
+  out->clear();
+  if (root_ == nullptr || size_ == 0 || k == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  struct PqEntry {
+    float dist2;
+    bool is_element;
+    ElementId eid;
+    const Node* node;
+    bool operator>(const PqEntry& o) const {
+      if (dist2 != o.dist2) return dist2 > o.dist2;
+      if (is_element != o.is_element) return is_element && !o.is_element;
+      return eid > o.eid;
+    }
+  };
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  pq.push({0.0f, false, 0, root_.get()});
+  std::unordered_set<ElementId> enqueued;
+
+  while (!pq.empty() && out->size() < k) {
+    const PqEntry e = pq.top();
+    pq.pop();
+    if (e.is_element) {
+      out->push_back(e.eid);
+      continue;
+    }
+    const Node* n = e.node;
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    if (n->is_leaf) {
+      for (const std::uint32_t i : n->items) {
+        const Element& el = elements_[i];
+        if (!enqueued.insert(el.id).second) continue;
+        c.distance_computations += 1;
+        pq.push({el.box.SquaredDistanceTo(p), true, el.id, nullptr});
+      }
+    } else {
+      c.distance_computations += 8;
+      for (const auto& ch : n->child) {
+        pq.push({ch->region.SquaredDistanceTo(p), false, 0, ch.get()});
+      }
+    }
+  }
+  c.results += out->size();
+}
+
+OctreeShape Octree::Shape() const {
+  OctreeShape s;
+  s.elements = size_;
+  if (root_ == nullptr) return s;
+  struct Frame {
+    const Node* node;
+    std::uint32_t depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 1}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    s.depth = std::max(s.depth, f.depth);
+    if (f.node->is_leaf) {
+      ++s.leaves;
+      s.total_slots += f.node->items.size();
+    } else {
+      ++s.internal;
+      for (const auto& ch : f.node->child) {
+        stack.push_back({ch.get(), f.depth + 1});
+      }
+    }
+  }
+  s.replication_factor =
+      s.elements == 0 ? 0.0
+                      : static_cast<double>(s.total_slots) /
+                            static_cast<double>(s.elements);
+  return s;
+}
+
+}  // namespace simspatial::pam

@@ -1,0 +1,69 @@
+// SimSpatial — Octree with leaf-level replication.
+//
+// The classical space-oriented point access method of §3.2 ([14]), extended
+// to volumetric elements by replication. Like the KD-Tree it exists both as
+// a usable index and as the baseline whose "increase in index size" and
+// tree-traversal overhead the paper criticises; Shape() exposes both.
+
+#ifndef SIMSPATIAL_PAM_OCTREE_H_
+#define SIMSPATIAL_PAM_OCTREE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::pam {
+
+struct OctreeOptions {
+  std::uint32_t leaf_capacity = 32;
+  std::uint32_t max_depth = 10;
+};
+
+struct OctreeShape {
+  std::size_t elements = 0;
+  std::size_t leaves = 0;
+  std::size_t internal = 0;
+  std::size_t total_slots = 0;
+  double replication_factor = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Adaptive octree over volumetric elements (static; rebuild to update).
+class Octree {
+ public:
+  explicit Octree(OctreeOptions options = {});
+  ~Octree();
+  Octree(Octree&&) noexcept;
+  Octree& operator=(Octree&&) noexcept;
+
+  void Build(std::span<const Element> elements, const AABB& universe);
+
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters = nullptr) const;
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* counters = nullptr) const;
+
+  std::size_t size() const { return size_; }
+  OctreeShape Shape() const;
+
+ private:
+  struct Node;
+
+  void BuildNode(Node* node, std::vector<std::uint32_t>* idx,
+                 std::uint32_t depth);
+
+  OctreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::vector<Element> elements_;
+  AABB universe_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace simspatial::pam
+
+#endif  // SIMSPATIAL_PAM_OCTREE_H_

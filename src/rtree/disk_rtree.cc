@@ -1,0 +1,236 @@
+#include "rtree/disk_rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+namespace simspatial::rtree {
+
+// ---------------------------------------------------------------------------
+// On-page format.
+//
+//   offset 0 : uint16 level   (0 = leaf)
+//   offset 2 : uint16 count
+//   offset 4 : padding to 8
+//   offset 8 : entry[count], 28 bytes each:
+//                float32 min[3], float32 max[3], uint32 child_page | eid
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kEntryBytes = 28;
+
+struct EntryRef {
+  AABB box;
+  std::uint32_t value;
+};
+
+void WriteHeader(std::byte* page, std::uint16_t level, std::uint16_t count) {
+  std::memcpy(page, &level, 2);
+  std::memcpy(page + 2, &count, 2);
+}
+
+void WriteEntry(std::byte* page, std::size_t i, const AABB& box,
+                std::uint32_t value) {
+  std::byte* p = page + kHeaderBytes + i * kEntryBytes;
+  std::memcpy(p, &box.min.x, 4);
+  std::memcpy(p + 4, &box.min.y, 4);
+  std::memcpy(p + 8, &box.min.z, 4);
+  std::memcpy(p + 12, &box.max.x, 4);
+  std::memcpy(p + 16, &box.max.y, 4);
+  std::memcpy(p + 20, &box.max.z, 4);
+  std::memcpy(p + 24, &value, 4);
+}
+
+}  // namespace
+
+struct DiskRTree::PageView {
+  explicit PageView(const std::byte* data) : data_(data) {
+    std::memcpy(&level, data, 2);
+    std::memcpy(&count, data + 2, 2);
+  }
+
+  EntryRef Entry(std::size_t i) const {
+    const std::byte* p = data_ + kHeaderBytes + i * kEntryBytes;
+    EntryRef e;
+    std::memcpy(&e.box.min.x, p, 4);
+    std::memcpy(&e.box.min.y, p + 4, 4);
+    std::memcpy(&e.box.min.z, p + 8, 4);
+    std::memcpy(&e.box.max.x, p + 12, 4);
+    std::memcpy(&e.box.max.y, p + 16, 4);
+    std::memcpy(&e.box.max.z, p + 20, 4);
+    std::memcpy(&e.value, p + 24, 4);
+    return e;
+  }
+
+  std::uint16_t level = 0;
+  std::uint16_t count = 0;
+
+ private:
+  const std::byte* data_;
+};
+
+DiskRTree::DiskRTree(storage::PageStore* store,
+                     std::span<const Element> elements)
+    : store_(store) {
+  capacity_ = static_cast<std::uint32_t>(
+      (store_->page_size() - kHeaderBytes) / kEntryBytes);
+  assert(capacity_ >= 2);
+  size_ = elements.size();
+
+  // Level-0 entries.
+  std::vector<EntryRef> entries;
+  entries.reserve(elements.size());
+  for (const Element& e : elements) {
+    entries.push_back(EntryRef{e.box, e.id});
+  }
+
+  if (entries.empty()) {
+    const storage::PageId pg = store_->Allocate();
+    WriteHeader(store_->PagePtr(pg), 0, 0);
+    root_ = pg;
+    height_ = 1;
+    pages_used_ = 1;
+    return;
+  }
+
+  const auto cx = [](const EntryRef& e) { return e.box.min.x + e.box.max.x; };
+  const auto cy = [](const EntryRef& e) { return e.box.min.y + e.box.max.y; };
+  const auto cz = [](const EntryRef& e) { return e.box.min.z + e.box.max.z; };
+
+  std::uint16_t level = 0;
+  while (true) {
+    const std::size_t n = entries.size();
+    const std::size_t node_count = (n + capacity_ - 1) / capacity_;
+
+    // STR tiling at this level. Slab/run sizes are multiples of the page
+    // capacity so packed pages never straddle tile boundaries.
+    const std::size_t sx = static_cast<std::size_t>(
+        std::ceil(std::cbrt(static_cast<double>(node_count))));
+    const std::size_t nodes_per_slab = (node_count + sx - 1) / sx;
+    const std::size_t slab = nodes_per_slab * capacity_;
+    std::sort(entries.begin(), entries.end(),
+              [&](const EntryRef& a, const EntryRef& b) {
+                return cx(a) < cx(b);
+              });
+    for (std::size_t s0 = 0; s0 < n; s0 += slab) {
+      const std::size_t s1 = std::min(n, s0 + slab);
+      const std::size_t slab_nodes = (s1 - s0 + capacity_ - 1) / capacity_;
+      const std::size_t sy = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(slab_nodes))));
+      const std::size_t run = ((slab_nodes + sy - 1) / sy) * capacity_;
+      std::sort(entries.begin() + s0, entries.begin() + s1,
+                [&](const EntryRef& a, const EntryRef& b) {
+                  return cy(a) < cy(b);
+                });
+      for (std::size_t r0 = s0; r0 < s1; r0 += run) {
+        const std::size_t r1 = std::min(s1, r0 + run);
+        std::sort(entries.begin() + r0, entries.begin() + r1,
+                  [&](const EntryRef& a, const EntryRef& b) {
+                    return cz(a) < cz(b);
+                  });
+      }
+    }
+
+    // Pack consecutive runs into pages.
+    std::vector<EntryRef> next;
+    next.reserve(node_count);
+    for (std::size_t i = 0; i < n;) {
+      const std::size_t take = std::min<std::size_t>(capacity_, n - i);
+      const storage::PageId pg = store_->Allocate();
+      std::byte* raw = store_->PagePtr(pg);
+      WriteHeader(raw, level, static_cast<std::uint16_t>(take));
+      AABB mbr;
+      for (std::size_t j = 0; j < take; ++j) {
+        WriteEntry(raw, j, entries[i + j].box, entries[i + j].value);
+        mbr.Extend(entries[i + j].box);
+      }
+      ++pages_used_;
+      next.push_back(EntryRef{mbr, pg});
+      i += take;
+    }
+    if (next.size() == 1) {
+      root_ = next[0].value;
+      height_ = level + 1;
+      return;
+    }
+    entries = std::move(next);
+    ++level;
+  }
+}
+
+void DiskRTree::RangeQuery(const AABB& range, storage::BufferPool* pool,
+                           std::vector<ElementId>* out,
+                           QueryCounters* counters) const {
+  out->clear();
+  std::vector<storage::PageId> stack{root_};
+  while (!stack.empty()) {
+    const storage::PageId pg = stack.back();
+    stack.pop_back();
+    const auto guard = pool->Fetch(pg, counters);
+    const PageView view(guard.data());
+    if (counters != nullptr) {
+      counters->nodes_visited += 1;
+      counters->pointer_hops += 1;
+    }
+    if (view.level == 0) {
+      if (counters != nullptr) counters->element_tests += view.count;
+      for (std::size_t i = 0; i < view.count; ++i) {
+        const EntryRef e = view.Entry(i);
+        if (e.box.Intersects(range)) out->push_back(e.value);
+      }
+    } else {
+      if (counters != nullptr) counters->structure_tests += view.count;
+      for (std::size_t i = 0; i < view.count; ++i) {
+        const EntryRef e = view.Entry(i);
+        if (e.box.Intersects(range)) stack.push_back(e.value);
+      }
+    }
+  }
+  if (counters != nullptr) counters->results += out->size();
+}
+
+void DiskRTree::KnnQuery(const Vec3& p, std::size_t k,
+                         storage::BufferPool* pool,
+                         std::vector<ElementId>* out,
+                         QueryCounters* counters) const {
+  out->clear();
+  if (k == 0 || size_ == 0) return;
+  struct PqEntry {
+    float dist2;
+    bool is_element;
+    std::uint32_t value;  // Page id or element id.
+    bool operator>(const PqEntry& o) const {
+      if (dist2 != o.dist2) return dist2 > o.dist2;
+      if (is_element != o.is_element) return is_element && !o.is_element;
+      return value > o.value;
+    }
+  };
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  pq.push({0.0f, false, root_});
+  while (!pq.empty() && out->size() < k) {
+    const PqEntry e = pq.top();
+    pq.pop();
+    if (e.is_element) {
+      out->push_back(e.value);
+      continue;
+    }
+    const auto guard = pool->Fetch(e.value, counters);
+    const PageView view(guard.data());
+    if (counters != nullptr) {
+      counters->nodes_visited += 1;
+      counters->pointer_hops += 1;
+      counters->distance_computations += view.count;
+    }
+    for (std::size_t i = 0; i < view.count; ++i) {
+      const EntryRef entry = view.Entry(i);
+      pq.push({entry.box.SquaredDistanceTo(p), view.level == 0, entry.value});
+    }
+  }
+  if (counters != nullptr) counters->results += out->size();
+}
+
+}  // namespace simspatial::rtree

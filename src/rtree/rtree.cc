@@ -1,0 +1,959 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <queue>
+#include <sstream>
+
+namespace simspatial::rtree {
+
+// ---------------------------------------------------------------------------
+// Node layout: fixed-size block = header + boxes[max+1] + slots[max+1].
+// Capacity is one above max_entries so overflow handling can park the extra
+// entry in place before splitting.
+// ---------------------------------------------------------------------------
+
+struct RTree::Node {
+  AABB mbr;
+  Node* parent = nullptr;
+  std::uint16_t count = 0;
+  std::uint16_t level = 0;  // 0 = leaf.
+};
+
+namespace {
+
+constexpr std::size_t AlignUp(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+class RTree::NodePool {
+ public:
+  explicit NodePool(std::size_t node_bytes)
+      : node_bytes_(AlignUp(node_bytes, 64)) {}
+
+  Node* Alloc() {
+    if (!free_.empty()) {
+      Node* n = free_.back();
+      free_.pop_back();
+      return n;
+    }
+    if (blocks_.empty() || block_used_ == kNodesPerBlock) {
+      blocks_.push_back(std::make_unique<std::byte[]>(
+          node_bytes_ * kNodesPerBlock + 64));
+      block_used_ = 0;
+      block_base_ = reinterpret_cast<std::byte*>(
+          AlignUp(reinterpret_cast<std::size_t>(blocks_.back().get()), 64));
+    }
+    Node* n = reinterpret_cast<Node*>(block_base_ + block_used_ * node_bytes_);
+    ++block_used_;
+    ++live_;
+    return n;
+  }
+
+  void Free(Node* n) {
+    --live_;
+    free_.push_back(n);
+  }
+
+  void Reset() {
+    blocks_.clear();
+    free_.clear();
+    block_used_ = kNodesPerBlock;
+    live_ = 0;
+  }
+
+  std::size_t node_bytes() const { return node_bytes_; }
+  std::size_t live_nodes() const { return live_; }
+
+ private:
+  static constexpr std::size_t kNodesPerBlock = 128;
+  std::size_t node_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::vector<Node*> free_;
+  std::byte* block_base_ = nullptr;
+  std::size_t block_used_ = kNodesPerBlock;
+  std::size_t live_ = 0;
+};
+
+// The compiler needs Node complete for sizeof; define offset helpers here.
+AABB* RTree::Boxes(Node* n) const {
+  return reinterpret_cast<AABB*>(reinterpret_cast<std::byte*>(n) +
+                                 AlignUp(sizeof(Node), 8));
+}
+const AABB* RTree::Boxes(const Node* n) const {
+  return reinterpret_cast<const AABB*>(
+      reinterpret_cast<const std::byte*>(n) + AlignUp(sizeof(Node), 8));
+}
+RTree::Slot* RTree::Slots(Node* n) const {
+  const std::size_t cap = options_.max_entries + 1;
+  return reinterpret_cast<Slot*>(
+      reinterpret_cast<std::byte*>(n) + AlignUp(sizeof(Node), 8) +
+      AlignUp(cap * sizeof(AABB), 8));
+}
+const RTree::Slot* RTree::Slots(const Node* n) const {
+  const std::size_t cap = options_.max_entries + 1;
+  return reinterpret_cast<const Slot*>(
+      reinterpret_cast<const std::byte*>(n) + AlignUp(sizeof(Node), 8) +
+      AlignUp(cap * sizeof(AABB), 8));
+}
+
+std::size_t RTree::NodeBytes() const {
+  const std::size_t cap = options_.max_entries + 1;
+  return AlignUp(sizeof(Node), 8) + AlignUp(cap * sizeof(AABB), 8) +
+         cap * sizeof(Slot);
+}
+
+// ---------------------------------------------------------------------------
+// Construction.
+// ---------------------------------------------------------------------------
+
+RTree::RTree(RTreeOptions options) : options_(options) {
+  assert(options_.max_entries >= 4);
+  assert(options_.min_entries >= 1);
+  assert(options_.min_entries <= options_.max_entries / 2);
+  pool_ = std::make_unique<NodePool>(NodeBytes());
+  root_ = AllocNode(0);
+}
+
+RTree::~RTree() = default;
+
+RTree::RTree(RTree&& o) noexcept
+    : options_(o.options_),
+      pool_(std::move(o.pool_)),
+      root_(o.root_),
+      size_(o.size_),
+      leaf_of_(std::move(o.leaf_of_)),
+      reinserted_on_level_(std::move(o.reinserted_on_level_)) {
+  o.root_ = nullptr;
+  o.size_ = 0;
+}
+
+RTree& RTree::operator=(RTree&& o) noexcept {
+  if (this == &o) return *this;
+  options_ = o.options_;
+  pool_ = std::move(o.pool_);
+  root_ = o.root_;
+  size_ = o.size_;
+  leaf_of_ = std::move(o.leaf_of_);
+  reinserted_on_level_ = std::move(o.reinserted_on_level_);
+  o.root_ = nullptr;
+  o.size_ = 0;
+  return *this;
+}
+
+RTree::Node* RTree::AllocNode(std::uint32_t level) {
+  Node* n = pool_->Alloc();
+  n->mbr = AABB();
+  n->parent = nullptr;
+  n->count = 0;
+  n->level = static_cast<std::uint16_t>(level);
+  return n;
+}
+
+void RTree::FreeSubtree(Node* n) {
+  if (n == nullptr) return;
+  if (n->level > 0) {
+    Slot* slots = Slots(n);
+    for (std::uint32_t i = 0; i < n->count; ++i) FreeSubtree(slots[i].child);
+  }
+  pool_->Free(n);
+}
+
+// ---------------------------------------------------------------------------
+// Entry manipulation.
+// ---------------------------------------------------------------------------
+
+void RTree::AddEntry(Node* n, const AABB& box, Slot slot) {
+  assert(n->count <= options_.max_entries);  // One overflow slot available.
+  Boxes(n)[n->count] = box;
+  Slots(n)[n->count] = slot;
+  ++n->count;
+  n->mbr.Extend(box);
+  if (n->level > 0) {
+    slot.child->parent = n;
+  } else {
+    leaf_of_[slot.eid] = n;
+  }
+}
+
+void RTree::RemoveEntry(Node* n, std::uint32_t idx) {
+  assert(idx < n->count);
+  const std::uint32_t last = n->count - 1;
+  Boxes(n)[idx] = Boxes(n)[last];
+  Slots(n)[idx] = Slots(n)[last];
+  --n->count;
+}
+
+void RTree::RecomputeMbr(Node* n) {
+  AABB mbr;
+  const AABB* boxes = Boxes(n);
+  for (std::uint32_t i = 0; i < n->count; ++i) mbr.Extend(boxes[i]);
+  n->mbr = mbr;
+}
+
+void RTree::AdjustUpward(Node* n) {
+  while (n != nullptr) {
+    RecomputeMbr(n);
+    Node* p = n->parent;
+    if (p == nullptr) break;
+    Slot* slots = Slots(p);
+    std::uint32_t i = 0;
+    for (; i < p->count; ++i) {
+      if (slots[i].child == n) break;
+    }
+    assert(i < p->count);
+    if (Boxes(p)[i] == n->mbr) break;  // Ancestors unaffected.
+    Boxes(p)[i] = n->mbr;
+    n = p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Insertion (Guttman; optional R* forced reinsert).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+float Enlargement(const AABB& node_box, const AABB& add) {
+  AABB u = node_box;
+  u.Extend(add);
+  return u.Volume() - node_box.Volume();
+}
+
+}  // namespace
+
+RTree::Node* RTree::ChooseSubtree(const AABB& box, std::uint32_t target_level) {
+  Node* n = root_;
+  while (n->level > target_level) {
+    const AABB* boxes = Boxes(n);
+    std::uint32_t best = 0;
+    float best_enlarge = std::numeric_limits<float>::max();
+    float best_volume = std::numeric_limits<float>::max();
+    for (std::uint32_t i = 0; i < n->count; ++i) {
+      const float enlarge = Enlargement(boxes[i], box);
+      const float volume = boxes[i].Volume();
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && volume < best_volume)) {
+        best = i;
+        best_enlarge = enlarge;
+        best_volume = volume;
+      }
+    }
+    n = Slots(n)[best].child;
+  }
+  return n;
+}
+
+void RTree::Insert(const Element& element) {
+  assert(leaf_of_.find(element.id) == leaf_of_.end());
+  reinserted_on_level_.assign(root_->level + 1, false);
+  InsertEntry(element.box, Slot{.eid = element.id}, 0,
+              options_.forced_reinsert);
+  ++size_;
+}
+
+void RTree::InsertEntry(const AABB& box, Slot slot, std::uint32_t level,
+                        bool allow_reinsert) {
+  Node* n = ChooseSubtree(box, level);
+  AddEntry(n, box, slot);
+  // Overflow treatment chain.
+  while (n != nullptr && n->count > options_.max_entries) {
+    if (allow_reinsert && n->parent != nullptr &&
+        n->level < reinserted_on_level_.size() &&
+        !reinserted_on_level_[n->level]) {
+      reinserted_on_level_[n->level] = true;
+      ForcedReinsert(n, n->level);
+      return;  // ForcedReinsert adjusted the tree.
+    }
+    Node* nn = SplitNode(n);
+    if (n->parent == nullptr) {
+      Node* new_root = AllocNode(n->level + 1);
+      AddEntry(new_root, n->mbr, Slot{.child = n});
+      AddEntry(new_root, nn->mbr, Slot{.child = nn});
+      root_ = new_root;
+      AdjustUpward(n);
+      AdjustUpward(nn);
+      return;
+    }
+    Node* p = n->parent;
+    // Refresh n's box in the parent, then add the new sibling.
+    Slot* pslots = Slots(p);
+    for (std::uint32_t i = 0; i < p->count; ++i) {
+      if (pslots[i].child == n) {
+        Boxes(p)[i] = n->mbr;
+        break;
+      }
+    }
+    AddEntry(p, nn->mbr, Slot{.child = nn});
+    n = p;
+  }
+  AdjustUpward(n != nullptr ? n : root_);
+}
+
+// Guttman quadratic split.
+RTree::Node* RTree::SplitNode(Node* n) {
+  const std::uint32_t total = n->count;
+  std::vector<AABB> boxes(Boxes(n), Boxes(n) + total);
+  std::vector<Slot> slots(Slots(n), Slots(n) + total);
+
+  // PickSeeds: pair wasting the most dead volume.
+  std::uint32_t seed_a = 0;
+  std::uint32_t seed_b = 1;
+  float worst = -std::numeric_limits<float>::max();
+  for (std::uint32_t i = 0; i < total; ++i) {
+    for (std::uint32_t j = i + 1; j < total; ++j) {
+      AABB u = boxes[i];
+      u.Extend(boxes[j]);
+      const float waste = u.Volume() - boxes[i].Volume() - boxes[j].Volume();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Node* nn = AllocNode(n->level);
+  n->count = 0;
+  n->mbr = AABB();
+  AddEntry(n, boxes[seed_a], slots[seed_a]);
+  AddEntry(nn, boxes[seed_b], slots[seed_b]);
+
+  std::vector<bool> assigned(total, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  std::uint32_t remaining = total - 2;
+
+  while (remaining > 0) {
+    // Force assignment if one group must take all the rest to reach min.
+    if (n->count + remaining == options_.min_entries) {
+      for (std::uint32_t i = 0; i < total; ++i) {
+        if (!assigned[i]) {
+          AddEntry(n, boxes[i], slots[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (nn->count + remaining == options_.min_entries) {
+      for (std::uint32_t i = 0; i < total; ++i) {
+        if (!assigned[i]) {
+          AddEntry(nn, boxes[i], slots[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: entry with the strongest preference for one group.
+    std::uint32_t pick = 0;
+    float best_diff = -1.0f;
+    float d1_pick = 0;
+    float d2_pick = 0;
+    for (std::uint32_t i = 0; i < total; ++i) {
+      if (assigned[i]) continue;
+      const float d1 = Enlargement(n->mbr, boxes[i]);
+      const float d2 = Enlargement(nn->mbr, boxes[i]);
+      const float diff = std::fabs(d1 - d2);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d1_pick = d1;
+        d2_pick = d2;
+      }
+    }
+    Node* target;
+    if (d1_pick < d2_pick) {
+      target = n;
+    } else if (d2_pick < d1_pick) {
+      target = nn;
+    } else {
+      // Ties: smaller volume, then fewer entries.
+      const float v1 = n->mbr.Volume();
+      const float v2 = nn->mbr.Volume();
+      target = v1 < v2 ? n : (v2 < v1 ? nn : (n->count <= nn->count ? n : nn));
+    }
+    AddEntry(target, boxes[pick], slots[pick]);
+    assigned[pick] = true;
+    --remaining;
+  }
+  return nn;
+}
+
+void RTree::ForcedReinsert(Node* n, std::uint32_t level) {
+  // Remove the reinsert_fraction of entries farthest from the node centre.
+  const std::uint32_t p = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(n->count * options_.reinsert_fraction));
+  const Vec3 centre = n->mbr.Center();
+
+  std::vector<std::uint32_t> order(n->count);
+  for (std::uint32_t i = 0; i < n->count; ++i) order[i] = i;
+  const AABB* boxes = Boxes(n);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return SquaredDistance(boxes[a].Center(), centre) >
+           SquaredDistance(boxes[b].Center(), centre);
+  });
+
+  std::vector<std::pair<AABB, Slot>> evicted;
+  evicted.reserve(p);
+  std::vector<bool> evict(n->count, false);
+  for (std::uint32_t i = 0; i < p; ++i) evict[order[i]] = true;
+
+  std::vector<AABB> keep_boxes;
+  std::vector<Slot> keep_slots;
+  keep_boxes.reserve(n->count);
+  keep_slots.reserve(n->count);
+  for (std::uint32_t i = 0; i < n->count; ++i) {
+    if (evict[i]) {
+      evicted.emplace_back(Boxes(n)[i], Slots(n)[i]);
+    } else {
+      keep_boxes.push_back(Boxes(n)[i]);
+      keep_slots.push_back(Slots(n)[i]);
+    }
+  }
+  n->count = 0;
+  n->mbr = AABB();
+  for (std::size_t i = 0; i < keep_boxes.size(); ++i) {
+    AddEntry(n, keep_boxes[i], keep_slots[i]);
+  }
+  AdjustUpward(n);
+
+  // Close reinsert: nearest evictions first tend to refill nearby nodes.
+  std::reverse(evicted.begin(), evicted.end());
+  for (const auto& [box, slot] : evicted) {
+    InsertEntry(box, slot, level, true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deletion & update.
+// ---------------------------------------------------------------------------
+
+bool RTree::Erase(ElementId id) {
+  auto it = leaf_of_.find(id);
+  if (it == leaf_of_.end()) return false;
+  Node* leaf = it->second;
+  Slot* slots = Slots(leaf);
+  std::uint32_t idx = leaf->count;
+  for (std::uint32_t i = 0; i < leaf->count; ++i) {
+    if (slots[i].eid == id) {
+      idx = i;
+      break;
+    }
+  }
+  assert(idx < leaf->count);
+  RemoveEntry(leaf, idx);
+  leaf_of_.erase(it);
+  --size_;
+  CondenseAfterErase(leaf);
+  return true;
+}
+
+void RTree::CondenseAfterErase(Node* leaf) {
+  // Collect orphaned entries (level = node they must re-enter at).
+  std::vector<std::tuple<AABB, Slot, std::uint32_t>> orphans;
+
+  Node* n = leaf;
+  while (n->parent != nullptr) {
+    Node* p = n->parent;
+    if (n->count < options_.min_entries) {
+      // Unhook n from its parent and orphan its entries.
+      Slot* pslots = Slots(p);
+      for (std::uint32_t i = 0; i < p->count; ++i) {
+        if (pslots[i].child == n) {
+          RemoveEntry(p, i);
+          break;
+        }
+      }
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        orphans.emplace_back(Boxes(n)[i], Slots(n)[i], n->level);
+      }
+      pool_->Free(n);
+    } else {
+      RecomputeMbr(n);
+      Slot* pslots = Slots(p);
+      for (std::uint32_t i = 0; i < p->count; ++i) {
+        if (pslots[i].child == n) {
+          Boxes(p)[i] = n->mbr;
+          break;
+        }
+      }
+    }
+    n = p;
+  }
+  RecomputeMbr(root_);
+
+  // Shrink the root while it is an internal node with a single child.
+  while (root_->level > 0 && root_->count == 1) {
+    Node* child = Slots(root_)[0].child;
+    pool_->Free(root_);
+    root_ = child;
+    root_->parent = nullptr;
+  }
+  if (root_->level > 0 && root_->count == 0) {
+    // All elements gone through condensation: back to an empty leaf root.
+    pool_->Free(root_);
+    root_ = AllocNode(0);
+  }
+
+  // Reinsert orphans, highest level first so subtrees go back before the
+  // elements that might land inside them.
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [](const auto& a, const auto& b) {
+                     return std::get<2>(a) > std::get<2>(b);
+                   });
+  for (auto& [box, slot, level] : orphans) {
+    if (level == 0) {
+      reinserted_on_level_.assign(root_->level + 1, false);
+      InsertEntry(box, slot, 0, false);
+    } else if (level <= root_->level) {
+      reinserted_on_level_.assign(root_->level + 1, false);
+      InsertEntry(box, slot, level, false);
+    } else {
+      // Tree shrank below the subtree's home level: dissolve the subtree
+      // and insert its elements individually (rare).
+      std::vector<Element> elems;
+      std::vector<Node*> stack{slot.child};
+      while (!stack.empty()) {
+        Node* s = stack.back();
+        stack.pop_back();
+        if (s->level == 0) {
+          for (std::uint32_t i = 0; i < s->count; ++i) {
+            elems.emplace_back(Slots(s)[i].eid, Boxes(s)[i]);
+          }
+        } else {
+          for (std::uint32_t i = 0; i < s->count; ++i) {
+            stack.push_back(Slots(s)[i].child);
+          }
+        }
+        pool_->Free(s);
+      }
+      for (const Element& e : elems) {
+        reinserted_on_level_.assign(root_->level + 1, false);
+        InsertEntry(e.box, Slot{.eid = e.id}, 0, false);
+      }
+    }
+  }
+}
+
+bool RTree::Update(ElementId id, const AABB& new_box) {
+  auto it = leaf_of_.find(id);
+  if (it == leaf_of_.end()) return false;
+  Node* leaf = it->second;
+  Slot* slots = Slots(leaf);
+  std::uint32_t idx = leaf->count;
+  for (std::uint32_t i = 0; i < leaf->count; ++i) {
+    if (slots[i].eid == id) {
+      idx = i;
+      break;
+    }
+  }
+  assert(idx < leaf->count);
+  // Bottom-up fast path [26]: patch in place when the leaf MBR still covers
+  // the new position (LUR-Tree style). Disabled by the §4.1 bench, which
+  // measures the paper's plain delete-then-reinsert update protocol.
+  if (options_.bottom_up_patch && leaf->mbr.Contains(new_box)) {
+    Boxes(leaf)[idx] = new_box;
+    AdjustUpward(leaf);
+    return true;
+  }
+  RemoveEntry(leaf, idx);
+  leaf_of_.erase(it);
+  --size_;
+  CondenseAfterErase(leaf);
+  Insert(Element(id, new_box));
+  return true;
+}
+
+std::size_t RTree::ApplyUpdates(std::span<const ElementUpdate> updates) {
+  std::size_t applied = 0;
+  for (const ElementUpdate& u : updates) {
+    applied += Update(u.id, u.new_box) ? 1 : 0;
+  }
+  return applied;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load (Sort-Tile-Recursive).
+// ---------------------------------------------------------------------------
+
+void RTree::BulkLoadStr(std::span<const Element> elements) {
+  pool_->Reset();
+  leaf_of_.clear();
+  leaf_of_.reserve(elements.size());
+  size_ = elements.size();
+  root_ = nullptr;
+
+  if (elements.empty()) {
+    root_ = AllocNode(0);
+    return;
+  }
+
+  std::vector<std::pair<AABB, Slot>> entries;
+  entries.reserve(elements.size());
+  for (const Element& e : elements) {
+    entries.emplace_back(e.box, Slot{.eid = e.id});
+  }
+  std::uint32_t level = 0;
+  while (true) {
+    BuildStrLevel(&entries, level);
+    // BuildStrLevel replaced `entries` with the next level up.
+    if (entries.size() == 1) {
+      root_ = entries[0].second.child;
+      root_->parent = nullptr;
+      return;
+    }
+    ++level;
+  }
+}
+
+void RTree::BulkLoadHilbert(std::span<const Element> elements) {
+  pool_->Reset();
+  leaf_of_.clear();
+  leaf_of_.reserve(elements.size());
+  size_ = elements.size();
+  root_ = nullptr;
+
+  if (elements.empty()) {
+    root_ = AllocNode(0);
+    return;
+  }
+
+  AABB bounds;
+  for (const Element& e : elements) bounds.Extend(e.box);
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  order.reserve(elements.size());
+  for (std::uint32_t i = 0; i < elements.size(); ++i) {
+    order.emplace_back(HilbertEncode(elements[i].Center(), bounds), i);
+  }
+  std::sort(order.begin(), order.end());
+
+  // Pack consecutive curve runs into leaves, then chunk each level upward
+  // (curve order already clusters parents).
+  std::vector<std::pair<AABB, Slot>> entries;
+  entries.reserve(elements.size());
+  for (const auto& [key, idx] : order) {
+    entries.emplace_back(elements[idx].box, Slot{.eid = elements[idx].id});
+  }
+  std::uint32_t level = 0;
+  while (true) {
+    const std::size_t n = entries.size();
+    std::vector<std::pair<AABB, Slot>> next;
+    next.reserve((n + options_.max_entries - 1) / options_.max_entries);
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t take = std::min<std::size_t>(options_.max_entries, n - i);
+      const std::size_t rest = n - i - take;
+      if (rest > 0 && rest < options_.min_entries) {
+        take = n - i - options_.min_entries;  // Balance the tail.
+      }
+      Node* node = AllocNode(level);
+      for (std::size_t j = 0; j < take; ++j) {
+        AddEntry(node, entries[i + j].first, entries[i + j].second);
+      }
+      i += take;
+      next.emplace_back(node->mbr, Slot{.child = node});
+    }
+    if (next.size() == 1) {
+      root_ = next[0].second.child;
+      root_->parent = nullptr;
+      return;
+    }
+    entries = std::move(next);
+    ++level;
+  }
+}
+
+void RTree::BuildStrLevel(std::vector<std::pair<AABB, Slot>>* entries,
+                          std::uint32_t level) {
+  const std::size_t n = entries->size();
+  const std::size_t cap = options_.max_entries;
+  const std::size_t node_count = (n + cap - 1) / cap;
+
+  // STR tiling: sort by x into vertical slabs, by y into runs, by z inside.
+  const auto cx = [](const std::pair<AABB, Slot>& e) {
+    return e.first.min.x + e.first.max.x;
+  };
+  const auto cy = [](const std::pair<AABB, Slot>& e) {
+    return e.first.min.y + e.first.max.y;
+  };
+  const auto cz = [](const std::pair<AABB, Slot>& e) {
+    return e.first.min.z + e.first.max.z;
+  };
+
+  // Tile sizes must be multiples of the node capacity so that packed nodes
+  // never straddle slab/run boundaries (a straddling node unions two
+  // distant tiles and destroys the packing quality).
+  const std::size_t sx = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(node_count))));
+  const std::size_t nodes_per_slab = (node_count + sx - 1) / sx;
+  const std::size_t slab = nodes_per_slab * cap;
+
+  std::sort(entries->begin(), entries->end(),
+            [&](const auto& a, const auto& b) { return cx(a) < cx(b); });
+
+  for (std::size_t s0 = 0; s0 < n; s0 += slab) {
+    const std::size_t s1 = std::min(n, s0 + slab);
+    const std::size_t slab_nodes = (s1 - s0 + cap - 1) / cap;
+    const std::size_t sy = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slab_nodes))));
+    const std::size_t run = ((slab_nodes + sy - 1) / sy) * cap;
+    std::sort(entries->begin() + s0, entries->begin() + s1,
+              [&](const auto& a, const auto& b) { return cy(a) < cy(b); });
+    for (std::size_t r0 = s0; r0 < s1; r0 += run) {
+      const std::size_t r1 = std::min(s1, r0 + run);
+      std::sort(entries->begin() + r0, entries->begin() + r1,
+                [&](const auto& a, const auto& b) { return cz(a) < cz(b); });
+    }
+  }
+
+  // Pack consecutive entries into nodes; balance the tail so no node falls
+  // under the minimum fill (keeps the fanout invariant bulk-load-safe).
+  std::vector<std::pair<AABB, Slot>> next;
+  next.reserve(node_count);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t take = std::min(cap, n - i);
+    const std::size_t rest = n - i - take;
+    if (rest > 0 && rest < options_.min_entries) {
+      // Shift entries into the last node so both tail nodes are legal.
+      take = n - i - options_.min_entries;
+    } else if (rest == 0 && take < options_.min_entries && !next.empty()) {
+      // Tail smaller than min fill: borrow from the previous node.
+      Node* prev = next.back().second.child;
+      while (take < options_.min_entries &&
+             prev->count > options_.min_entries) {
+        --prev->count;
+        // Move the last entry of prev in front of the tail.
+        --i;
+        (*entries)[i] = {Boxes(prev)[prev->count], Slots(prev)[prev->count]};
+        ++take;
+      }
+      RecomputeMbr(prev);
+      next.back().first = prev->mbr;
+    }
+    Node* node = AllocNode(level);
+    for (std::size_t j = 0; j < take; ++j) {
+      AddEntry(node, (*entries)[i + j].first, (*entries)[i + j].second);
+    }
+    i += take;
+    next.emplace_back(node->mbr, Slot{.child = node});
+  }
+  *entries = std::move(next);
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+// ---------------------------------------------------------------------------
+
+void RTree::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                       QueryCounters* counters) const {
+  out->clear();
+  if (root_ == nullptr || size_ == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  std::vector<const Node*> stack;
+  c.structure_tests += 1;  // Root MBR test.
+  if (!root_->mbr.Intersects(range)) return;
+  stack.push_back(root_);
+
+  const std::size_t node_bytes = NodeBytes();
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    c.bytes_read += node_bytes;
+    const AABB* boxes = Boxes(n);
+    if (n->level == 0) {
+      const Slot* slots = Slots(n);
+      c.element_tests += n->count;
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        if (boxes[i].Intersects(range)) out->push_back(slots[i].eid);
+      }
+    } else {
+      const Slot* slots = Slots(n);
+      c.structure_tests += n->count;
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        if (boxes[i].Intersects(range)) stack.push_back(slots[i].child);
+      }
+    }
+  }
+  c.results += out->size();
+}
+
+void RTree::KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                     QueryCounters* counters) const {
+  out->clear();
+  if (root_ == nullptr || size_ == 0 || k == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  // Best-first search. Nodes sort before elements at equal distance so that
+  // all candidate elements are discovered before results are emitted; id
+  // tie-break matches the brute-force reference ordering.
+  struct PqEntry {
+    float dist2;
+    bool is_element;
+    ElementId eid;
+    const Node* node;
+    bool operator>(const PqEntry& o) const {
+      if (dist2 != o.dist2) return dist2 > o.dist2;
+      if (is_element != o.is_element) return is_element && !o.is_element;
+      return eid > o.eid;
+    }
+  };
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  pq.push({0.0f, false, 0, root_});
+  const std::size_t node_bytes = NodeBytes();
+
+  while (!pq.empty() && out->size() < k) {
+    const PqEntry e = pq.top();
+    pq.pop();
+    if (e.is_element) {
+      out->push_back(e.eid);
+      continue;
+    }
+    const Node* n = e.node;
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    c.bytes_read += node_bytes;
+    const AABB* boxes = Boxes(n);
+    const Slot* slots = Slots(n);
+    c.distance_computations += n->count;
+    if (n->level == 0) {
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        pq.push({boxes[i].SquaredDistanceTo(p), true, slots[i].eid, nullptr});
+      }
+    } else {
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        pq.push({boxes[i].SquaredDistanceTo(p), false, 0, slots[i].child});
+      }
+    }
+  }
+  c.results += out->size();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+RTreeShape RTree::Shape() const {
+  RTreeShape s;
+  if (root_ == nullptr) return s;
+  s.height = root_->level + 1;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->level == 0) {
+      ++s.leaf_nodes;
+      s.elements += n->count;
+    } else {
+      ++s.internal_nodes;
+      const Slot* slots = Slots(n);
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        stack.push_back(slots[i].child);
+      }
+    }
+  }
+  s.bytes = (s.leaf_nodes + s.internal_nodes) * NodeBytes();
+  return s;
+}
+
+bool RTree::CheckInvariants(std::string* error) const {
+  std::ostringstream err;
+  std::size_t seen_elements = 0;
+  bool ok = true;
+
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty() && ok) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->count > options_.max_entries) {
+      err << "node over capacity: " << n->count;
+      ok = false;
+      break;
+    }
+    if (n != root_ && n->count < options_.min_entries) {
+      err << "non-root node under min fill: " << n->count << " at level "
+          << n->level;
+      ok = false;
+      break;
+    }
+    AABB recomputed;
+    const AABB* boxes = Boxes(n);
+    const Slot* slots = Slots(n);
+    for (std::uint32_t i = 0; i < n->count; ++i) recomputed.Extend(boxes[i]);
+    if (n->count > 0 && !(recomputed == n->mbr)) {
+      err << "stale MBR at level " << n->level;
+      ok = false;
+      break;
+    }
+    if (n->level > 0) {
+      for (std::uint32_t i = 0; i < n->count && ok; ++i) {
+        const Node* child = slots[i].child;
+        if (child->parent != n) {
+          err << "broken parent pointer at level " << n->level;
+          ok = false;
+        } else if (child->level + 1 != n->level) {
+          err << "level mismatch: child " << child->level << " under "
+              << n->level;
+          ok = false;
+        } else if (!(boxes[i] == child->mbr)) {
+          err << "entry box != child MBR at level " << n->level;
+          ok = false;
+        } else {
+          stack.push_back(child);
+        }
+      }
+    } else {
+      seen_elements += n->count;
+      for (std::uint32_t i = 0; i < n->count && ok; ++i) {
+        auto it = leaf_of_.find(slots[i].eid);
+        if (it == leaf_of_.end() || it->second != n) {
+          err << "leaf_of_ map inconsistent for element " << slots[i].eid;
+          ok = false;
+        }
+      }
+    }
+  }
+  if (ok && seen_elements != size_) {
+    err << "element count mismatch: tree " << seen_elements << " vs size_ "
+        << size_;
+    ok = false;
+  }
+  if (ok && leaf_of_.size() != size_) {
+    err << "leaf_of_ size mismatch";
+    ok = false;
+  }
+  if (!ok && error != nullptr) *error = err.str();
+  return ok;
+}
+
+double RTree::TotalSiblingOverlapVolume() const {
+  double total = 0;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->level == 0) continue;
+    const AABB* boxes = Boxes(n);
+    const Slot* slots = Slots(n);
+    for (std::uint32_t i = 0; i < n->count; ++i) {
+      for (std::uint32_t j = i + 1; j < n->count; ++j) {
+        total += AABB::Intersection(boxes[i], boxes[j]).Volume();
+      }
+      stack.push_back(slots[i].child);
+    }
+  }
+  return total;
+}
+
+}  // namespace simspatial::rtree

@@ -1,0 +1,165 @@
+// SimSpatial — in-memory R-Tree.
+//
+// The reference dynamic spatial index of the paper's experiments (§3.1,
+// §4.1): Guttman insertion with quadratic split, optional R*-style forced
+// reinsertion, Guttman deletion with tree condensation, per-element updates,
+// STR bulk loading, and instrumented range / k-NN queries whose counters
+// feed the Figure 3 breakdown.
+//
+// Nodes are fixed-capacity blocks recycled through a pool; fanout is a
+// runtime option so benches can contrast disk-era fanouts (4 KB pages ≈ 146
+// entries) with cache-conscious ones (§3.3: 640 B – 1 KB nodes).
+
+#ifndef SIMSPATIAL_RTREE_RTREE_H_
+#define SIMSPATIAL_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+
+namespace simspatial::rtree {
+
+/// Tuning knobs of the in-memory R-Tree.
+struct RTreeOptions {
+  /// Maximum entries per node. 4 KB disk pages hold ~146 28-byte entries;
+  /// cache-conscious in-memory nodes want far fewer (§3.3).
+  std::uint32_t max_entries = 36;
+  /// Minimum fill; Guttman recommends 40% of max.
+  std::uint32_t min_entries = 14;
+  /// R*-style forced reinsertion of the farthest-from-centre entries on the
+  /// first overflow per level ("through reinsertion of elements like the
+  /// R*-Tree", §4.2).
+  bool forced_reinsert = false;
+  /// Fraction of entries reinserted when forced_reinsert fires.
+  float reinsert_fraction = 0.3f;
+  /// Patch updates in place when the new box stays inside the leaf MBR
+  /// (LUR-Tree-style bottom-up update, §4.2/[26]). When false, Update()
+  /// always performs the classical delete-then-reinsert the paper's §4.1
+  /// experiment measures.
+  bool bottom_up_patch = true;
+};
+
+/// Statistics describing the tree shape (size accounting for §3.2's "index
+/// size is increased massively" comparisons).
+struct RTreeShape {
+  std::size_t elements = 0;
+  std::size_t leaf_nodes = 0;
+  std::size_t internal_nodes = 0;
+  std::uint32_t height = 0;  ///< 1 = root is a leaf.
+  std::size_t bytes = 0;     ///< Node storage footprint.
+};
+
+/// Dynamic in-memory R-Tree over `Element`s.
+class RTree {
+ public:
+  explicit RTree(RTreeOptions options = RTreeOptions());
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Discard all content and bulk load with Sort-Tile-Recursive packing.
+  /// O(n log n); produces a tree with full nodes and minimal overlap. This
+  /// is the paper's "rebuild from scratch" competitor in §4.1.
+  void BulkLoadStr(std::span<const Element> elements);
+
+  /// Bulk load by Hilbert-curve order (the classical alternative packing;
+  /// see the bulk-loading survey [8] cited in §4.2). One sort instead of
+  /// STR's three-level tiling: faster to build, slightly looser leaves.
+  /// bench_micro quantifies the trade-off.
+  void BulkLoadHilbert(std::span<const Element> elements);
+
+  /// Insert one element (Guttman ChooseLeaf + quadratic split).
+  void Insert(const Element& element);
+
+  /// Remove an element by id. Returns false if the id is not present.
+  bool Erase(ElementId id);
+
+  /// Move element `id` to `new_box`. Implemented as the classical
+  /// delete-then-reinsert; if the new box is still contained in the leaf's
+  /// MBR the entry is patched in place (the "bottom up" fast path of [26]).
+  /// Returns false if the id is not present.
+  bool Update(ElementId id, const AABB& new_box);
+
+  /// Apply a batch of updates; returns the number applied.
+  std::size_t ApplyUpdates(std::span<const ElementUpdate> updates);
+
+  /// Ids of all elements whose box intersects `range` (unsorted).
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters = nullptr) const;
+
+  /// Up to `k` element ids by increasing box distance from `p` (best-first
+  /// search; ties broken by id).
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* counters = nullptr) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const RTreeOptions& options() const { return options_; }
+
+  /// Tree-shape statistics (walks the tree; O(nodes)).
+  RTreeShape Shape() const;
+
+  /// Verify structural invariants: parent MBR containment, fanout bounds,
+  /// uniform leaf depth, id-map consistency, element count. Returns true if
+  /// healthy; otherwise fills `error`.
+  bool CheckInvariants(std::string* error) const;
+
+  /// Sum of overlap volume between sibling MBRs at each internal node —
+  /// the R-Tree pathology the paper blames for excess intersection tests
+  /// ("the fundamental problem of overlap remains", §3.2).
+  double TotalSiblingOverlapVolume() const;
+
+ private:
+  struct Node;
+  class NodePool;
+
+  // Entry payload: child node pointer (internal) or element id (leaf).
+  union Slot {
+    Node* child;
+    ElementId eid;
+  };
+
+  Node* AllocNode(std::uint32_t level);
+  void FreeSubtree(Node* n);
+  AABB* Boxes(Node* n) const;
+  const AABB* Boxes(const Node* n) const;
+  Slot* Slots(Node* n) const;
+  const Slot* Slots(const Node* n) const;
+  std::size_t NodeBytes() const;
+
+  Node* ChooseSubtree(const AABB& box, std::uint32_t target_level);
+  void InsertEntry(const AABB& box, Slot slot, std::uint32_t level,
+                   bool allow_reinsert);
+  void AddEntry(Node* n, const AABB& box, Slot slot);
+  void RemoveEntry(Node* n, std::uint32_t idx);
+  Node* SplitNode(Node* n);
+  void ForcedReinsert(Node* n, std::uint32_t level);
+  void AdjustUpward(Node* n);
+  void RecomputeMbr(Node* n);
+  void CondenseAfterErase(Node* leaf);
+  void BuildStrLevel(std::vector<std::pair<AABB, Slot>>* entries,
+                     std::uint32_t level);
+
+  RTreeOptions options_;
+  std::unique_ptr<NodePool> pool_;
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  // Leaf containing each element — required for Guttman deletion without a
+  // search and for the §4.1 per-element update experiment.
+  std::unordered_map<ElementId, Node*> leaf_of_;
+  // Levels that already reinserted during the current insertion (R*).
+  std::vector<bool> reinserted_on_level_;
+};
+
+}  // namespace simspatial::rtree
+
+#endif  // SIMSPATIAL_RTREE_RTREE_H_

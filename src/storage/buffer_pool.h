@@ -1,0 +1,175 @@
+// SimSpatial — LRU buffer pool over the simulated PageStore.
+//
+// The paper's Appendix A runs every query with a cold cache ("the cache is
+// cleaned between any two queries"); `Clear()` reproduces that protocol.
+// The pool also lets ablation benches explore warm-cache behaviour, which
+// the paper's setup deliberately excludes.
+
+#ifndef SIMSPATIAL_STORAGE_BUFFER_POOL_H_
+#define SIMSPATIAL_STORAGE_BUFFER_POOL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/counters.h"
+#include "storage/page_store.h"
+
+namespace simspatial::storage {
+
+/// Fixed-capacity LRU page cache with pin counting.
+class BufferPool {
+ public:
+  BufferPool(PageStore* store, std::size_t capacity_pages)
+      : store_(store), capacity_(capacity_pages) {
+    assert(capacity_ > 0);
+    frames_.resize(capacity_);
+    frame_data_.resize(capacity_ * store_->page_size());
+    for (std::size_t i = 0; i < capacity_; ++i) free_frames_.push_back(i);
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// RAII pin: keeps the page resident while alive.
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(BufferPool* pool, std::size_t frame, const std::byte* data)
+        : pool_(pool), frame_(frame), data_(data) {}
+    PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+    PageGuard& operator=(PageGuard&& o) noexcept {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      data_ = o.data_;
+      o.pool_ = nullptr;
+      o.data_ = nullptr;
+      return *this;
+    }
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+    ~PageGuard() { Release(); }
+
+    const std::byte* data() const { return data_; }
+    bool valid() const { return data_ != nullptr; }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr) pool_->Unpin(frame_);
+      pool_ = nullptr;
+      data_ = nullptr;
+    }
+    BufferPool* pool_ = nullptr;
+    std::size_t frame_ = 0;
+    const std::byte* data_ = nullptr;
+  };
+
+  /// Fetch a page, reading it from the store on a miss. Charges I/O into
+  /// `counters` on misses and counts hits. Returns an invalid guard only if
+  /// every frame is pinned (caller bug; asserts in debug builds).
+  PageGuard Fetch(PageId id, simspatial::QueryCounters* counters) {
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      Frame& f = frames_[it->second];
+      ++f.pins;
+      Touch(it->second);
+      if (counters != nullptr) counters->buffer_hits += 1;
+      return PageGuard(this, it->second, FrameData(it->second));
+    }
+    const std::size_t frame = AcquireFrame();
+    if (frame == kNoFrame) {
+      assert(false && "buffer pool exhausted: all frames pinned");
+      return PageGuard();
+    }
+    Frame& f = frames_[frame];
+    f.page = id;
+    f.pins = 1;
+    store_->Read(id, MutableFrameData(frame), counters);
+    page_table_.emplace(id, frame);
+    Touch(frame);
+    return PageGuard(this, frame, FrameData(frame));
+  }
+
+  /// Evict every unpinned page: the paper's cold-cache protocol. Also
+  /// resets the simulated disk head.
+  void Clear() {
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].page != kInvalidPage && frames_[i].pins == 0) {
+        page_table_.erase(frames_[i].page);
+        frames_[i].page = kInvalidPage;
+        lru_.remove(i);
+        free_frames_.push_back(i);
+      }
+    }
+    store_->ResetHead();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t resident_pages() const { return page_table_.size(); }
+  /// Number of currently pinned frames (test/debug aid).
+  std::size_t pinned_frames() const {
+    std::size_t n = 0;
+    for (const Frame& f : frames_) n += f.pins > 0 ? 1 : 0;
+    return n;
+  }
+
+ private:
+  friend class PageGuard;
+  static constexpr std::size_t kNoFrame = static_cast<std::size_t>(-1);
+
+  struct Frame {
+    PageId page = kInvalidPage;
+    std::uint32_t pins = 0;
+  };
+
+  std::byte* MutableFrameData(std::size_t frame) {
+    return frame_data_.data() + frame * store_->page_size();
+  }
+  const std::byte* FrameData(std::size_t frame) const {
+    return frame_data_.data() + frame * store_->page_size();
+  }
+
+  void Unpin(std::size_t frame) {
+    assert(frames_[frame].pins > 0);
+    --frames_[frame].pins;
+  }
+
+  void Touch(std::size_t frame) {
+    lru_.remove(frame);
+    lru_.push_front(frame);
+  }
+
+  std::size_t AcquireFrame() {
+    if (!free_frames_.empty()) {
+      const std::size_t f = free_frames_.back();
+      free_frames_.pop_back();
+      return f;
+    }
+    // Evict the least-recently-used unpinned frame.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const std::size_t f = *it;
+      if (frames_[f].pins == 0) {
+        page_table_.erase(frames_[f].page);
+        frames_[f].page = kInvalidPage;
+        lru_.remove(f);
+        return f;
+      }
+    }
+    return kNoFrame;
+  }
+
+  PageStore* store_;
+  std::size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<std::byte> frame_data_;
+  std::unordered_map<PageId, std::size_t> page_table_;
+  std::list<std::size_t> lru_;  // Front = most recent.
+  std::vector<std::size_t> free_frames_;
+};
+
+}  // namespace simspatial::storage
+
+#endif  // SIMSPATIAL_STORAGE_BUFFER_POOL_H_

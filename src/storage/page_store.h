@@ -1,0 +1,78 @@
+// SimSpatial — simulated page store ("the disk").
+//
+// Pages live in host memory; reads charge the DiskModel's virtual time into
+// the caller's QueryCounters. Write traffic is not modelled (the paper's
+// disk experiment is read-only: bulk-loaded index, cold-cache queries).
+
+#ifndef SIMSPATIAL_STORAGE_PAGE_STORE_H_
+#define SIMSPATIAL_STORAGE_PAGE_STORE_H_
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "storage/disk_model.h"
+
+namespace simspatial::storage {
+
+/// An append-allocated array of fixed-size pages with virtual read costs.
+class PageStore {
+ public:
+  explicit PageStore(DiskModel model = DiskModel()) : model_(model) {}
+
+  const DiskModel& model() const { return model_; }
+  std::uint32_t page_size() const { return model_.page_size; }
+  std::size_t page_count() const { return pages_.size() / model_.page_size; }
+
+  /// Allocate a zeroed page and return its id.
+  PageId Allocate() {
+    const PageId id = static_cast<PageId>(page_count());
+    pages_.resize(pages_.size() + model_.page_size, std::byte{0});
+    return id;
+  }
+
+  /// Write `data` (at most one page) to page `id` at offset 0.
+  void Write(PageId id, std::span<const std::byte> data) {
+    std::memcpy(PagePtr(id), data.data(),
+                std::min<std::size_t>(data.size(), model_.page_size));
+  }
+
+  /// Read page `id` into `out` (page_size bytes), charging virtual I/O time
+  /// and read counters. Sequentiality is judged against the previously read
+  /// page id, mimicking disk head position.
+  void Read(PageId id, std::byte* out, simspatial::QueryCounters* counters) {
+    const bool sequential =
+        last_read_ != kInvalidPage && id == last_read_ + 1;
+    last_read_ = id;
+    std::memcpy(out, PagePtr(id), model_.page_size);
+    if (counters != nullptr) {
+      counters->pages_read += 1;
+      counters->bytes_read += model_.page_size;
+      counters->io_bytes += model_.page_size;
+      counters->io_virtual_ns +=
+          static_cast<std::uint64_t>(model_.ReadCostNs(sequential));
+    }
+  }
+
+  /// Direct pointer for page construction during bulk load (no cost; the
+  /// builder is not the measured query path).
+  std::byte* PagePtr(PageId id) {
+    return pages_.data() + static_cast<std::size_t>(id) * model_.page_size;
+  }
+  const std::byte* PagePtr(PageId id) const {
+    return pages_.data() + static_cast<std::size_t>(id) * model_.page_size;
+  }
+
+  /// Forget head position (e.g. after the OS would have reordered I/O).
+  void ResetHead() { last_read_ = kInvalidPage; }
+
+ private:
+  DiskModel model_;
+  std::vector<std::byte> pages_;
+  PageId last_read_ = kInvalidPage;
+};
+
+}  // namespace simspatial::storage
+
+#endif  // SIMSPATIAL_STORAGE_PAGE_STORE_H_

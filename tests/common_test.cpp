@@ -1,0 +1,316 @@
+// Unit tests for RNG, counters/cost model, stats, arena and the brute-force
+// reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/arena.h"
+#include "common/bruteforce.h"
+#include "common/counters.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace simspatial {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+    const float u = rng.Uniform(-3.0f, 5.0f);
+    EXPECT_GE(u, -3.0f);
+    EXPECT_LT(u, 5.0f);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.Normal(2.0f, 3.0f));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+  EXPECT_NEAR(s.Stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, UnitVectorsHaveUnitNorm) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(rng.UnitVector().Norm(), 1.0f, 1e-4f);
+  }
+}
+
+TEST(RngTest, PointInBoxStaysInBox) {
+  Rng rng(17);
+  const AABB box(Vec3(-1, 2, -3), Vec3(4, 5, 6));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(box.Contains(rng.PointIn(box)));
+  }
+}
+
+TEST(SummaryTest, BasicStatistics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.Stddev(), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 5.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos) << s;
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Pct(96.7, 1), "96.7%");
+  EXPECT_EQ(TablePrinter::Count(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::Count(42), "42");
+}
+
+TEST(ArenaTest, AlignmentAndReuse) {
+  Arena arena(1024);
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(40);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineSize, 0u);
+  }
+  const std::size_t reserved = arena.reserved_bytes();
+  EXPECT_GT(reserved, 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  // After reset the first slab is recycled.
+  arena.Allocate(64);
+  EXPECT_LE(arena.reserved_bytes(), reserved);
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnSlab) {
+  Arena arena(256);
+  void* p = arena.Allocate(10000);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 10000);  // Must be writable end to end.
+}
+
+TEST(ArenaTest, NewArrayIsUsable) {
+  Arena arena;
+  int* xs = arena.NewArray<int>(1000);
+  for (int i = 0; i < 1000; ++i) xs[i] = i;
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(xs[i], i);
+}
+
+TEST(CountersTest, AccumulateAndReset) {
+  QueryCounters a;
+  a.structure_tests = 5;
+  a.element_tests = 7;
+  QueryCounters b;
+  b.structure_tests = 1;
+  b.io_virtual_ns = 100;
+  a += b;
+  EXPECT_EQ(a.structure_tests, 6u);
+  EXPECT_EQ(a.io_virtual_ns, 100u);
+  EXPECT_EQ(a.TotalIntersectionTests(), 13u);
+  a.Reset();
+  EXPECT_EQ(a.structure_tests, 0u);
+}
+
+TEST(CostModelTest, CalibrationProducesPositiveCosts) {
+  const CostModel m = CostModel::Calibrate();
+  EXPECT_GT(m.ns_per_structure_test, 0.0);
+  EXPECT_LT(m.ns_per_structure_test, 1000.0);
+  EXPECT_GT(m.ns_per_distance, 0.0);
+  EXPECT_GT(m.ns_per_pointer_hop, 0.0);
+  EXPECT_GT(m.ns_per_byte_read, 0.0);
+}
+
+TEST(AttributeTimeTest, PartitionsTotalTime) {
+  QueryCounters c;
+  c.structure_tests = 1000;
+  c.element_tests = 500;
+  c.bytes_read = 1 << 20;
+  c.io_virtual_ns = 50000;
+  const CostModel m = CostModel::Defaults();
+  const TimeBreakdown b = AttributeTime(c, 1e6, m);
+  EXPECT_NEAR(b.total_ns, 1e6 + 50000, 1);
+  EXPECT_NEAR(b.ReadingPct() + b.TreeTestPct() + b.ElementTestPct() +
+                  b.RemainingPct(),
+              100.0, 1e-6);
+  EXPECT_GE(b.remaining_ns, 0.0);
+}
+
+TEST(AttributeTimeTest, OverAttributionIsRescaled) {
+  QueryCounters c;
+  c.structure_tests = 1'000'000'000;  // Would attribute far more than total.
+  const TimeBreakdown b = AttributeTime(c, 1000.0, CostModel::Defaults());
+  EXPECT_NEAR(b.tree_test_ns, 1000.0, 1e-6);
+  EXPECT_NEAR(b.remaining_ns, 0.0, 1e-6);
+}
+
+TEST(FormatDurationTest, PicksUnits) {
+  EXPECT_EQ(FormatDuration(5e9), "5.00 s");
+  EXPECT_EQ(FormatDuration(2.5e6), "2.50 ms");
+  EXPECT_EQ(FormatDuration(1500), "1.50 us");
+  EXPECT_EQ(FormatDuration(42), "42 ns");
+}
+
+// --- Brute force references --------------------------------------------
+
+std::vector<Element> MakeGridElements(int side) {
+  std::vector<Element> elems;
+  ElementId id = 0;
+  for (int x = 0; x < side; ++x) {
+    for (int y = 0; y < side; ++y) {
+      for (int z = 0; z < side; ++z) {
+        elems.emplace_back(
+            id++, AABB::FromCenterHalfExtent(
+                      Vec3(x + 0.5f, y + 0.5f, z + 0.5f), 0.25f));
+      }
+    }
+  }
+  return elems;
+}
+
+TEST(BruteForceTest, ScanRangeFindsExactSet) {
+  const auto elems = MakeGridElements(4);
+  QueryCounters c;
+  const AABB q(Vec3(0, 0, 0), Vec3(1.9f, 1.9f, 1.9f));
+  const auto r = ScanRange(elems, q, &c);
+  EXPECT_EQ(r.size(), 8u);  // 2x2x2 cells reach into the query.
+  EXPECT_EQ(c.element_tests, elems.size());
+  EXPECT_EQ(c.results, 8u);
+}
+
+TEST(BruteForceTest, ScanKnnOrderedByDistance) {
+  const auto elems = MakeGridElements(4);
+  const Vec3 p(0.5f, 0.5f, 0.5f);  // Centre of element 0.
+  const auto r = ScanKnn(elems, p, 4);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0], 0u);  // Distance zero.
+  // The next three are the axis neighbours (all equidistant), id order.
+  const std::set<ElementId> rest(r.begin() + 1, r.end());
+  EXPECT_EQ(rest, (std::set<ElementId>{1, 4, 16}));
+}
+
+TEST(BruteForceTest, KnnWithKLargerThanDataset) {
+  const auto elems = MakeGridElements(2);
+  const auto r = ScanKnn(elems, Vec3(0, 0, 0), 100);
+  EXPECT_EQ(r.size(), elems.size());
+}
+
+TEST(BruteForceTest, SelfJoinOverlap) {
+  std::vector<Element> elems;
+  elems.emplace_back(0, AABB(Vec3(0, 0, 0), Vec3(2, 2, 2)));
+  elems.emplace_back(1, AABB(Vec3(1, 1, 1), Vec3(3, 3, 3)));
+  elems.emplace_back(2, AABB(Vec3(5, 5, 5), Vec3(6, 6, 6)));
+  auto pairs = NestedLoopSelfJoin(elems, 0.0f);
+  SortPairs(&pairs);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<ElementId, ElementId>{0, 1}));
+}
+
+TEST(BruteForceTest, SelfJoinWithinDistance) {
+  std::vector<Element> elems;
+  elems.emplace_back(0, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+  elems.emplace_back(1, AABB(Vec3(2, 0, 0), Vec3(3, 1, 1)));  // Gap 1.
+  elems.emplace_back(2, AABB(Vec3(9, 9, 9), Vec3(10, 10, 10)));
+  EXPECT_EQ(NestedLoopSelfJoin(elems, 0.5f).size(), 0u);
+  EXPECT_EQ(NestedLoopSelfJoin(elems, 1.0f).size(), 1u);
+}
+
+TEST(BruteForceTest, BinaryJoin) {
+  std::vector<Element> a;
+  a.emplace_back(0, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+  std::vector<Element> b;
+  b.emplace_back(7, AABB(Vec3(0.5f, 0.5f, 0.5f), Vec3(2, 2, 2)));
+  b.emplace_back(9, AABB(Vec3(4, 4, 4), Vec3(5, 5, 5)));
+  const auto pairs = NestedLoopJoin(a, b, 0.0f);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 0u);
+  EXPECT_EQ(pairs[0].second, 7u);
+}
+
+TEST(BatchScanTest, MatchesPerQueryScan) {
+  Rng rng(71);
+  const AABB universe(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 3000; ++i) {
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(rng.PointIn(universe),
+                                                     rng.Uniform(0.1f, 2.0f)));
+  }
+  std::vector<AABB> queries;
+  for (int q = 0; q < 60; ++q) {
+    queries.push_back(AABB::FromCenterHalfExtent(rng.PointIn(universe),
+                                                 rng.Uniform(0.5f, 6.0f)));
+  }
+  const auto batched = BatchScanRange(elems, queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto got = batched[q];
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, ScanRange(elems, queries[q])) << "q" << q;
+  }
+}
+
+TEST(BatchScanTest, EmptyInputs) {
+  EXPECT_TRUE(BatchScanRange({}, {}).empty());
+  std::vector<Element> elems{Element(0, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))};
+  EXPECT_TRUE(BatchScanRange(elems, {}).empty());
+  const auto r = BatchScanRange({}, {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r[0].empty());
+}
+
+TEST(BatchScanTest, BatchingCutsTestsVsRepeatedScans) {
+  // §4.1's point: amortised over a batch, the scan touches each element a
+  // bounded number of times instead of once per query.
+  Rng rng(72);
+  const AABB universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 20000; ++i) {
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(rng.PointIn(universe),
+                                                     0.3f));
+  }
+  std::vector<AABB> queries;
+  for (int q = 0; q < 100; ++q) {
+    queries.push_back(
+        AABB::FromCenterHalfExtent(rng.PointIn(universe), 2.0f));
+  }
+  QueryCounters batched;
+  BatchScanRange(elems, queries, &batched);
+  QueryCounters repeated;
+  for (const AABB& q : queries) ScanRange(elems, q, &repeated);
+  EXPECT_LT(batched.element_tests, repeated.element_tests / 10);
+}
+
+TEST(PercentBarTest, RendersAllParts) {
+  const std::string s =
+      PercentBar({{"Reading", 96.7}, {"Computations", 3.3}}, 40);
+  EXPECT_NE(s.find("Reading 96.7%"), std::string::npos);
+  EXPECT_NE(s.find("Computations 3.3%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simspatial

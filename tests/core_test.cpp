@@ -1,0 +1,339 @@
+// MemGrid and the registry-wide differential battery: every registered
+// index must agree with brute force on every dataset shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bruteforce.h"
+#include "common/rng.h"
+#include "core/memgrid.h"
+#include "core/spatial_index.h"
+#include "datagen/neuron.h"
+#include "datagen/plasticity.h"
+
+namespace simspatial::core {
+namespace {
+
+using datagen::GenerateClusteredBoxes;
+using datagen::GenerateUniformBoxes;
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+std::vector<ElementId> Sorted(std::vector<ElementId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// --- MemGrid ------------------------------------------------------------
+
+TEST(MemGridTest, EmptyGrid) {
+  MemGrid g(kUniverse);
+  std::vector<ElementId> out;
+  g.RangeQuery(kUniverse, &out);
+  EXPECT_TRUE(out.empty());
+  g.KnnQuery(Vec3(0, 0, 0), 5, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(g.CheckInvariants(nullptr));
+}
+
+TEST(MemGridTest, RangeAndKnnDifferential) {
+  const auto elems = GenerateClusteredBoxes(6000, kUniverse, 10, 5.0f, 0.1f,
+                                            0.8f);
+  MemGridConfig cfg;
+  cfg.cell_size = 3.0f;
+  MemGrid g(kUniverse, cfg);
+  g.Build(elems);
+  std::string err;
+  ASSERT_TRUE(g.CheckInvariants(&err)) << err;
+  Rng rng(81);
+  for (int q = 0; q < 40; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(kUniverse), rng.Uniform(0.5f, 12.0f));
+    std::vector<ElementId> got;
+    g.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanRange(elems, query)) << "q" << q;
+  }
+  for (int q = 0; q < 20; ++q) {
+    const Vec3 p = rng.PointIn(kUniverse);
+    std::vector<ElementId> got;
+    g.KnnQuery(p, 12, &got);
+    EXPECT_EQ(got, ScanKnn(elems, p, 12)) << "q" << q;
+  }
+}
+
+TEST(MemGridTest, MixedElementSizesStayExact) {
+  // Large elements stress the probe-inflation completeness bound.
+  Rng rng(82);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 3000; ++i) {
+    const float half = (i % 25 == 0) ? 8.0f : 0.2f;
+    elems.emplace_back(
+        i, AABB::FromCenterHalfExtent(rng.PointIn(kUniverse), half));
+  }
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 4.0f});
+  g.Build(elems);
+  for (int q = 0; q < 30; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(kUniverse), rng.Uniform(0.5f, 6.0f));
+    std::vector<ElementId> got;
+    g.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanRange(elems, query)) << "q" << q;
+  }
+}
+
+TEST(MemGridTest, PlasticityUpdatesAreOverwhelminglyInPlace) {
+  // The §4.3/§5 headline: with paper-calibrated displacements, almost no
+  // update changes cell.
+  auto ds = datagen::GenerateNeuronsWithSize(20000);
+  MemGridConfig cfg;
+  cfg.cell_size = 5.0f;
+  MemGrid g(ds.universe, cfg);
+  g.Build(ds.elements);
+  datagen::PlasticityConfig pcfg;  // 0.04 µm mean displacement.
+  datagen::PlasticityModel model(pcfg, ds.universe);
+  std::vector<ElementUpdate> updates;
+  for (int step = 0; step < 3; ++step) {
+    model.Step(&ds.elements, &updates);
+    EXPECT_EQ(g.ApplyUpdates(updates), updates.size());
+  }
+  EXPECT_GT(g.update_stats().InPlaceFraction(), 0.97);
+  std::string err;
+  EXPECT_TRUE(g.CheckInvariants(&err)) << err;
+}
+
+TEST(MemGridTest, SelfJoinMatchesReference) {
+  const auto elems = GenerateUniformBoxes(1500, kUniverse, 0.2f, 0.8f);
+  MemGridConfig cfg;
+  cfg.cell_size = 2.5f;  // >= 2*max_half_extent + eps.
+  MemGrid g(kUniverse, cfg);
+  g.Build(elems);
+  for (const float eps : {0.0f, 0.5f}) {
+    std::vector<std::pair<ElementId, ElementId>> got;
+    g.SelfJoin(eps, &got);
+    SortPairs(&got);
+    auto want = NestedLoopSelfJoin(elems, eps);
+    SortPairs(&want);
+    EXPECT_EQ(got, want) << "eps=" << eps;
+  }
+}
+
+TEST(MemGridTest, InsertEraseUpdateSoak) {
+  Rng rng(83);
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 5.0f});
+  g.Build({});
+  std::vector<Element> mirror;
+  ElementId next = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const float dice = rng.NextFloat();
+    if (dice < 0.45f || mirror.empty()) {
+      const Element e(next++, AABB::FromCenterHalfExtent(
+                                  rng.PointIn(kUniverse),
+                                  rng.Uniform(0.1f, 1.0f)));
+      g.Insert(e);
+      mirror.push_back(e);
+    } else if (dice < 0.65f) {
+      const std::size_t i = rng.NextBelow(mirror.size());
+      EXPECT_TRUE(g.Erase(mirror[i].id));
+      mirror[i] = mirror.back();
+      mirror.pop_back();
+    } else if (dice < 0.85f) {
+      const std::size_t i = rng.NextBelow(mirror.size());
+      const AABB nb = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                 rng.Uniform(0.1f, 1.0f));
+      EXPECT_TRUE(g.Update(mirror[i].id, nb));
+      mirror[i].box = nb;
+    } else {
+      const AABB q = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                rng.Uniform(1.0f, 12.0f));
+      std::vector<ElementId> got;
+      g.RangeQuery(q, &got);
+      ASSERT_EQ(Sorted(got), Sorted(ScanRange(mirror, q))) << "step " << step;
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(g.CheckInvariants(&err)) << err;
+}
+
+TEST(MemGridTest, CompactModePreservesSemantics) {
+  const auto elems = GenerateClusteredBoxes(4000, kUniverse, 8, 5.0f, 0.1f,
+                                            0.8f);
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 3.0f});
+  g.Build(elems);
+  g.Compact();
+  EXPECT_TRUE(g.compacted());
+  g.Compact();  // Idempotent.
+  std::string err;
+  ASSERT_TRUE(g.CheckInvariants(&err)) << err;
+
+  Rng rng(84);
+  for (int q = 0; q < 25; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(kUniverse), rng.Uniform(1.0f, 10.0f));
+    std::vector<ElementId> got;
+    g.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanRange(elems, query)) << "q" << q;
+  }
+  std::vector<ElementId> knn;
+  g.KnnQuery(Vec3(50, 50, 50), 7, &knn);
+  EXPECT_EQ(knn, ScanKnn(elems, Vec3(50, 50, 50), 7));
+
+  // Mutation transparently unpacks.
+  EXPECT_TRUE(g.Update(0, AABB::FromCenterHalfExtent(Vec3(1, 1, 1), 0.3f)));
+  EXPECT_FALSE(g.compacted());
+  ASSERT_TRUE(g.CheckInvariants(&err)) << err;
+  std::vector<ElementId> out;
+  g.RangeQuery(AABB::FromCenterHalfExtent(Vec3(1, 1, 1), 1.0f), &out);
+  EXPECT_NE(std::find(out.begin(), out.end(), 0u), out.end());
+}
+
+TEST(MemGridTest, CompactSelfJoinMatchesDynamic) {
+  const auto elems = GenerateUniformBoxes(1200, kUniverse, 0.2f, 0.8f);
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 2.5f});
+  g.Build(elems);
+  std::vector<std::pair<ElementId, ElementId>> dynamic_pairs;
+  g.SelfJoin(0.4f, &dynamic_pairs);
+  SortPairs(&dynamic_pairs);
+  g.Compact();
+  std::vector<std::pair<ElementId, ElementId>> compact_pairs;
+  g.SelfJoin(0.4f, &compact_pairs);
+  SortPairs(&compact_pairs);
+  EXPECT_EQ(dynamic_pairs, compact_pairs);
+}
+
+TEST(MemGridTest, RebuildIsCheaperThanPerElementWork) {
+  // Build must be a small constant per element (O(n) scatter); this is a
+  // sanity guard, not a benchmark.
+  const auto elems = GenerateUniformBoxes(200000, kUniverse, 0.05f, 0.3f);
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 2.0f});
+  Stopwatch sw;
+  g.Build(elems);
+  EXPECT_LT(sw.ElapsedSeconds(), 2.0);
+  EXPECT_EQ(g.size(), elems.size());
+}
+
+// --- Registry-wide differential battery ----------------------------------
+
+struct RegistryCase {
+  std::string index;
+  int dataset;  // 0 uniform, 1 clustered, 2 neurons.
+};
+
+std::vector<Element> MakeDataset(int dataset, std::size_t n) {
+  switch (dataset) {
+    case 0:
+      return GenerateUniformBoxes(n, kUniverse, 0.05f, 1.0f);
+    case 1:
+      return GenerateClusteredBoxes(n, kUniverse, 10, 5.0f, 0.05f, 0.8f);
+    default:
+      return datagen::GenerateNeuronsWithSize(n).elements;
+  }
+}
+
+class RegistryDifferentialTest
+    : public ::testing::TestWithParam<RegistryCase> {};
+
+TEST_P(RegistryDifferentialTest, RangeAndKnnAgainstBruteForce) {
+  const RegistryCase& c = GetParam();
+  auto index = MakeIndex(c.index);
+  ASSERT_NE(index, nullptr) << c.index;
+  const auto elems = MakeDataset(c.dataset, 3000);
+  const AABB universe =
+      c.dataset == 2 ? AABB(Vec3(0, 0, 0), Vec3(285, 285, 285)) : kUniverse;
+  index->Build(elems, universe);
+  EXPECT_EQ(index->size(), elems.size());
+
+  Rng rng(91);
+  const AABB bounds = BoundsOf(elems);
+  if (index->SupportsRangeQueries()) {
+    for (int q = 0; q < 25; ++q) {
+      const AABB query = AABB::FromCenterHalfExtent(
+          rng.PointIn(bounds), rng.Uniform(0.5f, 15.0f));
+      std::vector<ElementId> got;
+      index->RangeQuery(query, &got);
+      ASSERT_EQ(Sorted(got), ScanRange(elems, query))
+          << c.index << " q" << q;
+    }
+  }
+  for (int q = 0; q < 12; ++q) {
+    const Vec3 p = rng.PointIn(bounds);
+    std::vector<ElementId> got;
+    index->KnnQuery(p, 8, &got);
+    const auto want = ScanKnn(elems, p, 8);
+    if (index->KnnIsExact()) {
+      ASSERT_EQ(got, want) << c.index << " q" << q;
+    } else {
+      // Approximate contract: no garbage ids, sane size.
+      EXPECT_LE(got.size(), 8u);
+      for (const ElementId id : got) EXPECT_LT(id, elems.size());
+    }
+  }
+}
+
+TEST_P(RegistryDifferentialTest, UpdatesKeepExactness) {
+  const RegistryCase& c = GetParam();
+  auto index = MakeIndex(c.index);
+  ASSERT_NE(index, nullptr);
+  if (!index->SupportsUpdates() || !index->SupportsRangeQueries()) {
+    GTEST_SKIP() << c.index << " is static or kNN-only";
+  }
+  auto elems = MakeDataset(c.dataset, 2000);
+  const AABB universe =
+      c.dataset == 2 ? AABB(Vec3(0, 0, 0), Vec3(285, 285, 285)) : kUniverse;
+  index->Build(elems, universe);
+
+  Rng rng(92);
+  std::vector<ElementUpdate> updates;
+  for (int round = 0; round < 3; ++round) {
+    updates.clear();
+    for (Element& e : elems) {
+      e.box = e.box.Translated(Vec3(rng.Normal(0, 0.3f),
+                                    rng.Normal(0, 0.3f),
+                                    rng.Normal(0, 0.3f)));
+      updates.emplace_back(e.id, e.box);
+    }
+    EXPECT_EQ(index->ApplyUpdates(updates), updates.size()) << c.index;
+    for (int q = 0; q < 8; ++q) {
+      const AABB query = AABB::FromCenterHalfExtent(
+          rng.PointIn(BoundsOf(elems)), rng.Uniform(1.0f, 10.0f));
+      std::vector<ElementId> got;
+      index->RangeQuery(query, &got);
+      ASSERT_EQ(Sorted(got), Sorted(ScanRange(elems, query)))
+          << c.index << " round " << round;
+    }
+  }
+}
+
+std::vector<RegistryCase> AllCases() {
+  std::vector<RegistryCase> cases;
+  for (const std::string& name : AllIndexNames()) {
+    for (int ds = 0; ds < 3; ++ds) {
+      cases.push_back({name, ds});
+    }
+  }
+  return cases;
+}
+
+std::string RegistryCaseName(
+    const ::testing::TestParamInfo<RegistryCase>& info) {
+  static const char* kDatasets[] = {"uniform", "clustered", "neurons"};
+  std::string n = info.param.index + "_" + kDatasets[info.param.dataset];
+  std::replace(n.begin(), n.end(), '-', '_');
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, RegistryDifferentialTest,
+                         ::testing::ValuesIn(AllCases()), RegistryCaseName);
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeIndex("no-such-index"), nullptr);
+}
+
+TEST(RegistryTest, AllNamesConstructible) {
+  for (const std::string& name : AllIndexNames()) {
+    EXPECT_NE(MakeIndex(name), nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace simspatial::core

@@ -1,0 +1,148 @@
+// CR-Tree: quantization soundness and differential tests.
+
+#include "crtree/crtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bruteforce.h"
+#include "common/rng.h"
+#include "datagen/neuron.h"
+#include "rtree/rtree.h"
+
+namespace simspatial::crtree {
+namespace {
+
+using datagen::GenerateClusteredBoxes;
+using datagen::GenerateUniformBoxes;
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+std::vector<ElementId> Sorted(std::vector<ElementId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(CRTreeTest, EmptyAndSingle) {
+  CRTree t;
+  t.Build({});
+  std::vector<ElementId> out;
+  t.RangeQuery(kUniverse, &out);
+  EXPECT_TRUE(out.empty());
+  t.KnnQuery(Vec3(0, 0, 0), 4, &out);
+  EXPECT_TRUE(out.empty());
+
+  std::vector<Element> one{Element(11, AABB(Vec3(5, 5, 5), Vec3(6, 6, 6)))};
+  t.Build(one);
+  t.RangeQuery(AABB(Vec3(0, 0, 0), Vec3(10, 10, 10)), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 11u);
+}
+
+TEST(CRTreeTest, NodeFitsCacheLines) {
+  CRTree t;  // 768-byte nodes.
+  const auto elems = GenerateUniformBoxes(1000, kUniverse, 0.1f, 0.5f);
+  t.Build(elems);
+  const CRTreeShape s = t.Shape();
+  // (768 - 32) / 10 = 73 entries per node.
+  EXPECT_EQ(s.capacity, 73u);
+  EXPECT_EQ(s.bytes % 64, 0u);
+}
+
+TEST(CRTreeTest, RangeDifferentialAcrossShapes) {
+  for (int dataset = 0; dataset < 3; ++dataset) {
+    std::vector<Element> elems;
+    switch (dataset) {
+      case 0:
+        elems = GenerateUniformBoxes(6000, kUniverse, 0.05f, 1.0f);
+        break;
+      case 1:
+        elems = GenerateClusteredBoxes(6000, kUniverse, 12, 4.0f, 0.05f,
+                                       0.8f);
+        break;
+      default:
+        elems = datagen::GenerateNeuronsWithSize(6000).elements;
+    }
+    const AABB bounds = BoundsOf(elems);
+    CRTree t;
+    t.Build(elems);
+    Rng rng(100 + dataset);
+    for (int q = 0; q < 30; ++q) {
+      const AABB query = AABB::FromCenterHalfExtent(
+          rng.PointIn(bounds), rng.Uniform(0.5f, 10.0f));
+      std::vector<ElementId> got;
+      t.RangeQuery(query, &got);
+      EXPECT_EQ(Sorted(got), ScanRange(elems, query))
+          << "dataset " << dataset << " q" << q;
+    }
+  }
+}
+
+TEST(CRTreeTest, KnnDifferential) {
+  const auto elems = GenerateUniformBoxes(5000, kUniverse, 0.05f, 0.6f);
+  CRTree t;
+  t.Build(elems);
+  Rng rng(44);
+  for (int q = 0; q < 20; ++q) {
+    const Vec3 p = rng.PointIn(kUniverse);
+    for (const std::size_t k : {1u, 10u, 40u}) {
+      std::vector<ElementId> got;
+      t.KnnQuery(p, k, &got);
+      EXPECT_EQ(got, ScanKnn(elems, p, k)) << "q" << q << " k" << k;
+    }
+  }
+}
+
+TEST(CRTreeTest, QuantizationSurvivesSkewedRefBoxes) {
+  // Pathological reference MBRs: long thin boxes exercise per-axis steps.
+  std::vector<Element> elems;
+  Rng rng(45);
+  for (ElementId i = 0; i < 2000; ++i) {
+    const Vec3 c(rng.Uniform(0, 100), rng.Uniform(0, 0.01f),
+                 rng.Uniform(0, 100));
+    elems.emplace_back(i, AABB::FromCenterHalfExtents(
+                              c, Vec3(0.3f, 0.0001f, 0.3f)));
+  }
+  CRTree t;
+  t.Build(elems);
+  for (int q = 0; q < 20; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        Vec3(rng.Uniform(0, 100), 0.005f, rng.Uniform(0, 100)), 2.0f);
+    std::vector<ElementId> got;
+    t.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanRange(elems, query)) << "q" << q;
+  }
+}
+
+TEST(CRTreeTest, CompressionShrinksFootprintVsRTree) {
+  // The CR-Tree's raison d'être: more entries per cache-line-sized node.
+  const auto elems = GenerateUniformBoxes(50000, kUniverse, 0.05f, 0.4f);
+  CRTree cr;
+  cr.Build(elems);
+  rtree::RTree rt;
+  rt.BulkLoadStr(elems);
+  EXPECT_LT(cr.Shape().bytes, rt.Shape().bytes);
+}
+
+TEST(CRTreeTest, FewerBytesTouchedThanRTreePerQuery) {
+  const auto elems = GenerateUniformBoxes(30000, kUniverse, 0.05f, 0.4f);
+  CRTree cr;
+  cr.Build(elems);
+  rtree::RTree rt;
+  rt.BulkLoadStr(elems);
+  QueryCounters ccr;
+  QueryCounters crt;
+  std::vector<ElementId> out;
+  Rng rng(46);
+  for (int q = 0; q < 50; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(kUniverse), 4.0f);
+    cr.RangeQuery(query, &out, &ccr);
+    rt.RangeQuery(query, &out, &crt);
+  }
+  EXPECT_LT(ccr.bytes_read, crt.bytes_read);
+}
+
+}  // namespace
+}  // namespace simspatial::crtree

@@ -1,0 +1,205 @@
+// Data and workload generators: statistical and structural properties.
+
+#include <gtest/gtest.h>
+
+#include "common/bruteforce.h"
+#include "datagen/neuron.h"
+#include "datagen/plasticity.h"
+#include "datagen/workload.h"
+
+namespace simspatial::datagen {
+namespace {
+
+TEST(NeuronGeneratorTest, ProducesRequestedShape) {
+  NeuronConfig cfg;
+  cfg.num_neurons = 20;
+  cfg.segments_per_neuron = 500;
+  const NeuronDataset ds = GenerateNeurons(cfg);
+  EXPECT_GT(ds.size(), 20u * 500u * 3 / 4);
+  EXPECT_LT(ds.size(), 20u * 500u * 5 / 4);
+  EXPECT_EQ(ds.capsules.size(), ds.elements.size());
+  EXPECT_EQ(ds.neuron_of.size(), ds.elements.size());
+}
+
+TEST(NeuronGeneratorTest, ElementsInsideUniverseWithConsistentIds) {
+  const NeuronDataset ds = GenerateNeuronsWithSize(20000);
+  const AABB grown = ds.universe.Inflated(1.0f);  // Radius spill allowance.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.elements[i].id, i);
+    EXPECT_TRUE(grown.Contains(ds.elements[i].box))
+        << i << " " << ds.elements[i].box;
+    // Element box must equal the capsule's bounds.
+    EXPECT_EQ(ds.elements[i].box, ds.capsules[i].Bounds());
+  }
+}
+
+TEST(NeuronGeneratorTest, DeterministicInSeed) {
+  NeuronConfig cfg;
+  cfg.num_neurons = 5;
+  cfg.segments_per_neuron = 100;
+  const NeuronDataset a = GenerateNeurons(cfg);
+  const NeuronDataset b = GenerateNeurons(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.elements[i].box, b.elements[i].box);
+  }
+  cfg.seed = 99;
+  const NeuronDataset c = GenerateNeurons(cfg);
+  bool any_diff = a.size() != c.size();
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()) && !any_diff;
+       ++i) {
+    any_diff = !(a.elements[i].box == c.elements[i].box);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NeuronGeneratorTest, DatasetIsSpatiallySkewed) {
+  // Neuron data must be clustered: the variance of per-cell occupancy of a
+  // coarse grid should far exceed the Poisson (uniform) expectation.
+  const NeuronDataset ds = GenerateNeuronsWithSize(30000);
+  constexpr int kCells = 8;
+  std::vector<std::size_t> cell(kCells * kCells * kCells, 0);
+  const Vec3 ext = ds.universe.Extent();
+  for (const Element& e : ds.elements) {
+    const Vec3 c = e.Center();
+    const int ix = std::min(kCells - 1, static_cast<int>((c.x - ds.universe.min.x) / ext.x * kCells));
+    const int iy = std::min(kCells - 1, static_cast<int>((c.y - ds.universe.min.y) / ext.y * kCells));
+    const int iz = std::min(kCells - 1, static_cast<int>((c.z - ds.universe.min.z) / ext.z * kCells));
+    ++cell[(ix * kCells + iy) * kCells + iz];
+  }
+  const double mean =
+      static_cast<double>(ds.size()) / static_cast<double>(cell.size());
+  double var = 0;
+  for (const std::size_t c : cell) {
+    var += (static_cast<double>(c) - mean) * (static_cast<double>(c) - mean);
+  }
+  var /= static_cast<double>(cell.size());
+  EXPECT_GT(var, 4 * mean);  // Strongly over-dispersed vs Poisson.
+}
+
+TEST(UniformBoxesTest, BasicProperties) {
+  const AABB u(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  const auto elems = GenerateUniformBoxes(1000, u, 0.1f, 0.2f);
+  ASSERT_EQ(elems.size(), 1000u);
+  for (const Element& e : elems) {
+    const Vec3 ext = e.box.Extent();
+    EXPECT_GE(ext.x, 0.2f - 1e-5f);
+    EXPECT_LE(ext.x, 0.4f + 1e-5f);
+    EXPECT_TRUE(u.Inflated(0.5f).Contains(e.box));
+  }
+}
+
+TEST(PlasticityTest, MatchesPaperDisplacementStatistics) {
+  // §4.1: mean displacement 0.04 µm, <0.5% of elements move >0.1 µm.
+  const AABB universe(Vec3(0, 0, 0), Vec3(285, 285, 285));
+  auto elems = GenerateUniformBoxes(50000, universe, 0.2f, 0.5f);
+  PlasticityConfig cfg;
+  cfg.mean_displacement = 0.04f;
+  PlasticityModel model(cfg, universe);
+  std::vector<ElementUpdate> updates;
+  const DisplacementStats stats = model.Step(&elems, &updates);
+  EXPECT_EQ(stats.moved, elems.size());
+  EXPECT_EQ(updates.size(), elems.size());
+  EXPECT_NEAR(stats.mean_magnitude, 0.04, 0.002);
+  EXPECT_LT(stats.fraction_over_0p1, 0.005);  // The paper's "<0.5%".
+  EXPECT_GT(stats.fraction_over_0p1, 0.0001);  // But not degenerate.
+}
+
+TEST(PlasticityTest, MovingFractionRespected) {
+  const AABB universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  auto elems = GenerateUniformBoxes(20000, universe, 0.2f, 0.5f);
+  PlasticityConfig cfg;
+  cfg.moving_fraction = 0.25f;
+  PlasticityModel model(cfg, universe);
+  std::vector<ElementUpdate> updates;
+  const DisplacementStats stats = model.Step(&elems, &updates);
+  EXPECT_NEAR(static_cast<double>(stats.moved) / elems.size(), 0.25, 0.02);
+}
+
+TEST(PlasticityTest, ElementsStayInUniverseOverManySteps) {
+  const AABB universe(Vec3(0, 0, 0), Vec3(5, 5, 5));  // Small: walls matter.
+  auto elems = GenerateUniformBoxes(200, universe, 0.05f, 0.1f);
+  PlasticityConfig cfg;
+  cfg.mean_displacement = 0.5f;  // Violent walk to stress reflection.
+  PlasticityModel model(cfg, universe);
+  std::vector<ElementUpdate> updates;
+  for (int step = 0; step < 200; ++step) {
+    model.Step(&elems, &updates);
+  }
+  for (const Element& e : elems) {
+    EXPECT_TRUE(universe.Inflated(1e-3f).Contains(e.box)) << e.box;
+  }
+}
+
+TEST(PlasticityTest, CapsulesStayCongruentWithBoxes) {
+  const AABB universe(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  NeuronConfig ncfg;
+  ncfg.num_neurons = 5;
+  ncfg.segments_per_neuron = 200;
+  ncfg.universe_side = 50.0f;
+  NeuronDataset ds = GenerateNeurons(ncfg);
+  PlasticityConfig cfg;
+  PlasticityModel model(cfg, ds.universe);
+  std::vector<ElementUpdate> updates;
+  for (int step = 0; step < 5; ++step) {
+    model.Step(&ds.elements, &ds.capsules, &updates);
+  }
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const AABB cb = ds.capsules[i].Bounds();
+    EXPECT_NEAR(cb.min.x, ds.elements[i].box.min.x, 1e-3f);
+    EXPECT_NEAR(cb.max.z, ds.elements[i].box.max.z, 1e-3f);
+  }
+}
+
+TEST(WorkloadTest, CalibratedSelectivityHitsTarget) {
+  const AABB u(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  const auto elems = GenerateUniformBoxes(50000, u, 0.1f, 0.3f);
+  RangeWorkloadConfig cfg;
+  cfg.num_queries = 50;
+  cfg.selectivity = 1e-3;  // Expect ≈50 results per query.
+  const RangeWorkload wl = MakeRangeWorkload(elems, u, cfg);
+  ASSERT_EQ(wl.queries.size(), 50u);
+  double total = 0;
+  for (const AABB& q : wl.queries) total += ScanRange(elems, q).size();
+  const double mean = total / wl.queries.size();
+  EXPECT_GT(mean, 50.0 * 0.4);
+  EXPECT_LT(mean, 50.0 * 2.5);
+}
+
+TEST(WorkloadTest, QueriesClampedToUniverse) {
+  const AABB u(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  const auto elems = GenerateUniformBoxes(1000, u, 0.1f, 0.2f);
+  RangeWorkloadConfig cfg;
+  cfg.num_queries = 100;
+  cfg.selectivity = 0.05;  // Large queries that would spill past walls.
+  const RangeWorkload wl = MakeRangeWorkload(elems, u, cfg);
+  for (const AABB& q : wl.queries) {
+    EXPECT_TRUE(u.Contains(q)) << q;
+  }
+}
+
+TEST(WorkloadTest, DataCentredPlacementAlwaysHits) {
+  const AABB u(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  // Sparse dataset: uniform placement would often miss.
+  const auto elems = GenerateClusteredBoxes(2000, u, 3, 2.0f, 0.1f, 0.3f);
+  RangeWorkloadConfig cfg;
+  cfg.placement = QueryPlacement::kDataCentred;
+  cfg.num_queries = 40;
+  cfg.selectivity = 1e-3;
+  const RangeWorkload wl = MakeRangeWorkload(elems, u, cfg);
+  std::size_t hits = 0;
+  for (const AABB& q : wl.queries) {
+    hits += ScanRange(elems, q).empty() ? 0 : 1;
+  }
+  EXPECT_EQ(hits, wl.queries.size());
+}
+
+TEST(WorkloadTest, KnnPointsInsideUniverse) {
+  const AABB u(Vec3(-5, -5, -5), Vec3(5, 5, 5));
+  const auto pts = MakeKnnPoints(u, 200);
+  ASSERT_EQ(pts.size(), 200u);
+  for (const Vec3& p : pts) EXPECT_TRUE(u.Contains(p));
+}
+
+}  // namespace
+}  // namespace simspatial::datagen

@@ -1,0 +1,153 @@
+// Paged (simulated-disk) STR R-Tree tests, including the cold/warm cache
+// behaviour underpinning the Figure 2 experiment.
+
+#include "rtree/disk_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bruteforce.h"
+#include "common/rng.h"
+#include "datagen/neuron.h"
+
+namespace simspatial::rtree {
+namespace {
+
+using datagen::GenerateUniformBoxes;
+using storage::BufferPool;
+using storage::DiskModel;
+using storage::PageStore;
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+std::vector<ElementId> Sorted(std::vector<ElementId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(DiskRTreeTest, EmptyTree) {
+  PageStore store;
+  DiskRTree tree(&store, {});
+  BufferPool pool(&store, 16);
+  std::vector<ElementId> out;
+  tree.RangeQuery(kUniverse, &pool, &out);
+  EXPECT_TRUE(out.empty());
+  tree.KnnQuery(Vec3(0, 0, 0), 3, &pool, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(DiskRTreeTest, CapacityMatchesPageSize) {
+  PageStore store;  // 4 KB pages.
+  DiskRTree tree(&store, {});
+  // (4096 - 8) / 28 = 146 — the paper's 4K node size yields ~146 entries.
+  EXPECT_EQ(tree.capacity(), 146u);
+}
+
+TEST(DiskRTreeTest, RangeMatchesBruteForce) {
+  const auto elems = GenerateUniformBoxes(20000, kUniverse, 0.05f, 0.8f);
+  PageStore store;
+  DiskRTree tree(&store, elems);
+  BufferPool pool(&store, 1024);
+  EXPECT_GE(tree.height(), 2u);
+
+  Rng rng(77);
+  for (int q = 0; q < 30; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(kUniverse), rng.Uniform(0.5f, 12.0f));
+    std::vector<ElementId> got;
+    tree.RangeQuery(query, &pool, &got);
+    EXPECT_EQ(Sorted(got), ScanRange(elems, query)) << "q" << q;
+  }
+}
+
+TEST(DiskRTreeTest, KnnMatchesBruteForce) {
+  const auto elems = GenerateUniformBoxes(8000, kUniverse, 0.05f, 0.5f);
+  PageStore store;
+  DiskRTree tree(&store, elems);
+  BufferPool pool(&store, 1024);
+  Rng rng(78);
+  for (int q = 0; q < 15; ++q) {
+    const Vec3 p = rng.PointIn(kUniverse);
+    for (std::size_t k : {1u, 8u, 64u}) {
+      std::vector<ElementId> got;
+      tree.KnnQuery(p, k, &pool, &got);
+      EXPECT_EQ(got, ScanKnn(elems, p, k)) << "q" << q << " k" << k;
+    }
+  }
+}
+
+TEST(DiskRTreeTest, ColdQueriesChargeDiskTime) {
+  const auto elems = GenerateUniformBoxes(30000, kUniverse, 0.05f, 0.5f);
+  PageStore store;  // Default: disk-like latency.
+  DiskRTree tree(&store, elems);
+  BufferPool pool(&store, 4096);
+
+  QueryCounters cold;
+  std::vector<ElementId> out;
+  pool.Clear();
+  tree.RangeQuery(AABB::FromCenterHalfExtent(Vec3(50, 50, 50), 8.0f), &pool,
+                  &out, &cold);
+  EXPECT_GT(cold.pages_read, 0u);
+  EXPECT_GT(cold.io_virtual_ns, 1000000u);  // Milliseconds of virtual I/O.
+
+  // Warm repeat: everything from the pool, no virtual I/O.
+  QueryCounters warm;
+  tree.RangeQuery(AABB::FromCenterHalfExtent(Vec3(50, 50, 50), 8.0f), &pool,
+                  &out, &warm);
+  EXPECT_EQ(warm.pages_read, 0u);
+  EXPECT_EQ(warm.io_virtual_ns, 0u);
+  EXPECT_EQ(warm.buffer_hits, cold.pages_read + cold.buffer_hits);
+}
+
+TEST(DiskRTreeTest, InMemoryModelChargesNoIoTime) {
+  const auto elems = GenerateUniformBoxes(10000, kUniverse, 0.05f, 0.5f);
+  PageStore store(DiskModel::InMemory());
+  DiskRTree tree(&store, elems);
+  BufferPool pool(&store, 4096);
+  QueryCounters c;
+  std::vector<ElementId> out;
+  tree.RangeQuery(AABB::FromCenterHalfExtent(Vec3(50, 50, 50), 10.0f), &pool,
+                  &out, &c);
+  EXPECT_GT(c.pages_read, 0u);
+  EXPECT_LT(c.io_virtual_ns, 10000u);  // Nanosecond-scale, not millisecond.
+}
+
+TEST(DiskRTreeTest, IntersectionTestCountsMirrorInMemoryTree) {
+  // Same structure + instrumentation across both Figure 2 rows: the counts
+  // of intersection tests must be identical regardless of the cost model.
+  const auto elems = GenerateUniformBoxes(15000, kUniverse, 0.05f, 0.5f);
+  PageStore disk_store;                       // Disk-like.
+  PageStore mem_store(DiskModel::InMemory());  // Memory row.
+  DiskRTree disk_tree(&disk_store, elems);
+  DiskRTree mem_tree(&mem_store, elems);
+  BufferPool disk_pool(&disk_store, 4096);
+  BufferPool mem_pool(&mem_store, 4096);
+
+  const AABB q = AABB::FromCenterHalfExtent(Vec3(40, 60, 50), 7.0f);
+  QueryCounters cd;
+  QueryCounters cm;
+  std::vector<ElementId> out;
+  disk_tree.RangeQuery(q, &disk_pool, &out, &cd);
+  mem_tree.RangeQuery(q, &mem_pool, &out, &cm);
+  EXPECT_EQ(cd.structure_tests, cm.structure_tests);
+  EXPECT_EQ(cd.element_tests, cm.element_tests);
+  EXPECT_EQ(cd.pages_read, cm.pages_read);
+  EXPECT_GT(cd.io_virtual_ns, 100 * cm.io_virtual_ns);
+}
+
+TEST(DiskRTreeTest, PageCountScalesWithDataset) {
+  const auto small = GenerateUniformBoxes(1000, kUniverse, 0.1f, 0.3f);
+  const auto large = GenerateUniformBoxes(20000, kUniverse, 0.1f, 0.3f);
+  PageStore s1;
+  PageStore s2;
+  DiskRTree t1(&s1, small);
+  DiskRTree t2(&s2, large);
+  EXPECT_GT(t2.page_count(), t1.page_count() * 10);
+  // Leaves alone need ceil(n / 146) pages.
+  EXPECT_GE(t2.page_count(), (large.size() + 145) / 146);
+}
+
+}  // namespace
+}  // namespace simspatial::rtree

@@ -1,0 +1,199 @@
+// Registry-wide edge-case battery: every index must survive and stay exact
+// on degenerate inputs — empty datasets, one element, all-identical boxes,
+// zero-extent (point) elements, elements on universe walls, and queries
+// that are points or cover everything.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bruteforce.h"
+#include "common/rng.h"
+#include "core/spatial_index.h"
+#include "join/spatial_join.h"
+
+namespace simspatial::core {
+namespace {
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(10, 10, 10));
+
+std::vector<ElementId> Sorted(std::vector<ElementId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void ExpectRangeMatches(SpatialIndex* index,
+                        const std::vector<Element>& elems, const AABB& q,
+                        const char* what) {
+  if (!index->SupportsRangeQueries()) return;
+  std::vector<ElementId> got;
+  index->RangeQuery(q, &got);
+  EXPECT_EQ(Sorted(got), Sorted(ScanRange(elems, q)))
+      << index->name() << ": " << what;
+}
+
+class EdgeCaseTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EdgeCaseTest, EmptyDataset) {
+  auto index = MakeIndex(GetParam());
+  index->Build({}, kUniverse);
+  EXPECT_EQ(index->size(), 0u);
+  std::vector<ElementId> out;
+  if (index->SupportsRangeQueries()) {
+    index->RangeQuery(kUniverse, &out);
+    EXPECT_TRUE(out.empty()) << index->name();
+  }
+  index->KnnQuery(Vec3(5, 5, 5), 3, &out);
+  EXPECT_TRUE(out.empty()) << index->name();
+}
+
+TEST_P(EdgeCaseTest, SingleElement) {
+  auto index = MakeIndex(GetParam());
+  const std::vector<Element> elems{
+      Element(7, AABB(Vec3(3, 3, 3), Vec3(4, 4, 4)))};
+  index->Build(elems, kUniverse);
+  ExpectRangeMatches(index.get(), elems, kUniverse, "whole universe");
+  ExpectRangeMatches(index.get(), elems, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                     "miss");
+  std::vector<ElementId> out;
+  index->KnnQuery(Vec3(0, 0, 0), 1, &out);
+  if (index->KnnIsExact()) {
+    ASSERT_EQ(out.size(), 1u) << index->name();
+    EXPECT_EQ(out[0], 7u);
+  }
+}
+
+TEST_P(EdgeCaseTest, AllIdenticalBoxes) {
+  auto index = MakeIndex(GetParam());
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 500; ++i) {
+    elems.emplace_back(i, AABB(Vec3(4, 4, 4), Vec3(5, 5, 5)));
+  }
+  index->Build(elems, kUniverse);
+  ExpectRangeMatches(index.get(), elems,
+                     AABB(Vec3(4.5f, 4.5f, 4.5f), Vec3(6, 6, 6)), "overlap");
+  ExpectRangeMatches(index.get(), elems, AABB(Vec3(6, 6, 6), Vec3(7, 7, 7)),
+                     "miss");
+}
+
+TEST_P(EdgeCaseTest, ZeroExtentPointElements) {
+  auto index = MakeIndex(GetParam());
+  Rng rng(7);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 800; ++i) {
+    elems.emplace_back(i, AABB::FromPoint(rng.PointIn(kUniverse)));
+  }
+  index->Build(elems, kUniverse);
+  Rng qrng(8);
+  for (int q = 0; q < 10; ++q) {
+    ExpectRangeMatches(
+        index.get(), elems,
+        AABB::FromCenterHalfExtent(qrng.PointIn(kUniverse), 2.0f), "points");
+  }
+  if (index->KnnIsExact()) {
+    std::vector<ElementId> got;
+    const Vec3 p = qrng.PointIn(kUniverse);
+    index->KnnQuery(p, 5, &got);
+    EXPECT_EQ(got, ScanKnn(elems, p, 5)) << index->name();
+  }
+}
+
+TEST_P(EdgeCaseTest, ElementsOnUniverseWalls) {
+  auto index = MakeIndex(GetParam());
+  std::vector<Element> elems;
+  ElementId id = 0;
+  // Corners, edges, faces — including boxes protruding past the walls.
+  for (const float x : {0.0f, 10.0f}) {
+    for (const float y : {0.0f, 10.0f}) {
+      for (const float z : {0.0f, 10.0f}) {
+        elems.emplace_back(
+            id++, AABB::FromCenterHalfExtent(Vec3(x, y, z), 0.5f));
+      }
+    }
+  }
+  index->Build(elems, kUniverse);
+  ExpectRangeMatches(index.get(), elems, kUniverse.Inflated(1.0f), "all");
+  ExpectRangeMatches(index.get(), elems,
+                     AABB(Vec3(-0.6f, -0.6f, -0.6f), Vec3(0.4f, 0.4f, 0.4f)),
+                     "low corner");
+  ExpectRangeMatches(index.get(), elems,
+                     AABB(Vec3(9.6f, 9.6f, 9.6f),
+                          Vec3(10.6f, 10.6f, 10.6f)),
+                     "high corner");
+}
+
+TEST_P(EdgeCaseTest, PointQuery) {
+  auto index = MakeIndex(GetParam());
+  std::vector<Element> elems{
+      Element(0, AABB(Vec3(2, 2, 2), Vec3(4, 4, 4))),
+      Element(1, AABB(Vec3(3, 3, 3), Vec3(5, 5, 5))),
+      Element(2, AABB(Vec3(8, 8, 8), Vec3(9, 9, 9)))};
+  index->Build(elems, kUniverse);
+  // A zero-volume query at a point covered by two boxes.
+  ExpectRangeMatches(index.get(), elems,
+                     AABB::FromPoint(Vec3(3.5f, 3.5f, 3.5f)), "point query");
+  // On a shared boundary (closed-box semantics).
+  ExpectRangeMatches(index.get(), elems, AABB::FromPoint(Vec3(4, 4, 4)),
+                     "boundary point");
+}
+
+TEST_P(EdgeCaseTest, DuplicateHeavyKnn) {
+  auto index = MakeIndex(GetParam());
+  if (!index->KnnIsExact()) GTEST_SKIP();
+  // Many elements at identical distance: tie-breaking must match the
+  // reference exactly (by id).
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 100; ++i) {
+    elems.emplace_back(i, AABB(Vec3(4, 4, 4), Vec3(5, 5, 5)));
+  }
+  index->Build(elems, kUniverse);
+  std::vector<ElementId> got;
+  index->KnnQuery(Vec3(0, 0, 0), 10, &got);
+  EXPECT_EQ(got, ScanKnn(elems, Vec3(0, 0, 0), 10)) << index->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, EdgeCaseTest,
+                         ::testing::ValuesIn(AllIndexNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+// Join edge cases (algorithms are free functions, not in the registry).
+TEST(JoinEdgeCaseTest, IdenticalBoxesSelfJoin) {
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 40; ++i) {
+    elems.emplace_back(i, AABB(Vec3(1, 1, 1), Vec3(2, 2, 2)));
+  }
+  const std::size_t expected = 40 * 39 / 2;
+  auto check = [&](std::vector<join::JoinPair> pairs, const char* name) {
+    SortPairs(&pairs);
+    EXPECT_EQ(pairs.size(), expected) << name;
+  };
+  check(join::PlaneSweepSelfJoin(elems, 0.0f), "sweep");
+  check(join::PbsmSelfJoin(elems, 0.0f), "pbsm");
+  check(join::TouchSelfJoin(elems, 0.0f), "touch");
+  check(join::GridSelfJoin(elems, 0.0f), "grid");
+}
+
+TEST(JoinEdgeCaseTest, ZeroExtentElementsWithEps) {
+  Rng rng(9);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 300; ++i) {
+    elems.emplace_back(i, AABB::FromPoint(rng.PointIn(kUniverse)));
+  }
+  auto want = NestedLoopSelfJoin(elems, 0.7f);
+  SortPairs(&want);
+  for (auto [name, pairs] :
+       {std::pair{"sweep", join::PlaneSweepSelfJoin(elems, 0.7f)},
+        std::pair{"pbsm", join::PbsmSelfJoin(elems, 0.7f)},
+        std::pair{"touch", join::TouchSelfJoin(elems, 0.7f)},
+        std::pair{"grid", join::GridSelfJoin(elems, 0.7f)}}) {
+    SortPairs(&pairs);
+    EXPECT_EQ(pairs, want) << name;
+  }
+}
+
+}  // namespace
+}  // namespace simspatial::core

@@ -1,0 +1,362 @@
+// Unit tests for the geometry kernel.
+
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace simspatial {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a(1, 2, 3);
+  const Vec3 b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0f * a, Vec3(2, 4, 6));
+  EXPECT_FLOAT_EQ(a.Dot(b), 32.0f);
+  EXPECT_EQ(a.Cross(b), Vec3(-3, 6, -3));
+  EXPECT_FLOAT_EQ(Vec3(3, 4, 0).Norm(), 5.0f);
+}
+
+TEST(Vec3Test, IndexingMatchesComponents) {
+  Vec3 v(7, 8, 9);
+  EXPECT_FLOAT_EQ(v[0], 7);
+  EXPECT_FLOAT_EQ(v[1], 8);
+  EXPECT_FLOAT_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_FLOAT_EQ(v.y, 42);
+}
+
+TEST(AABBTest, DefaultIsEmpty) {
+  const AABB b;
+  EXPECT_TRUE(b.IsEmpty());
+  EXPECT_FLOAT_EQ(b.Volume(), 0.0f);
+  EXPECT_FALSE(b.Intersects(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))));
+}
+
+TEST(AABBTest, ExtendByPointYieldsPointBox) {
+  AABB b;
+  b.Extend(Vec3(1, 2, 3));
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_EQ(b.min, Vec3(1, 2, 3));
+  EXPECT_EQ(b.max, Vec3(1, 2, 3));
+  EXPECT_TRUE(b.Contains(Vec3(1, 2, 3)));
+}
+
+TEST(AABBTest, VolumeSurfaceMargin) {
+  const AABB b(Vec3(0, 0, 0), Vec3(2, 3, 4));
+  EXPECT_FLOAT_EQ(b.Volume(), 24.0f);
+  EXPECT_FLOAT_EQ(b.SurfaceArea(), 2 * (6 + 12 + 8));
+  EXPECT_FLOAT_EQ(b.Margin(), 9.0f);
+}
+
+TEST(AABBTest, IntersectionCases) {
+  const AABB a(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  EXPECT_TRUE(a.Intersects(AABB(Vec3(1, 1, 1), Vec3(3, 3, 3))));
+  // Face contact counts (closed boxes).
+  EXPECT_TRUE(a.Intersects(AABB(Vec3(2, 0, 0), Vec3(3, 2, 2))));
+  EXPECT_FALSE(a.Intersects(AABB(Vec3(2.01f, 0, 0), Vec3(3, 2, 2))));
+  // Disjoint on one axis only is enough.
+  EXPECT_FALSE(a.Intersects(AABB(Vec3(0, 0, 5), Vec3(2, 2, 6))));
+}
+
+TEST(AABBTest, Containment) {
+  const AABB outer(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  EXPECT_TRUE(outer.Contains(AABB(Vec3(1, 1, 1), Vec3(9, 9, 9))));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(AABB(Vec3(1, 1, 1), Vec3(11, 9, 9))));
+  EXPECT_FALSE(outer.Contains(AABB()));  // Empty box is never contained.
+}
+
+TEST(AABBTest, UnionAndIntersection) {
+  const AABB a(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  const AABB b(Vec3(1, 1, 1), Vec3(4, 4, 4));
+  const AABB u = AABB::Union(a, b);
+  EXPECT_EQ(u.min, Vec3(0, 0, 0));
+  EXPECT_EQ(u.max, Vec3(4, 4, 4));
+  const AABB i = AABB::Intersection(a, b);
+  EXPECT_EQ(i.min, Vec3(1, 1, 1));
+  EXPECT_EQ(i.max, Vec3(2, 2, 2));
+  EXPECT_TRUE(
+      AABB::Intersection(a, AABB(Vec3(5, 5, 5), Vec3(6, 6, 6))).IsEmpty());
+}
+
+TEST(AABBTest, DistanceToPoint) {
+  const AABB b(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_FLOAT_EQ(b.SquaredDistanceTo(Vec3(0.5f, 0.5f, 0.5f)), 0.0f);
+  EXPECT_FLOAT_EQ(b.SquaredDistanceTo(Vec3(2, 0.5f, 0.5f)), 1.0f);
+  EXPECT_FLOAT_EQ(b.SquaredDistanceTo(Vec3(2, 2, 0.5f)), 2.0f);
+  EXPECT_FLOAT_EQ(b.SquaredDistanceTo(Vec3(2, 2, 2)), 3.0f);
+}
+
+TEST(AABBTest, DistanceToBox) {
+  const AABB a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_FLOAT_EQ(a.SquaredDistanceTo(AABB(Vec3(3, 0, 0), Vec3(4, 1, 1))),
+                  4.0f);
+  EXPECT_FLOAT_EQ(
+      a.SquaredDistanceTo(AABB(Vec3(0.5f, 0.5f, 0.5f), Vec3(2, 2, 2))), 0.0f);
+}
+
+TEST(AABBTest, InflatedAndTranslated) {
+  const AABB b(Vec3(1, 1, 1), Vec3(2, 2, 2));
+  const AABB g = b.Inflated(0.5f);
+  EXPECT_EQ(g.min, Vec3(0.5f, 0.5f, 0.5f));
+  EXPECT_EQ(g.max, Vec3(2.5f, 2.5f, 2.5f));
+  const AABB t = b.Translated(Vec3(1, 0, -1));
+  EXPECT_EQ(t.min, Vec3(2, 1, 0));
+  EXPECT_EQ(t.max, Vec3(3, 2, 1));
+}
+
+TEST(SegmentDistanceTest, PointSegment) {
+  const Vec3 a(0, 0, 0);
+  const Vec3 b(10, 0, 0);
+  EXPECT_FLOAT_EQ(SquaredDistancePointSegment(Vec3(5, 3, 0), a, b), 9.0f);
+  EXPECT_FLOAT_EQ(SquaredDistancePointSegment(Vec3(-3, 4, 0), a, b), 25.0f);
+  EXPECT_FLOAT_EQ(SquaredDistancePointSegment(Vec3(13, 4, 0), a, b), 25.0f);
+  // Degenerate segment.
+  EXPECT_FLOAT_EQ(SquaredDistancePointSegment(Vec3(1, 0, 0), a, a), 1.0f);
+}
+
+TEST(SegmentDistanceTest, SegmentSegment) {
+  // Perpendicular skew segments, closest at midpoints, distance 2.
+  EXPECT_NEAR(SquaredDistanceSegmentSegment(Vec3(-1, 0, 0), Vec3(1, 0, 0),
+                                            Vec3(0, -1, 2), Vec3(0, 1, 2)),
+              4.0f, 1e-5f);
+  // Intersecting segments.
+  EXPECT_NEAR(SquaredDistanceSegmentSegment(Vec3(-1, 0, 0), Vec3(1, 0, 0),
+                                            Vec3(0, -1, 0), Vec3(0, 1, 0)),
+              0.0f, 1e-6f);
+  // Parallel segments offset by 3.
+  EXPECT_NEAR(SquaredDistanceSegmentSegment(Vec3(0, 0, 0), Vec3(5, 0, 0),
+                                            Vec3(0, 3, 0), Vec3(5, 3, 0)),
+              9.0f, 1e-5f);
+  // Endpoint-to-endpoint case.
+  EXPECT_NEAR(SquaredDistanceSegmentSegment(Vec3(0, 0, 0), Vec3(1, 0, 0),
+                                            Vec3(3, 0, 0), Vec3(5, 0, 0)),
+              4.0f, 1e-5f);
+  // Both degenerate.
+  EXPECT_FLOAT_EQ(SquaredDistanceSegmentSegment(Vec3(0, 0, 0), Vec3(0, 0, 0),
+                                                Vec3(0, 0, 7), Vec3(0, 0, 7)),
+                  49.0f);
+}
+
+TEST(CapsuleTest, BoundsContainDistance) {
+  const Capsule c(Vec3(0, 0, 0), Vec3(10, 0, 0), 1.0f);
+  const AABB b = c.Bounds();
+  EXPECT_EQ(b.min, Vec3(-1, -1, -1));
+  EXPECT_EQ(b.max, Vec3(11, 1, 1));
+  EXPECT_TRUE(CapsuleContains(c, Vec3(5, 0.9f, 0)));
+  EXPECT_FALSE(CapsuleContains(c, Vec3(5, 1.1f, 0)));
+  EXPECT_TRUE(CapsuleContains(c, Vec3(-0.7f, 0, 0)));  // Cap region.
+}
+
+TEST(CapsuleTest, WithinDistancePredicate) {
+  const Capsule a(Vec3(0, 0, 0), Vec3(10, 0, 0), 0.5f);
+  const Capsule b(Vec3(0, 2, 0), Vec3(10, 2, 0), 0.5f);
+  // Gap between surfaces = 2 - 0.5 - 0.5 = 1.
+  EXPECT_FALSE(CapsulesWithinDistance(a, b, 0.9f));
+  EXPECT_TRUE(CapsulesWithinDistance(a, b, 1.1f));
+  EXPECT_TRUE(CapsulesWithinDistance(a, b, 1.0f));
+}
+
+TEST(SegmentBoxDistanceTest, KnownConfigurations) {
+  const AABB box(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  // Segment passing through the box.
+  EXPECT_NEAR(SquaredDistanceSegmentAABB(Vec3(-1, 1, 1), Vec3(3, 1, 1), box),
+              0.0f, 1e-5f);
+  // Segment parallel to a face at distance 3.
+  EXPECT_NEAR(SquaredDistanceSegmentAABB(Vec3(0, 5, 1), Vec3(2, 5, 1), box),
+              9.0f, 1e-3f);
+  // Closest point in the segment interior, diagonal approach to an edge.
+  EXPECT_NEAR(
+      SquaredDistanceSegmentAABB(Vec3(3, 3, -2), Vec3(3, 3, 4), box),
+      2.0f, 1e-3f);
+  // Degenerate segment = point.
+  EXPECT_NEAR(SquaredDistanceSegmentAABB(Vec3(4, 1, 1), Vec3(4, 1, 1), box),
+              4.0f, 1e-4f);
+}
+
+TEST(SegmentBoxDistanceTest, MatchesSampledMinimum) {
+  // Property: the ternary-search distance matches a dense parameter sweep.
+  Rng rng(123);
+  const AABB box(Vec3(0, 0, 0), Vec3(1, 2, 3));
+  const AABB region(Vec3(-3, -3, -3), Vec3(4, 5, 6));
+  for (int iter = 0; iter < 200; ++iter) {
+    const Vec3 a = rng.PointIn(region);
+    const Vec3 b = rng.PointIn(region);
+    const float got = SquaredDistanceSegmentAABB(a, b, box);
+    float want = std::numeric_limits<float>::max();
+    for (int i = 0; i <= 200; ++i) {
+      const float t = i / 200.0f;
+      want = std::min(want, box.SquaredDistanceTo(a + (b - a) * t));
+    }
+    EXPECT_NEAR(got, want, std::max(1e-4f, want * 0.02f)) << "iter " << iter;
+  }
+}
+
+TEST(CapsuleBoxTest, IntersectionCases) {
+  const AABB box(Vec3(0, 0, 0), Vec3(4, 4, 4));
+  // Fully inside.
+  EXPECT_TRUE(CapsuleIntersectsAABB(
+      Capsule(Vec3(1, 1, 1), Vec3(3, 3, 3), 0.2f), box));
+  // Crossing through.
+  EXPECT_TRUE(CapsuleIntersectsAABB(
+      Capsule(Vec3(-2, 2, 2), Vec3(6, 2, 2), 0.1f), box));
+  // Touching via radius only.
+  EXPECT_TRUE(CapsuleIntersectsAABB(
+      Capsule(Vec3(5, 2, 2), Vec3(7, 2, 2), 1.05f), box));
+  // Near miss.
+  EXPECT_FALSE(CapsuleIntersectsAABB(
+      Capsule(Vec3(5.2f, 2, 2), Vec3(7, 2, 2), 1.0f), box));
+  // Grazing an edge diagonally (interior closest point).
+  EXPECT_TRUE(CapsuleIntersectsAABB(
+      Capsule(Vec3(5, 5, -2), Vec3(5, 5, 6), 1.5f), box));
+  EXPECT_FALSE(CapsuleIntersectsAABB(
+      Capsule(Vec3(5, 5, -2), Vec3(5, 5, 6), 1.3f), box));
+}
+
+TEST(CapsuleBoxTest, ConsistentWithCapsuleBounds) {
+  // If the capsule's AABB misses the box, the capsule must miss it too.
+  Rng rng(321);
+  const AABB box(Vec3(2, 2, 2), Vec3(5, 5, 5));
+  const AABB region(Vec3(-2, -2, -2), Vec3(9, 9, 9));
+  for (int iter = 0; iter < 300; ++iter) {
+    const Capsule c(rng.PointIn(region), rng.PointIn(region),
+                    rng.Uniform(0.05f, 0.8f));
+    const bool exact = CapsuleIntersectsAABB(c, box);
+    if (exact) {
+      EXPECT_TRUE(c.Bounds().Intersects(box)) << "iter " << iter;
+    }
+  }
+}
+
+TEST(TetrahedronTest, VolumeAndContainment) {
+  const Tetrahedron t{{Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0),
+                       Vec3(0, 0, 1)}};
+  EXPECT_NEAR(t.SignedVolume(), 1.0f / 6.0f, 1e-7f);
+  EXPECT_TRUE(t.Contains(Vec3(0.1f, 0.1f, 0.1f)));
+  EXPECT_TRUE(t.Contains(Vec3(0, 0, 0)));           // Vertex.
+  EXPECT_TRUE(t.Contains(Vec3(0.25f, 0.25f, 0.25f)));
+  EXPECT_FALSE(t.Contains(Vec3(0.5f, 0.5f, 0.5f)));  // Outside hypotenuse.
+  EXPECT_FALSE(t.Contains(Vec3(-0.1f, 0.1f, 0.1f)));
+}
+
+TEST(TetrahedronTest, NegativeOrientationStillWorks) {
+  const Tetrahedron t{{Vec3(0, 0, 0), Vec3(0, 1, 0), Vec3(1, 0, 0),
+                       Vec3(0, 0, 1)}};
+  EXPECT_LT(t.SignedVolume(), 0.0f);
+  EXPECT_TRUE(t.Contains(Vec3(0.1f, 0.1f, 0.1f)));
+  EXPECT_FALSE(t.Contains(Vec3(1, 1, 1)));
+}
+
+TEST(TriangleBoxTest, BasicCases) {
+  const AABB box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  // Triangle fully inside.
+  EXPECT_TRUE(TriangleIntersectsAABB(Vec3(0.2f, 0.2f, 0.2f),
+                                     Vec3(0.8f, 0.2f, 0.2f),
+                                     Vec3(0.2f, 0.8f, 0.2f), box));
+  // Triangle fully outside (beyond +x).
+  EXPECT_FALSE(TriangleIntersectsAABB(Vec3(2, 0, 0), Vec3(3, 0, 0),
+                                      Vec3(2, 1, 0), box));
+  // Large triangle slicing through the box without any vertex inside.
+  EXPECT_TRUE(TriangleIntersectsAABB(Vec3(-5, 0.5f, -5), Vec3(5, 0.5f, -5),
+                                     Vec3(0, 0.5f, 10), box));
+  // Plane passes near but the triangle misses the corner (SAT axis case).
+  EXPECT_FALSE(TriangleIntersectsAABB(Vec3(2, 2, 0), Vec3(3, 1, 0),
+                                      Vec3(2.5f, 2.5f, 1), box));
+}
+
+TEST(TriangleBoxTest, MatchesSamplingOnRandomTriangles) {
+  // Property test: SAT result must agree with a dense point-sample check
+  // whenever the sampling finds a hit (sampling can miss, SAT cannot).
+  Rng rng(99);
+  const AABB box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const AABB region(Vec3(-2, -2, -2), Vec3(3, 3, 3));
+  for (int iter = 0; iter < 300; ++iter) {
+    const Vec3 a = rng.PointIn(region);
+    const Vec3 b = rng.PointIn(region);
+    const Vec3 c = rng.PointIn(region);
+    const bool sat = TriangleIntersectsAABB(a, b, c, box);
+    bool sampled = false;
+    for (int i = 0; i <= 20 && !sampled; ++i) {
+      for (int j = 0; i + j <= 20 && !sampled; ++j) {
+        const float u = i / 20.0f;
+        const float v = j / 20.0f;
+        const Vec3 p = a * (1 - u - v) + b * u + c * v;
+        sampled = box.Contains(p);
+      }
+    }
+    if (sampled) EXPECT_TRUE(sat) << "iter " << iter;
+  }
+}
+
+TEST(MortonTest, OrderRespectsLocality) {
+  const AABB u(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  const auto a = MortonEncode(Vec3(1, 1, 1), u);
+  const auto b = MortonEncode(Vec3(1.5f, 1, 1), u);
+  const auto far = MortonEncode(Vec3(99, 99, 99), u);
+  EXPECT_LT(a, far);
+  EXPECT_LT(b, far);
+  // Origin maps to 0; the far corner maps to the max 63-bit pattern.
+  EXPECT_EQ(MortonEncode(Vec3(0, 0, 0), u), 0u);
+  EXPECT_EQ(MortonEncode(Vec3(100, 100, 100), u), 0x7fffffffffffffffULL);
+}
+
+TEST(MortonTest, DegenerateUniverse) {
+  const AABB flat(Vec3(0, 0, 0), Vec3(0, 0, 0));
+  EXPECT_EQ(MortonEncode(Vec3(0, 0, 0), flat), 0u);
+}
+
+TEST(HilbertTest, KeysAreDistinctAndDeterministic) {
+  const AABB u(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  Rng rng(4);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p = rng.PointIn(u);
+    const auto k = HilbertEncode(p, u);
+    EXPECT_EQ(k, HilbertEncode(p, u));
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()) - keys.begin(), 500);
+}
+
+TEST(HilbertTest, CurveHasBetterLocalityThanRandomOrder) {
+  // Consecutive keys along the Hilbert order must correspond to nearby
+  // points: mean hop distance along the sorted order should be a small
+  // fraction of the mean distance between randomly ordered points.
+  const AABB u(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  Rng rng(5);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 4000; ++i) pts.push_back(rng.PointIn(u));
+
+  std::vector<std::pair<std::uint64_t, std::size_t>> order;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    order.emplace_back(HilbertEncode(pts[i], u), i);
+  }
+  std::sort(order.begin(), order.end());
+  double hilbert_hop = 0;
+  double random_hop = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    hilbert_hop += Distance(pts[order[i - 1].second], pts[order[i].second]);
+    random_hop += Distance(pts[i - 1], pts[i]);
+  }
+  EXPECT_LT(hilbert_hop, random_hop * 0.2);
+}
+
+TEST(HilbertTest, ExtremesMapToCurveEnds) {
+  const AABB u(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  // The curve starts at the origin corner.
+  EXPECT_EQ(HilbertEncode(Vec3(0, 0, 0), u), 0u);
+  // All keys fit in 63 bits.
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(HilbertEncode(rng.PointIn(u), u), 1ULL << 63);
+  }
+}
+
+}  // namespace
+}  // namespace simspatial

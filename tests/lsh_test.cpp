@@ -1,0 +1,159 @@
+// LSH kNN: recall contract, update behaviour and structural properties.
+
+#include "lsh/lsh_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bruteforce.h"
+#include "common/rng.h"
+#include "datagen/neuron.h"
+
+namespace simspatial::lsh {
+namespace {
+
+using datagen::GenerateUniformBoxes;
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+double RecallAtK(const std::vector<ElementId>& got,
+                 const std::vector<ElementId>& truth) {
+  if (truth.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const ElementId id : truth) {
+    hit += std::find(got.begin(), got.end(), id) != got.end() ? 1 : 0;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+TEST(LshTest, EmptyIndex) {
+  LshKnn index;
+  index.Build({}, kUniverse);
+  std::vector<ElementId> out;
+  index.KnnQuery(Vec3(1, 2, 3), 5, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LshTest, RecallContractOnUniformData) {
+  const auto elems = GenerateUniformBoxes(20000, kUniverse, 0.05f, 0.3f);
+  LshKnn index;
+  index.Build(elems, kUniverse);
+  Rng rng(51);
+  double total_recall = 0;
+  constexpr int kQueries = 50;
+  for (int q = 0; q < kQueries; ++q) {
+    const Vec3 p = rng.PointIn(kUniverse);
+    std::vector<ElementId> got;
+    index.KnnQuery(p, 10, &got);
+    total_recall += RecallAtK(got, ScanKnn(elems, p, 10));
+  }
+  // Approximate by design; the default configuration must stay useful.
+  EXPECT_GT(total_recall / kQueries, 0.7);
+}
+
+TEST(LshTest, MoreTablesImproveRecall) {
+  const auto elems = GenerateUniformBoxes(10000, kUniverse, 0.05f, 0.3f);
+  LshOptions weak;
+  weak.tables = 1;
+  weak.multiprobe = 0;
+  LshOptions strong;
+  strong.tables = 16;
+  strong.multiprobe = 16;
+  LshKnn a(weak);
+  LshKnn b(strong);
+  a.Build(elems, kUniverse);
+  b.Build(elems, kUniverse);
+  Rng rng(52);
+  double recall_a = 0;
+  double recall_b = 0;
+  constexpr int kQueries = 40;
+  for (int q = 0; q < kQueries; ++q) {
+    const Vec3 p = rng.PointIn(kUniverse);
+    const auto truth = ScanKnn(elems, p, 10);
+    std::vector<ElementId> got;
+    a.KnnQuery(p, 10, &got);
+    recall_a += RecallAtK(got, truth);
+    b.KnnQuery(p, 10, &got);
+    recall_b += RecallAtK(got, truth);
+  }
+  EXPECT_GT(recall_b, recall_a);
+}
+
+TEST(LshTest, ResultsAreOrderedByDistance) {
+  const auto elems = GenerateUniformBoxes(5000, kUniverse, 0.05f, 0.3f);
+  LshKnn index;
+  index.Build(elems, kUniverse);
+  Rng rng(53);
+  for (int q = 0; q < 20; ++q) {
+    const Vec3 p = rng.PointIn(kUniverse);
+    std::vector<ElementId> got;
+    index.KnnQuery(p, 20, &got);
+    float prev = -1.0f;
+    for (const ElementId id : got) {
+      const float d = elems[id].box.SquaredDistanceTo(p);
+      EXPECT_GE(d, prev);
+      prev = d;
+    }
+  }
+}
+
+TEST(LshTest, UpdatesFollowMovement) {
+  auto elems = GenerateUniformBoxes(2000, kUniverse, 0.05f, 0.2f);
+  LshKnn index;
+  index.Build(elems, kUniverse);
+  // Teleport element 0 to a corner and query there.
+  const AABB corner(Vec3(0.5f, 0.5f, 0.5f), Vec3(0.8f, 0.8f, 0.8f));
+  ASSERT_TRUE(index.Update(0, corner));
+  elems[0].box = corner;
+  std::vector<ElementId> got;
+  index.KnnQuery(Vec3(0.6f, 0.6f, 0.6f), 1, &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0u);
+}
+
+TEST(LshTest, SmallMovesRarelyChangeBuckets) {
+  auto elems = GenerateUniformBoxes(5000, kUniverse, 0.05f, 0.2f);
+  LshKnn index;
+  index.Build(elems, kUniverse);
+  Rng rng(54);
+  std::vector<ElementUpdate> updates;
+  for (Element& e : elems) {
+    e.box = e.box.Translated(Vec3(rng.Normal(0, 0.005f),
+                                  rng.Normal(0, 0.005f),
+                                  rng.Normal(0, 0.005f)));
+    updates.emplace_back(e.id, e.box);
+  }
+  // All must apply, and the structure stays queryable.
+  EXPECT_EQ(index.ApplyUpdates(updates), elems.size());
+  std::vector<ElementId> got;
+  index.KnnQuery(Vec3(50, 50, 50), 5, &got);
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(LshTest, EraseRemovesFromAllTables) {
+  auto elems = GenerateUniformBoxes(100, kUniverse, 0.05f, 0.2f);
+  LshKnn index;
+  index.Build(elems, kUniverse);
+  for (const Element& e : elems) {
+    EXPECT_TRUE(index.Erase(e.id));
+  }
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.Erase(0));
+  const LshShape s = index.Shape();
+  EXPECT_EQ(s.buckets, 0u);
+}
+
+TEST(LshTest, ShapeReportsBucketStatistics) {
+  const auto elems = GenerateUniformBoxes(8000, kUniverse, 0.05f, 0.2f);
+  LshKnn index;
+  index.Build(elems, kUniverse);
+  const LshShape s = index.Shape();
+  EXPECT_EQ(s.elements, elems.size());
+  EXPECT_GT(s.buckets, 100u);
+  EXPECT_GT(s.mean_bucket_size, 0.5);
+  EXPECT_GT(s.bucket_width, 0.0f);
+}
+
+}  // namespace
+}  // namespace simspatial::lsh

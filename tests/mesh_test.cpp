@@ -1,0 +1,274 @@
+// Tetrahedral mesh substrate and connectivity-driven query execution
+// (DLS / OCTOPUS / FLAT).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bruteforce.h"
+#include "common/rng.h"
+#include "datagen/neuron.h"
+#include "mesh/flat.h"
+#include "mesh/mesh_queries.h"
+#include "mesh/tetmesh.h"
+
+namespace simspatial::mesh {
+namespace {
+
+std::vector<TetId> Sorted(std::vector<TetId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Ground truth: exact geometric scan (AABB prefilter + tet-box test).
+std::vector<TetId> ScanMesh(const TetMesh& m, const AABB& range) {
+  std::vector<TetId> out;
+  for (TetId t = 0; t < m.size(); ++t) {
+    if (m.bounds[t].Intersects(range) &&
+        TetIntersectsAABB(m.TetAt(t), range)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+TEST(TetMeshTest, StructuredMeshIsSound) {
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  EXPECT_EQ(m.size(), 6u * 6 * 6 * 6);  // 6 tets per cube.
+  std::string err;
+  EXPECT_TRUE(m.CheckInvariants(&err)) << err;
+  EXPECT_EQ(m.ConnectedComponents(), 1u);
+}
+
+TEST(TetMeshTest, FreudenthalTilesFillTheDomain) {
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 3;
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  double volume = 0;
+  for (TetId t = 0; t < m.size(); ++t) {
+    volume += std::abs(m.TetAt(t).SignedVolume());
+  }
+  EXPECT_NEAR(volume, m.domain.Volume(), m.domain.Volume() * 1e-3);
+}
+
+TEST(TetMeshTest, JitterKeepsValidity) {
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 5;
+  cfg.jitter = 0.2f;
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  std::string err;
+  EXPECT_TRUE(m.CheckInvariants(&err)) << err;
+  EXPECT_EQ(m.ConnectedComponents(), 1u);
+}
+
+TEST(TetMeshTest, CarvingCreatesInteriorSurface) {
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  const TetMesh solid = GenerateStructuredMesh(cfg);
+  cfg.carve = SphereCarve(cfg.domain.Center(), 2.0f);
+  const TetMesh holed = GenerateStructuredMesh(cfg);
+  EXPECT_LT(holed.size(), solid.size());
+  // The hole adds boundary faces -> more surface tets.
+  EXPECT_GT(holed.SurfaceTets().size(), solid.SurfaceTets().size());
+  std::string err;
+  EXPECT_TRUE(holed.CheckInvariants(&err)) << err;
+}
+
+TEST(TetMeshTest, InteriorTetHasFourNeighbours) {
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 4;
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  // Find a tet whose centroid is near the domain centre.
+  TetId centre_tet = 0;
+  float best = 1e30f;
+  for (TetId t = 0; t < m.size(); ++t) {
+    const float d = SquaredDistance(m.Centroid(t), m.domain.Center());
+    if (d < best) {
+      best = d;
+      centre_tet = t;
+    }
+  }
+  int links = 0;
+  for (const TetId n : m.neighbors[centre_tet]) links += n != kNoTet ? 1 : 0;
+  EXPECT_EQ(links, 4);
+}
+
+// --- DLS ---------------------------------------------------------------------
+
+TEST(DlsTest, ExactOnConvexMesh) {
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 10;
+  cfg.jitter = 0.15f;
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  DlsQuery dls(&m, /*coarse_cell_size=*/2.5f);
+  Rng rng(71);
+  for (int q = 0; q < 30; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(m.domain), rng.Uniform(0.5f, 2.5f));
+    std::vector<TetId> got;
+    dls.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanMesh(m, query)) << "q" << q;
+  }
+}
+
+TEST(DlsTest, MissesResultsOnConcaveMesh) {
+  // The paper: "DLS, however, only works for convex meshes (without
+  // holes)." A query wrapping around a hole has in-range tets disconnected
+  // from the walk entry; DLS must demonstrably miss some of them.
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 12;
+  cfg.domain = AABB(Vec3(0, 0, 0), Vec3(12, 12, 12));
+  cfg.carve = SphereCarve(Vec3(6, 6, 6), 3.5f);
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  DlsQuery dls(&m, 2.0f);
+  Rng rng(72);
+  bool any_incomplete = false;
+  for (int q = 0; q < 60 && !any_incomplete; ++q) {
+    // Thin slabs beside the hole often split into disconnected pockets.
+    const Vec3 c(6.0f + rng.Uniform(-1.0f, 1.0f), rng.Uniform(3.0f, 9.0f),
+                 rng.Uniform(3.0f, 9.0f));
+    const AABB query = AABB::FromCenterHalfExtents(c, Vec3(5.5f, 0.6f, 0.6f));
+    std::vector<TetId> got;
+    dls.RangeQuery(query, &got);
+    any_incomplete = Sorted(got) != ScanMesh(m, query);
+  }
+  EXPECT_TRUE(any_incomplete);
+}
+
+// --- OCTOPUS -----------------------------------------------------------------
+
+TEST(OctopusTest, ExactOnConvexMesh) {
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 10;
+  cfg.jitter = 0.1f;
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  OctopusQuery octo(&m, 2.5f);
+  Rng rng(73);
+  for (int q = 0; q < 30; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(m.domain), rng.Uniform(0.5f, 2.5f));
+    std::vector<TetId> got;
+    octo.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanMesh(m, query)) << "q" << q;
+  }
+}
+
+TEST(OctopusTest, ExactOnConcaveMesh) {
+  // The same hole geometry that defeats DLS: "OCTOPUS ... also supports
+  // concave meshes."
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 12;
+  cfg.domain = AABB(Vec3(0, 0, 0), Vec3(12, 12, 12));
+  cfg.carve = SphereCarve(Vec3(6, 6, 6), 3.5f);
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  OctopusQuery octo(&m, 2.0f);
+  Rng rng(74);
+  for (int q = 0; q < 60; ++q) {
+    const Vec3 c(6.0f + rng.Uniform(-1.0f, 1.0f), rng.Uniform(3.0f, 9.0f),
+                 rng.Uniform(3.0f, 9.0f));
+    const AABB query = AABB::FromCenterHalfExtents(c, Vec3(5.5f, 0.6f, 0.6f));
+    std::vector<TetId> got;
+    octo.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanMesh(m, query)) << "q" << q;
+  }
+}
+
+TEST(OctopusTest, DeformationNeedsNoIndexUpdates) {
+  // §4.3: connectivity-driven execution survives vertex motion with zero
+  // index maintenance (the coarse grid keeps working as entry oracle while
+  // centroids drift within cells).
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  TetMesh m = GenerateStructuredMesh(cfg);
+  OctopusQuery octo(&m, 2.0f);
+
+  // Deform: small random vertex displacements, no Refresh() call.
+  Rng rng(75);
+  for (Vec3& v : m.vertices) {
+    v += Vec3(rng.Normal(0, 0.05f), rng.Normal(0, 0.05f),
+              rng.Normal(0, 0.05f));
+  }
+  // Bounds must be refreshed (the simulation updates its dataset anyway).
+  for (TetId t = 0; t < m.size(); ++t) {
+    AABB b;
+    for (const std::uint32_t vi : m.tets[t]) b.Extend(m.vertices[vi]);
+    m.bounds[t] = b;
+  }
+  for (int q = 0; q < 30; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(m.domain), rng.Uniform(0.8f, 2.0f));
+    std::vector<TetId> got;
+    octo.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanMesh(m, query)) << "q" << q;
+  }
+}
+
+TEST(MeshQueryTest, CountersShowLocalityVsScan) {
+  // Connectivity execution touches ~result-sized neighbourhoods instead of
+  // the whole dataset.
+  StructuredMeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 14;
+  const TetMesh m = GenerateStructuredMesh(cfg);
+  OctopusQuery octo(&m, 2.0f);
+  QueryCounters c;
+  std::vector<TetId> got;
+  const AABB query = AABB::FromCenterHalfExtent(m.domain.Center(), 1.0f);
+  octo.RangeQuery(query, &got, &c);
+  EXPECT_LT(c.element_tests, m.size());
+}
+
+// --- FLAT ---------------------------------------------------------------------
+
+TEST(FlatTest, ExactOnNeuronData) {
+  const auto ds = datagen::GenerateNeuronsWithSize(8000);
+  FlatIndex flat;
+  flat.Build(ds.elements, ds.universe);
+  Rng rng(76);
+  for (int q = 0; q < 30; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(ds.universe), rng.Uniform(1.0f, 15.0f));
+    std::vector<ElementId> got;
+    flat.RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, ScanRange(ds.elements, query)) << "q" << q;
+  }
+}
+
+TEST(FlatTest, SurvivesDriftViaCrawl) {
+  auto ds = datagen::GenerateNeuronsWithSize(5000);
+  FlatIndex flat;
+  flat.Build(ds.elements, ds.universe);
+  // Small drift; refresh the seed grid but keep the links.
+  Rng rng(77);
+  for (Element& e : ds.elements) {
+    e.box = e.box.Translated(Vec3(rng.Normal(0, 0.05f),
+                                  rng.Normal(0, 0.05f),
+                                  rng.Normal(0, 0.05f)));
+  }
+  flat.Refresh(ds.elements);
+  for (int q = 0; q < 20; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(ds.universe), rng.Uniform(1.0f, 10.0f));
+    std::vector<ElementId> got;
+    flat.RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, ScanRange(ds.elements, query)) << "q" << q;
+  }
+}
+
+TEST(FlatTest, ShapeReportsLinkage) {
+  const auto ds = datagen::GenerateNeuronsWithSize(3000);
+  FlatOptions opts;
+  opts.link_degree = 6;
+  FlatIndex flat(opts);
+  flat.Build(ds.elements, ds.universe);
+  const FlatShape s = flat.Shape();
+  EXPECT_EQ(s.elements, ds.elements.size());
+  EXPECT_GT(s.mean_degree, 1.0);
+  EXPECT_LE(s.mean_degree, 16.0);
+}
+
+}  // namespace
+}  // namespace simspatial::mesh

@@ -1,0 +1,209 @@
+// Moving-object strategies: exactness under churn, maintenance accounting,
+// and the predictive index's designed failure on unpredictable motion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/bruteforce.h"
+#include "common/rng.h"
+#include "datagen/neuron.h"
+#include "datagen/plasticity.h"
+#include "moving/strategies.h"
+#include "moving/tpr_lite.h"
+
+namespace simspatial::moving {
+namespace {
+
+using datagen::GenerateUniformBoxes;
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+std::vector<ElementId> Sorted(std::vector<ElementId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<std::unique_ptr<MovingIndex>> AllStrategies() {
+  std::vector<std::unique_ptr<MovingIndex>> out;
+  out.push_back(std::make_unique<LinearScanIndex>());
+  out.push_back(std::make_unique<ThrowawayStrIndex>());
+  out.push_back(std::make_unique<IncrementalRTreeIndex>());
+  out.push_back(std::make_unique<LazyUpdateRTreeIndex>(0.5f));
+  out.push_back(std::make_unique<BufferedRTreeIndex>(512));
+  return out;
+}
+
+TEST(MovingIndexTest, AllStrategiesExactUnderPlasticityChurn) {
+  auto elems = GenerateUniformBoxes(3000, kUniverse, 0.1f, 0.5f);
+  datagen::PlasticityConfig pcfg;
+  pcfg.mean_displacement = 0.2f;
+  datagen::PlasticityModel model(pcfg, kUniverse);
+
+  for (auto& strategy : AllStrategies()) {
+    auto local = elems;  // Fresh copy per strategy (same trajectory seed).
+    datagen::PlasticityModel local_model(pcfg, kUniverse);
+    strategy->Build(local, kUniverse);
+    std::vector<ElementUpdate> updates;
+    Rng qrng(61);
+    for (int step = 0; step < 10; ++step) {
+      local_model.Step(&local, &updates);
+      strategy->ApplyUpdates(updates);
+      for (int q = 0; q < 5; ++q) {
+        const AABB query = AABB::FromCenterHalfExtent(
+            qrng.PointIn(kUniverse), qrng.Uniform(2.0f, 10.0f));
+        std::vector<ElementId> got;
+        strategy->RangeQuery(query, &got);
+        ASSERT_EQ(Sorted(got), Sorted(ScanRange(local, query)))
+            << strategy->name() << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(MovingIndexTest, LazyRTreeAbsorbsSmallMoves) {
+  auto elems = GenerateUniformBoxes(5000, kUniverse, 0.1f, 0.4f);
+  LazyUpdateRTreeIndex lazy(/*grace_margin=*/0.5f);
+  lazy.Build(elems, kUniverse);
+  datagen::PlasticityConfig pcfg;  // Paper-scale 0.04 mean displacement.
+  datagen::PlasticityModel model(pcfg, kUniverse);
+  std::vector<ElementUpdate> updates;
+  for (int step = 0; step < 5; ++step) {
+    model.Step(&elems, &updates);
+    lazy.ApplyUpdates(updates);
+  }
+  const MaintenanceStats& s = lazy.maintenance_stats();
+  // Virtually everything stays inside the grace window early on.
+  EXPECT_GT(static_cast<double>(s.buffered) /
+                static_cast<double>(s.updates_received),
+            0.9);
+}
+
+TEST(MovingIndexTest, LazyRTreeShiftsCostToQueries) {
+  // §4.2: looseness means more candidates to refine per query than a tight
+  // index would produce.
+  auto elems = GenerateUniformBoxes(8000, kUniverse, 0.1f, 0.4f);
+  LazyUpdateRTreeIndex lazy(/*grace_margin=*/2.0f);
+  IncrementalRTreeIndex tight;
+  lazy.Build(elems, kUniverse);
+  tight.Build(elems, kUniverse);
+  QueryCounters cl, ct;
+  std::vector<ElementId> out;
+  Rng rng(62);
+  for (int q = 0; q < 30; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                  4.0f);
+    lazy.RangeQuery(query, &out, &cl);
+    tight.RangeQuery(query, &out, &ct);
+  }
+  EXPECT_GT(cl.element_tests, ct.element_tests);
+}
+
+TEST(MovingIndexTest, BufferedIndexFlushesAtThreshold) {
+  auto elems = GenerateUniformBoxes(1000, kUniverse, 0.1f, 0.4f);
+  BufferedRTreeIndex buffered(/*flush_threshold=*/256);
+  buffered.Build(elems, kUniverse);
+  std::vector<ElementUpdate> updates;
+  for (ElementId i = 0; i < 255; ++i) {
+    updates.emplace_back(i, elems[i].box.Translated(Vec3(1, 0, 0)));
+  }
+  buffered.ApplyUpdates(updates);
+  EXPECT_EQ(buffered.buffered_count(), 255u);
+  updates.assign(1, ElementUpdate(255, elems[255].box.Translated(
+                                           Vec3(1, 0, 0))));
+  buffered.ApplyUpdates(updates);
+  EXPECT_EQ(buffered.buffered_count(), 0u);  // Flushed.
+  EXPECT_GT(buffered.maintenance_stats().structural_updates, 0u);
+}
+
+TEST(MovingIndexTest, ThrowawayRebuildsOncePerDirtyBatch) {
+  auto elems = GenerateUniformBoxes(2000, kUniverse, 0.1f, 0.4f);
+  ThrowawayStrIndex throwaway;
+  throwaway.Build(elems, kUniverse);
+  std::vector<ElementUpdate> updates{
+      ElementUpdate(0, elems[0].box.Translated(Vec3(1, 0, 0)))};
+  throwaway.ApplyUpdates(updates);
+  std::vector<ElementId> out;
+  throwaway.RangeQuery(kUniverse, &out, nullptr);
+  throwaway.RangeQuery(kUniverse, &out, nullptr);  // No second rebuild.
+  EXPECT_EQ(throwaway.maintenance_stats().rebuilds, 2u);  // Build + 1.
+}
+
+// --- TPR-lite ----------------------------------------------------------------
+
+TEST(TprLiteTest, ExactForLinearMotion) {
+  // Its design envelope: constant velocities. Predictions are then exact.
+  Rng rng(63);
+  std::vector<Element> elems;
+  std::vector<Vec3> vels;
+  for (ElementId i = 0; i < 2000; ++i) {
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(
+                              rng.PointIn(kUniverse), 0.3f));
+    vels.push_back(rng.UnitVector() * rng.Uniform(0.0f, 0.2f));
+  }
+  TprLite tpr;
+  tpr.Build(elems, vels, /*t0=*/0.0);
+
+  for (const double t : {1.0, 5.0, 20.0}) {
+    // Ground truth: advect linearly.
+    std::vector<Element> now = elems;
+    for (std::size_t i = 0; i < now.size(); ++i) {
+      now[i].box = now[i].box.Translated(vels[i] * static_cast<float>(t));
+    }
+    for (int q = 0; q < 15; ++q) {
+      const AABB query = AABB::FromCenterHalfExtent(
+          rng.PointIn(kUniverse), rng.Uniform(2.0f, 8.0f));
+      std::vector<ElementId> got;
+      tpr.QueryAt(t, query, &got);
+      EXPECT_EQ(Sorted(got), Sorted(ScanRange(now, query)))
+          << "t=" << t << " q" << q;
+    }
+  }
+}
+
+TEST(TprLiteTest, RecallDecaysUnderRandomWalk) {
+  // §4.2: "These approaches do not work well for simulations because the
+  // movement of objects cannot be predicted." Feed a random walk whose
+  // per-step direction changes; the velocity estimate from step 0 goes
+  // stale and recall drops measurably.
+  Rng rng(64);
+  std::vector<Element> elems;
+  std::vector<Vec3> vels;
+  for (ElementId i = 0; i < 3000; ++i) {
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(
+                              rng.PointIn(kUniverse), 0.3f));
+    vels.push_back(rng.UnitVector() * 0.3f);  // Initial velocity estimate.
+  }
+  TprLite tpr;
+  tpr.Build(elems, vels, 0.0);
+
+  // Random walk: at each step, velocity re-randomised (unpredictable).
+  std::vector<Element> now = elems;
+  for (int step = 1; step <= 30; ++step) {
+    for (std::size_t i = 0; i < now.size(); ++i) {
+      now[i].box = now[i].box.Translated(rng.UnitVector() * 0.3f);
+    }
+  }
+  double recall = 0;
+  int measured = 0;
+  for (int q = 0; q < 40; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(
+        rng.PointIn(kUniverse), 5.0f);
+    const auto truth = ScanRange(now, query);
+    if (truth.empty()) continue;
+    std::vector<ElementId> got;
+    tpr.QueryAt(30.0, query, &got);
+    std::size_t hit = 0;
+    for (const ElementId id : truth) {
+      hit += std::find(got.begin(), got.end(), id) != got.end() ? 1 : 0;
+    }
+    recall += static_cast<double>(hit) / static_cast<double>(truth.size());
+    ++measured;
+  }
+  ASSERT_GT(measured, 0);
+  EXPECT_LT(recall / measured, 0.6);  // Predictions have gone stale.
+}
+
+}  // namespace
+}  // namespace simspatial::moving

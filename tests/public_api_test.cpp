@@ -1,0 +1,54 @@
+// Compile-and-smoke test of the umbrella public header: the documented
+// downstream usage must work with only #include "core/simspatial.h".
+
+#include "core/simspatial.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace simspatial;  // NOLINT: exercising the documented usage.
+
+TEST(PublicApiTest, ReadmeQuickstartCompilesAndRuns) {
+  auto ds = datagen::GenerateNeuronsWithSize(2000);
+  auto index = core::MakeIndex("memgrid");
+  ASSERT_NE(index, nullptr);
+  index->Build(ds.elements, ds.universe);
+
+  const AABB probe = AABB::FromCenterHalfExtent(ds.universe.Center(), 5.0f);
+  std::vector<ElementId> hits;
+  index->RangeQuery(probe, &hits);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, ScanRange(ds.elements, probe));
+
+  std::vector<ElementUpdate> moves;
+  for (const Element& e : ds.elements) {
+    moves.emplace_back(e.id, e.box.Translated(Vec3(0.01f, 0, 0)));
+  }
+  EXPECT_EQ(index->ApplyUpdates(moves), moves.size());
+}
+
+TEST(PublicApiTest, EveryAdvertisedTypeIsReachable) {
+  // One object of each public family, to catch accidental header breaks.
+  rtree::RTree rt;
+  crtree::CRTree cr;
+  pam::KdTree kd;
+  pam::Octree oc;
+  const AABB u(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  pam::LooseOctree lo(u);
+  grid::UniformGrid ug(u, 0.1f);
+  grid::MultiGrid mg(u);
+  lsh::LshKnn lsh;
+  core::MemGrid memgrid(u);
+  EXPECT_EQ(rt.size() + cr.size() + kd.size() + oc.size() + lo.size() +
+                ug.size() + mg.size() + lsh.size() + memgrid.size(),
+            0u);
+  // Cost model + counters are part of the public contract.
+  const CostModel m = CostModel::Defaults();
+  EXPECT_GT(m.ns_per_element_test, 0.0);
+  QueryCounters c;
+  c.element_tests = 1;
+  EXPECT_EQ(c.TotalIntersectionTests(), 1u);
+}
+
+}  // namespace
