@@ -1,228 +1,276 @@
-// Microbenchmarks (google-benchmark): build / range / kNN / update kernels
-// for the principal structures. These complement the figure harnesses with
-// statistically sound per-operation numbers and serve as the regression
-// guard for the §3.3 cache-size ablations (R-Tree fanout, CR-Tree node
-// bytes).
+// Microbenchmarks: build / range / kNN / update / self-join kernels for the
+// principal structures, with machine-readable output. These complement the
+// figure harnesses with per-operation numbers and serve as the regression
+// guard for the MemGrid slack-CSR hot paths.
+//
+// Flags:
+//   --n=<elements>        dataset size (default 100000)
+//   --dataset=neurons|uniform
+//   --reps=<r>            timed repetitions per kernel; median reported
+//   --json=<path>         also emit results as a JSON array (bench_util.h)
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/bruteforce.h"
+#include "common/rng.h"
 #include "core/memgrid.h"
 #include "crtree/crtree.h"
 #include "datagen/neuron.h"
 #include "datagen/plasticity.h"
-#include "datagen/workload.h"
+#include "grid/resolution.h"
 #include "grid/uniform_grid.h"
 #include "rtree/rtree.h"
 
 namespace simspatial {
 namespace {
 
-constexpr std::size_t kN = 100000;
+using bench::Flags;
+using bench::JsonWriter;
 
-const datagen::NeuronDataset& Dataset() {
-  static const datagen::NeuronDataset ds =
-      datagen::GenerateNeuronsWithSize(kN);
-  return ds;
+struct Result {
+  std::string kernel;
+  std::string structure;
+  double ns_per_op = 0;
+  double ops = 0;  ///< Items (elements or queries) per timed repetition.
+};
+
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
-const std::vector<AABB>& Queries() {
-  static const std::vector<AABB> queries = [] {
-    datagen::RangeWorkloadConfig cfg;
-    cfg.num_queries = 64;
-    cfg.selectivity = 1e-4;
-    return datagen::MakeRangeWorkload(Dataset().elements, Dataset().universe,
-                                      cfg)
-        .queries;
-  }();
-  return queries;
+/// Median wall time of `reps` runs of `fn` (first run warms caches and is
+/// also timed: grids/trees here have no lazy state, so it is representative).
+template <typename F>
+double MedianNs(std::size_t reps, F&& fn) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    times.push_back(sw.ElapsedNs());
+  }
+  return Median(std::move(times));
 }
 
-// --- Builds -----------------------------------------------------------------
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t n = flags.GetSize("n", 100000);
+  const std::size_t reps = std::max<std::size_t>(1, flags.GetSize("reps", 5));
+  const std::string dataset_name = flags.GetString("dataset", "neurons");
+  JsonWriter json(flags.GetString("json", ""));
 
-void BM_BuildRTreeStr(benchmark::State& state) {
-  for (auto _ : state) {
+  bench::PrintHeader("Microbenchmarks: build/range/knn/update/self-join",
+                     "regression guard (per-op medians, not a paper figure)");
+
+  std::vector<Element> elems;
+  AABB universe;
+  if (dataset_name == "uniform") {
+    const float side = std::max(
+        50.0f, static_cast<float>(std::cbrt(8.0 * static_cast<double>(n))));
+    universe = AABB(Vec3(0, 0, 0), Vec3(side, side, side));
+    elems = datagen::GenerateUniformBoxes(n, universe, 0.05f, 0.5f);
+  } else {
+    auto ds = bench::MakeBenchDataset(n);
+    universe = ds.universe;
+    elems = std::move(ds.elements);
+  }
+  std::printf("dataset: %zu %s elements, universe side %.0f, reps %zu\n", n,
+              dataset_name.c_str(), universe.Extent().x, reps);
+
+  const auto stats = grid::DatasetStats::Compute(elems, universe);
+  const float grid_cell = std::max(
+      grid::ChooseCellSize(stats, std::max(1e-3, stats.mean_extent * 8.0)),
+      static_cast<float>(stats.max_extent) * 1.01f);
+  core::MemGridConfig mg_cfg;
+  mg_cfg.cell_size = grid_cell;
+
+  datagen::RangeWorkloadConfig wl_cfg;
+  wl_cfg.num_queries = 64;
+  wl_cfg.selectivity = 1e-4;
+  const auto queries =
+      datagen::MakeRangeWorkload(elems, universe, wl_cfg).queries;
+  Rng knn_rng(17);
+  std::vector<Vec3> knn_points;
+  for (int i = 0; i < 64; ++i) knn_points.push_back(knn_rng.PointIn(universe));
+
+  std::vector<Result> results;
+  const auto record = [&](const char* kernel, const char* structure,
+                          double total_ns, double ops) {
+    results.push_back(Result{kernel, structure, total_ns / ops, ops});
+  };
+
+  // --- Builds ---------------------------------------------------------------
+  record("build", "rtree-str", MedianNs(reps, [&] {
+           rtree::RTree tree;
+           tree.BulkLoadStr(elems);
+         }),
+         static_cast<double>(n));
+  record("build", "cr-tree", MedianNs(reps, [&] {
+           crtree::CRTree tree;
+           tree.Build(elems);
+         }),
+         static_cast<double>(n));
+  record("build", "memgrid", MedianNs(reps, [&] {
+           core::MemGrid grid(universe, mg_cfg);
+           grid.Build(elems);
+         }),
+         static_cast<double>(n));
+
+  // --- Range queries (incl. the §3.3 cache-size ablations) ------------------
+  {
     rtree::RTree tree;
-    tree.BulkLoadStr(Dataset().elements);
-    benchmark::DoNotOptimize(tree.size());
+    tree.BulkLoadStr(elems);
+    std::vector<ElementId> out;
+    record("range", "rtree-str", MedianNs(reps, [&] {
+             for (const AABB& q : queries) tree.RangeQuery(q, &out);
+           }),
+           static_cast<double>(queries.size()));
   }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_BuildRTreeStr)->Unit(benchmark::kMillisecond);
-
-void BM_BuildRTreeHilbert(benchmark::State& state) {
-  for (auto _ : state) {
+  // R-Tree fanout sweep: ~300B / ~700B (§3.3 sweet spot) / library default /
+  // disk-era 4KB nodes.
+  for (const std::uint32_t fanout : {8u, 20u, 36u, 146u}) {
+    rtree::RTreeOptions opts;
+    opts.max_entries = fanout;
+    opts.min_entries = fanout * 2 / 5;
+    rtree::RTree tree(opts);
+    tree.BulkLoadStr(elems);
+    std::vector<ElementId> out;
+    record("range", ("rtree-fanout-" + std::to_string(fanout)).c_str(),
+           MedianNs(reps, [&] {
+             for (const AABB& q : queries) tree.RangeQuery(q, &out);
+           }),
+           static_cast<double>(queries.size()));
+  }
+  {
     rtree::RTree tree;
-    tree.BulkLoadHilbert(Dataset().elements);
-    benchmark::DoNotOptimize(tree.size());
+    tree.BulkLoadHilbert(elems);
+    std::vector<ElementId> out;
+    record("range", "rtree-hilbert", MedianNs(reps, [&] {
+             for (const AABB& q : queries) tree.RangeQuery(q, &out);
+           }),
+           static_cast<double>(queries.size()));
   }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_BuildRTreeHilbert)->Unit(benchmark::kMillisecond);
-
-void BM_BuildCRTree(benchmark::State& state) {
-  for (auto _ : state) {
-    crtree::CRTree tree;
-    tree.Build(Dataset().elements);
-    benchmark::DoNotOptimize(tree.size());
+  // CR-Tree node-size sweep (§3.3: node bytes vs cache lines).
+  for (const std::uint32_t node_bytes : {256u, 768u, 4096u}) {
+    crtree::CRTree tree(crtree::CRTreeOptions{.node_bytes = node_bytes});
+    tree.Build(elems);
+    std::vector<ElementId> out;
+    record("range", ("cr-tree-" + std::to_string(node_bytes) + "B").c_str(),
+           MedianNs(reps, [&] {
+             for (const AABB& q : queries) tree.RangeQuery(q, &out);
+           }),
+           static_cast<double>(queries.size()));
   }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_BuildCRTree)->Unit(benchmark::kMillisecond);
-
-void BM_BuildMemGrid(benchmark::State& state) {
-  core::MemGridConfig cfg;
-  cfg.cell_size = 4.0f;
-  for (auto _ : state) {
-    core::MemGrid grid(Dataset().universe, cfg);
-    grid.Build(Dataset().elements);
-    benchmark::DoNotOptimize(grid.size());
+  core::MemGrid memgrid(universe, mg_cfg);
+  memgrid.Build(elems);
+  {
+    std::vector<ElementId> out;
+    record("range", "memgrid", MedianNs(reps, [&] {
+             for (const AABB& q : queries) memgrid.RangeQuery(q, &out);
+           }),
+           static_cast<double>(queries.size()));
+    record("range", "linear-scan", MedianNs(reps, [&] {
+             for (const AABB& q : queries) out = ScanRange(elems, q);
+           }),
+           static_cast<double>(queries.size()));
   }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_BuildMemGrid)->Unit(benchmark::kMillisecond);
 
-// --- Range queries (fanout / node-size ablation for the R-Tree) -------------
-
-void BM_RangeRTreeFanout(benchmark::State& state) {
-  rtree::RTreeOptions opts;
-  opts.max_entries = static_cast<std::uint32_t>(state.range(0));
-  opts.min_entries = opts.max_entries * 2 / 5;
-  rtree::RTree tree(opts);
-  tree.BulkLoadStr(Dataset().elements);
-  std::vector<ElementId> out;
-  std::size_t q = 0;
-  for (auto _ : state) {
-    tree.RangeQuery(Queries()[q++ % Queries().size()], &out);
-    benchmark::DoNotOptimize(out.size());
+  // --- kNN ------------------------------------------------------------------
+  {
+    rtree::RTree tree;
+    tree.BulkLoadStr(elems);
+    std::vector<ElementId> out;
+    record("knn", "rtree-str", MedianNs(reps, [&] {
+             for (const Vec3& p : knn_points) tree.KnnQuery(p, 10, &out);
+           }),
+           static_cast<double>(knn_points.size()));
+    record("knn", "memgrid", MedianNs(reps, [&] {
+             for (const Vec3& p : knn_points) memgrid.KnnQuery(p, 10, &out);
+           }),
+           static_cast<double>(knn_points.size()));
   }
-}
-BENCHMARK(BM_RangeRTreeFanout)
-    ->Arg(8)     // ~300B nodes.
-    ->Arg(20)    // ~700B nodes (the §3.3 sweet spot).
-    ->Arg(36)    // Library default.
-    ->Arg(146);  // Disk-era 4KB nodes.
 
-void BM_RangeCRTree(benchmark::State& state) {
-  crtree::CRTree tree(crtree::CRTreeOptions{
-      .node_bytes = static_cast<std::uint32_t>(state.range(0))});
-  tree.Build(Dataset().elements);
-  std::vector<ElementId> out;
-  std::size_t q = 0;
-  for (auto _ : state) {
-    tree.RangeQuery(Queries()[q++ % Queries().size()], &out);
-    benchmark::DoNotOptimize(out.size());
+  // --- Updates (the §4 kernel) ---------------------------------------------
+  {
+    datagen::PlasticityConfig pcfg;
+    const auto step_updates = [&](auto& structure) {
+      auto moving = elems;
+      datagen::PlasticityModel model(pcfg, universe);
+      std::vector<ElementUpdate> updates;
+      // Displacement generation is identical for every structure and is
+      // kept OUTSIDE the timed region: only ApplyUpdates — the signal this
+      // kernel guards — is measured.
+      std::vector<double> times;
+      for (std::size_t r = 0; r < reps; ++r) {
+        model.Step(&moving, &updates);
+        Stopwatch sw;
+        structure.ApplyUpdates(updates);
+        times.push_back(sw.ElapsedNs());
+      }
+      return Median(std::move(times));
+    };
+    rtree::RTree tree;
+    tree.BulkLoadStr(elems);
+    record("update-step", "rtree", step_updates(tree),
+           static_cast<double>(n));
+    record("update-step", "memgrid", step_updates(memgrid),
+           static_cast<double>(n));
+    grid::UniformGrid ug(universe, grid_cell);
+    ug.Build(elems);
+    record("update-step", "uniform-grid", step_updates(ug),
+           static_cast<double>(n));
+    // The update pass above displaced memgrid's content; restore it so any
+    // kernels added below see the pristine dataset.
+    memgrid.Build(elems);
   }
-}
-BENCHMARK(BM_RangeCRTree)->Arg(256)->Arg(768)->Arg(4096);
 
-void BM_RangeMemGrid(benchmark::State& state) {
-  core::MemGridConfig cfg;
-  cfg.cell_size = 4.0f;
-  core::MemGrid grid(Dataset().universe, cfg);
-  grid.Build(Dataset().elements);
-  std::vector<ElementId> out;
-  std::size_t q = 0;
-  for (auto _ : state) {
-    grid.RangeQuery(Queries()[q++ % Queries().size()], &out);
-    benchmark::DoNotOptimize(out.size());
+  // --- Self-join ------------------------------------------------------------
+  {
+    std::vector<std::pair<ElementId, ElementId>> pairs;
+    record("self-join", "memgrid", MedianNs(reps, [&] {
+             memgrid.SelfJoin(0.0f, &pairs);
+           }),
+           static_cast<double>(n));
   }
-}
-BENCHMARK(BM_RangeMemGrid);
 
-void BM_RangeMemGridCompact(benchmark::State& state) {
-  core::MemGridConfig cfg;
-  cfg.cell_size = 4.0f;
-  core::MemGrid grid(Dataset().universe, cfg);
-  grid.Build(Dataset().elements);
-  grid.Compact();  // CSR read-mostly layout ablation.
-  std::vector<ElementId> out;
-  std::size_t q = 0;
-  for (auto _ : state) {
-    grid.RangeQuery(Queries()[q++ % Queries().size()], &out);
-    benchmark::DoNotOptimize(out.size());
+  TablePrinter t({"kernel", "structure", "ns/op", "ops"});
+  for (const Result& r : results) {
+    t.AddRow({r.kernel, r.structure, TablePrinter::Num(r.ns_per_op, 1),
+              TablePrinter::Num(r.ops, 0)});
+    json.BeginRecord();
+    json.Field("bench", "bench_micro");
+    json.Field("kernel", r.kernel);
+    json.Field("structure", r.structure);
+    json.Field("dataset", dataset_name);
+    json.Field("n", static_cast<double>(n));
+    json.Field("ns_per_op", r.ns_per_op);
+    json.Field("ops_per_rep", r.ops);
   }
-}
-BENCHMARK(BM_RangeMemGridCompact);
+  t.Print();
+  json.Flush();
 
-void BM_RangeHilbertRTree(benchmark::State& state) {
-  rtree::RTree tree;
-  tree.BulkLoadHilbert(Dataset().elements);
-  std::vector<ElementId> out;
-  std::size_t q = 0;
-  for (auto _ : state) {
-    tree.RangeQuery(Queries()[q++ % Queries().size()], &out);
-    benchmark::DoNotOptimize(out.size());
-  }
+  const auto find = [&](const char* kernel, const char* structure) {
+    for (const Result& r : results) {
+      if (r.kernel == kernel && r.structure == structure) return r.ns_per_op;
+    }
+    return 0.0;
+  };
+  bench::PrintClaim(
+      "memgrid updates are cheaper per element than R-Tree updates",
+      find("update-step", "memgrid") < find("update-step", "rtree"));
+  bench::PrintClaim(
+      "memgrid range queries beat the linear scan",
+      find("range", "memgrid") < find("range", "linear-scan"));
+  return 0;
 }
-BENCHMARK(BM_RangeHilbertRTree);
-
-void BM_RangeLinearScan(benchmark::State& state) {
-  std::vector<ElementId> out;
-  std::size_t q = 0;
-  for (auto _ : state) {
-    out = ScanRange(Dataset().elements, Queries()[q++ % Queries().size()]);
-    benchmark::DoNotOptimize(out.size());
-  }
-}
-BENCHMARK(BM_RangeLinearScan);
-
-// --- Updates (the §4 kernel) -------------------------------------------------
-
-void BM_UpdateStepRTree(benchmark::State& state) {
-  auto elems = Dataset().elements;
-  rtree::RTree tree;
-  tree.BulkLoadStr(elems);
-  datagen::PlasticityConfig pcfg;
-  datagen::PlasticityModel model(pcfg, Dataset().universe);
-  std::vector<ElementUpdate> updates;
-  for (auto _ : state) {
-    state.PauseTiming();
-    model.Step(&elems, &updates);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(tree.ApplyUpdates(updates));
-  }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_UpdateStepRTree)->Unit(benchmark::kMillisecond);
-
-void BM_UpdateStepMemGrid(benchmark::State& state) {
-  auto elems = Dataset().elements;
-  core::MemGridConfig cfg;
-  cfg.cell_size = 4.0f;
-  core::MemGrid grid(Dataset().universe, cfg);
-  grid.Build(elems);
-  datagen::PlasticityConfig pcfg;
-  datagen::PlasticityModel model(pcfg, Dataset().universe);
-  std::vector<ElementUpdate> updates;
-  for (auto _ : state) {
-    state.PauseTiming();
-    model.Step(&elems, &updates);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(grid.ApplyUpdates(updates));
-  }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_UpdateStepMemGrid)->Unit(benchmark::kMillisecond);
-
-void BM_UpdateStepUniformGrid(benchmark::State& state) {
-  auto elems = Dataset().elements;
-  grid::UniformGrid g(Dataset().universe, 4.0f);
-  g.Build(elems);
-  datagen::PlasticityConfig pcfg;
-  datagen::PlasticityModel model(pcfg, Dataset().universe);
-  std::vector<ElementUpdate> updates;
-  for (auto _ : state) {
-    state.PauseTiming();
-    model.Step(&elems, &updates);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(g.ApplyUpdates(updates));
-  }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_UpdateStepUniformGrid)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace simspatial
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return simspatial::Main(argc, argv); }

@@ -9,11 +9,13 @@
 #ifndef SIMSPATIAL_BENCH_BENCH_UTIL_H_
 #define SIMSPATIAL_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/counters.h"
 #include "common/element.h"
@@ -74,6 +76,89 @@ inline datagen::RangeWorkload MakeBenchWorkload(
   cfg.selectivity = sel;
   return datagen::MakeRangeWorkload(ds.elements, ds.universe, cfg);
 }
+
+/// Machine-readable result sink behind the shared `--json=<path>` flag.
+/// Collects flat records ({string|number} fields) and writes them as a JSON
+/// array so future PRs can track a BENCH_*.json perf trajectory. A default-
+/// constructed writer (empty path) swallows everything.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void BeginRecord() { records_.emplace_back(); }
+  void Field(const std::string& key, const std::string& value) {
+    if (!records_.empty()) {
+      records_.back().push_back({key, "\"" + Escape(value) + "\""});
+    }
+  }
+  void Field(const std::string& key, double value) {
+    if (!records_.empty()) {
+      char buf[64];
+      // Exact-count fields (n, ops) must survive a round trip untouched;
+      // only genuine fractions get the shortened form.
+      if (value == std::floor(value) && std::abs(value) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+      }
+      records_.back().push_back({key, buf});
+    }
+  }
+
+  /// Write the collected records; returns false (and warns) on I/O error.
+  bool Flush() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fputs("  {", f);
+      for (std::size_t i = 0; i < records_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     records_[r][i].first.c_str(),
+                     records_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("json results written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out.push_back('\\');
+        out.push_back(ch);
+      } else if (ch == '\n') {
+        out += "\\n";
+      } else if (ch == '\t') {
+        out += "\\t";
+      } else if (ch == '\r') {
+        out += "\\r";
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+        out += buf;
+      } else {
+        out.push_back(ch);
+      }
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("\n==========================================================\n");

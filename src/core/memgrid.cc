@@ -8,10 +8,14 @@ namespace simspatial::core {
 
 namespace {
 constexpr std::size_t kMaxCellsPerAxis = 1024;
-}
+/// Entry blocks smaller than this never trigger a full re-layout from
+/// relocation churn: a re-layout is O(cells), which can dwarf a tiny
+/// dataset, and the absolute waste is bounded by this constant anyway.
+constexpr std::size_t kMinEntriesForRelayout = 4096;
+}  // namespace
 
 MemGrid::MemGrid(const AABB& universe, MemGridConfig config)
-    : universe_(universe) {
+    : universe_(universe), config_(config) {
   const Vec3 ext = universe.Extent();
   const float side = std::max({ext.x, ext.y, ext.z, 1e-6f});
   cell_ = config.cell_size > 0.0f ? config.cell_size : side / 64.0f;
@@ -25,7 +29,7 @@ MemGrid::MemGrid(const AABB& universe, MemGridConfig config)
   nx_ = axis(ext.x);
   ny_ = axis(ext.y);
   nz_ = axis(ext.z);
-  cells_.resize(nx_ * ny_ * nz_);
+  regions_.resize(nx_ * ny_ * nz_);
 }
 
 void MemGrid::CellCoords(const Vec3& p, std::int32_t* x, std::int32_t* y,
@@ -46,102 +50,240 @@ std::size_t MemGrid::CellOf(const Vec3& p) const {
   return CellIndex(x, y, z);
 }
 
-void MemGrid::Build(std::span<const Element> elements) {
-  compacted_ = false;
-  csr_offsets_.clear();
-  csr_entries_.clear();
-  for (auto& c : cells_) c.clear();
-  where_.clear();
-  where_.reserve(elements.size());
-  update_stats_ = MemGridUpdateStats{};
-  max_half_extent_ = 0.0f;
-
-  // Pass 1: count per-cell occupancy; pass 2: scatter. Reserving exactly
-  // avoids rehash/regrow churn — this is the O(n) "cheap rebuild".
-  std::vector<std::uint32_t> counts(cells_.size(), 0);
-  for (const Element& e : elements) {
-    ++counts[CellOf(e.Center())];
-  }
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    if (counts[i] > 0) cells_[i].reserve(counts[i]);
-  }
-  for (const Element& e : elements) {
-    const std::size_t cell = CellOf(e.Center());
-    cells_[cell].push_back(Entry{e.box, e.id});
-    where_[e.id] = static_cast<std::uint32_t>(cell);
-    const Vec3 ext = e.box.Extent();
-    max_half_extent_ =
-        std::max({max_half_extent_, ext.x * 0.5f, ext.y * 0.5f,
-                  ext.z * 0.5f});
-  }
+std::uint32_t MemGrid::SlackedCap(std::uint32_t count) const {
+  if (count == 0) return 0;
+  const auto proportional = static_cast<std::uint32_t>(
+      std::ceil(static_cast<double>(count) * config_.slack_fraction));
+  return count + std::max(config_.min_slack, proportional);
 }
 
-void MemGrid::Insert(const Element& element) {
-  Decompact();
-  assert(where_.find(element.id) == where_.end());
-  const std::size_t cell = CellOf(element.Center());
-  cells_[cell].push_back(Entry{element.box, element.id});
-  where_[element.id] = static_cast<std::uint32_t>(cell);
-  const Vec3 ext = element.box.Extent();
+void MemGrid::EnsureSlot(ElementId id) {
+  if (id >= slots_.size()) slots_.resize(static_cast<std::size_t>(id) + 1);
+}
+
+void MemGrid::GrowMaxHalfExtent(const AABB& box) {
+  const Vec3 ext = box.Extent();
   max_half_extent_ = std::max(
       {max_half_extent_, ext.x * 0.5f, ext.y * 0.5f, ext.z * 0.5f});
 }
 
-bool MemGrid::Erase(ElementId id) {
-  const auto it = where_.find(id);
-  if (it == where_.end()) return false;
-  Decompact();
-  auto& bucket = cells_[it->second];
-  for (std::size_t i = 0; i < bucket.size(); ++i) {
-    if (bucket[i].id == id) {
-      bucket[i] = bucket.back();
-      bucket.pop_back();
-      break;
-    }
+void MemGrid::Build(std::span<const Element> elements) {
+  update_stats_ = MemGridUpdateStats{};
+  max_half_extent_ = 0.0f;
+  size_ = elements.size();
+  dead_ = 0;
+
+  // Pass 1: per-cell occupancy and the id range; pass 2: lay out regions
+  // in cell order with slack; pass 3: scatter. This is the O(n) "cheap
+  // rebuild" — no per-bucket allocations, one flat block.
+  std::vector<std::uint32_t> counts(regions_.size(), 0);
+  ElementId max_id = 0;
+  for (const Element& e : elements) {
+    ++counts[CellOf(e.Center())];
+    max_id = std::max(max_id, e.id);
+    GrowMaxHalfExtent(e.box);
   }
-  where_.erase(it);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const std::uint32_t cap = SlackedCap(counts[i]);
+    regions_[i] = Region{static_cast<std::uint32_t>(total), cap, 0};
+    total += cap;
+  }
+  entries_.assign(total, Entry{});
+  layout_budget_ = total;
+  slots_.assign(elements.empty() ? 0 : static_cast<std::size_t>(max_id) + 1,
+                Slot{});
+  for (const Element& e : elements) {
+    Region& r = regions_[CellOf(e.Center())];
+    const std::uint32_t pos = r.start + r.count++;
+    entries_[pos] = Entry{e.box, e.id};
+    assert(slots_[e.id].cell == kNoCell && "duplicate element id in Build");
+    slots_[e.id] =
+        Slot{static_cast<std::uint32_t>(&r - regions_.data()), pos};
+  }
+}
+
+void MemGrid::RemoveFromCell(std::uint32_t cell, std::uint32_t pos) {
+  Region& r = regions_[cell];
+  assert(r.count > 0);
+  const std::uint32_t last = r.start + r.count - 1;
+  if (pos != last) {
+    entries_[pos] = entries_[last];
+    slots_[entries_[pos].id].pos = pos;
+  }
+  --r.count;
+}
+
+void MemGrid::Relayout(std::uint32_t demand_cell, std::uint32_t demand) {
+  std::vector<Entry> fresh;
+  std::size_t total = 0;
+  // First sweep: new start/cap per cell (old starts still needed, so stash
+  // the new descriptors separately via a running cursor re-walk below).
+  std::vector<std::uint32_t> new_start(regions_.size());
+  for (std::size_t c = 0; c < regions_.size(); ++c) {
+    const std::uint32_t want =
+        regions_[c].count + (c == demand_cell ? demand : 0);
+    new_start[c] = static_cast<std::uint32_t>(total);
+    total += SlackedCap(want);
+  }
+  fresh.assign(total, Entry{});
+  for (std::size_t c = 0; c < regions_.size(); ++c) {
+    Region& r = regions_[c];
+    const std::uint32_t want = r.count + (c == demand_cell ? demand : 0);
+    const Entry* src = entries_.data() + r.start;
+    Entry* dst = fresh.data() + new_start[c];
+    for (std::uint32_t i = 0; i < r.count; ++i) {
+      dst[i] = src[i];
+      slots_[dst[i].id].pos = new_start[c] + i;
+    }
+    r.start = new_start[c];
+    r.cap = SlackedCap(want);
+  }
+  entries_ = std::move(fresh);
+  dead_ = 0;
+  layout_budget_ = entries_.size();
+  ++update_stats_.relayouts;
+}
+
+std::uint32_t MemGrid::ReserveInCell(std::uint32_t cell, std::uint32_t need) {
+  Region& r = regions_[cell];
+  if (r.count + need <= r.cap) return r.start + r.count;
+  // Out of slack. Either compact the whole block or relocate just this
+  // region to fresh capacity at the tail. The trigger is growth-based:
+  // relocations leave dead slots and grow slack without bound under
+  // sustained churn, so once the block doubles past the footprint the
+  // layout policy itself produced (captured at the last Build/Relayout —
+  // NOT the live count, which padded profiles legitimately exceed) a full
+  // re-layout reclaims the churn and restores cell-order streaming.
+  if (entries_.size() >= kMinEntriesForRelayout &&
+      entries_.size() >= 2 * layout_budget_) {
+    Relayout(cell, need);
+    return r.start + r.count;
+  }
+  // Geometric growth (~1.5x) regardless of the layout-slack knobs: a hot
+  // cell absorbing a stream of inserts relocates O(log n) times total.
+  const std::uint32_t want = r.count + need;
+  const std::uint32_t new_cap = std::max(SlackedCap(want),
+                                         want + want / 2 + 2);
+  const std::uint32_t new_start = static_cast<std::uint32_t>(entries_.size());
+  entries_.resize(entries_.size() + new_cap);
+  const Entry* src = entries_.data() + r.start;
+  Entry* dst = entries_.data() + new_start;
+  for (std::uint32_t i = 0; i < r.count; ++i) {
+    dst[i] = src[i];
+    slots_[dst[i].id].pos = new_start + i;
+  }
+  dead_ += r.cap;
+  r.start = new_start;
+  r.cap = new_cap;
+  return r.start + r.count;
+}
+
+void MemGrid::Insert(const Element& element) {
+  EnsureSlot(element.id);
+  assert(slots_[element.id].cell == kNoCell && "id already present");
+  const auto cell = static_cast<std::uint32_t>(CellOf(element.Center()));
+  const std::uint32_t pos = ReserveInCell(cell, 1);
+  entries_[pos] = Entry{element.box, element.id};
+  ++regions_[cell].count;
+  slots_[element.id] = Slot{cell, pos};
+  ++size_;
+  GrowMaxHalfExtent(element.box);
+}
+
+bool MemGrid::Erase(ElementId id) {
+  if (id >= slots_.size() || slots_[id].cell >= kPendingCell) return false;
+  const Slot s = slots_[id];
+  RemoveFromCell(s.cell, s.pos);
+  slots_[id] = Slot{};
+  --size_;
   return true;
 }
 
 bool MemGrid::Update(ElementId id, const AABB& new_box) {
-  const auto it = where_.find(id);
-  if (it == where_.end()) return false;
-  Decompact();
+  if (id >= slots_.size() || slots_[id].cell >= kPendingCell) return false;
+  const Slot s = slots_[id];
   ++update_stats_.updates;
-  const std::size_t new_cell = CellOf(new_box.Center());
-  const Vec3 ext = new_box.Extent();
-  max_half_extent_ = std::max(
-      {max_half_extent_, ext.x * 0.5f, ext.y * 0.5f, ext.z * 0.5f});
-  auto& bucket = cells_[it->second];
-  if (new_cell == it->second) {
-    // §4.3 fast path: one bucket write, no structural change.
-    for (Entry& e : bucket) {
-      if (e.id == id) {
-        e.box = new_box;
-        ++update_stats_.in_place;
-        return true;
-      }
-    }
-    assert(false && "where_ said the element is here");
-    return false;
+  GrowMaxHalfExtent(new_box);
+  const auto new_cell = static_cast<std::uint32_t>(CellOf(new_box.Center()));
+  if (new_cell == s.cell) {
+    // §4.3 fast path: one box store, no structural change, no scan.
+    entries_[s.pos].box = new_box;
+    ++update_stats_.in_place;
+    return true;
   }
-  for (std::size_t i = 0; i < bucket.size(); ++i) {
-    if (bucket[i].id == id) {
-      bucket[i] = bucket.back();
-      bucket.pop_back();
-      break;
-    }
-  }
-  cells_[new_cell].push_back(Entry{new_box, id});
-  it->second = static_cast<std::uint32_t>(new_cell);
+  RemoveFromCell(s.cell, s.pos);
+  const std::uint32_t pos = ReserveInCell(new_cell, 1);
+  entries_[pos] = Entry{new_box, id};
+  ++regions_[new_cell].count;
+  slots_[id] = Slot{new_cell, pos};
   ++update_stats_.migrations;
   return true;
 }
 
 std::size_t MemGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
+  struct Migration {
+    ElementId id;
+    AABB box;
+    std::uint32_t cell;
+  };
+  std::vector<Migration> staged;
   std::size_t applied = 0;
+  // One pass: in-place writes land immediately; migrations are staged so
+  // they can be grouped by destination cell. The max-half-extent bound is
+  // reduced once over the whole batch instead of per element.
+  float batch_mhe = max_half_extent_;
   for (const ElementUpdate& u : updates) {
-    applied += Update(u.id, u.new_box) ? 1 : 0;
+    if (u.id >= slots_.size()) continue;
+    const Slot s = slots_[u.id];
+    if (s.cell == kNoCell) continue;
+    const Vec3 ext = u.new_box.Extent();
+    batch_mhe = std::max({batch_mhe, ext.x * 0.5f, ext.y * 0.5f,
+                          ext.z * 0.5f});
+    ++applied;
+    ++update_stats_.updates;
+    const auto new_cell = static_cast<std::uint32_t>(CellOf(u.new_box.Center()));
+    if (s.cell == kPendingCell) {
+      // Same id updated twice in one batch: overwrite the staged move.
+      staged[s.pos].box = u.new_box;
+      staged[s.pos].cell = new_cell;
+      continue;
+    }
+    if (new_cell == s.cell) {
+      entries_[s.pos].box = u.new_box;
+      ++update_stats_.in_place;
+      continue;
+    }
+    RemoveFromCell(s.cell, s.pos);
+    slots_[u.id] =
+        Slot{kPendingCell, static_cast<std::uint32_t>(staged.size())};
+    staged.push_back(Migration{u.id, u.new_box, new_cell});
+    ++update_stats_.migrations;
+  }
+  max_half_extent_ = batch_mhe;
+
+  if (!staged.empty()) {
+    // Group migrations by destination: one capacity check and one tight
+    // write loop per destination cell.
+    std::sort(staged.begin(), staged.end(),
+              [](const Migration& a, const Migration& b) {
+                return a.cell < b.cell;
+              });
+    std::size_t i = 0;
+    while (i < staged.size()) {
+      std::size_t j = i + 1;
+      while (j < staged.size() && staged[j].cell == staged[i].cell) ++j;
+      const std::uint32_t cell = staged[i].cell;
+      const auto run = static_cast<std::uint32_t>(j - i);
+      std::uint32_t pos = ReserveInCell(cell, run);
+      Region& r = regions_[cell];  // Re-fetch: ReserveInCell may relayout.
+      for (std::size_t k = i; k < j; ++k, ++pos) {
+        entries_[pos] = Entry{staged[k].box, staged[k].id};
+        slots_[staged[k].id] = Slot{cell, pos};
+      }
+      r.count += run;
+      i = j;
+    }
   }
   return applied;
 }
@@ -158,17 +300,36 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
   std::int32_t x0, y0, z0, x1, y1, z1;
   CellCoords(probe.min, &x0, &y0, &z0);
   CellCoords(probe.max, &x1, &y1, &z1);
+  const Entry* data = entries_.data();
+  const auto scan_run = [&](std::uint32_t begin, std::uint32_t len) {
+    c.element_tests += len;
+    c.bytes_read += len * sizeof(Entry);
+    for (std::uint32_t e = begin; e < begin + len; ++e) {
+      if (data[e].box.Intersects(range)) out->push_back(data[e].id);
+    }
+  };
   for (std::int32_t x = x0; x <= x1; ++x) {
     for (std::int32_t y = y0; y <= y1; ++y) {
+      // Cells along z are index-adjacent AND — in the pristine cell-order
+      // layout — storage-adjacent, so whole z-columns fuse into a single
+      // contiguous scan. Relocated regions simply break the run and fall
+      // back to per-cell granularity until the next re-layout.
+      const std::size_t base = CellIndex(x, y, z0);
+      std::uint32_t run_begin = 0;
+      std::uint32_t run_len = 0;
       for (std::int32_t z = z0; z <= z1; ++z) {
-        const auto [entries, count] = Bucket(CellIndex(x, y, z));
+        const Region& r = regions_[base + static_cast<std::size_t>(z - z0)];
         c.nodes_visited += 1;
-        c.element_tests += count;
-        c.bytes_read += count * sizeof(Entry);
-        for (std::size_t e = 0; e < count; ++e) {
-          if (entries[e].box.Intersects(range)) out->push_back(entries[e].id);
+        if (r.count == 0) continue;
+        if (run_len != 0 && r.start == run_begin + run_len) {
+          run_len += r.count;
+          continue;
         }
+        scan_run(run_begin, run_len);
+        run_begin = r.start;
+        run_len = r.count;
       }
+      scan_run(run_begin, run_len);
     }
   }
   c.results += out->size();
@@ -178,12 +339,12 @@ void MemGrid::KnnQuery(const Vec3& p, std::size_t k,
                        std::vector<ElementId>* out,
                        QueryCounters* counters) const {
   out->clear();
-  if (k == 0 || where_.empty()) return;
+  if (k == 0 || size_ == 0) return;
   QueryCounters local;
   QueryCounters& c = counters != nullptr ? *counters : local;
 
   const double density =
-      static_cast<double>(where_.size()) /
+      static_cast<double>(size_) /
       std::max(1.0, static_cast<double>(universe_.Volume()));
   float radius = static_cast<float>(
       std::cbrt(static_cast<double>(k) / std::max(1e-12, density)));
@@ -197,9 +358,25 @@ void MemGrid::KnnQuery(const Vec3& p, std::size_t k,
   }
   const float max_radius = std::sqrt(far2) + cell_ + max_half_extent_;
 
+  // Shell-incremental expansion: the probe cube only grows, so each round
+  // scans just the cells the latest radius doubling exposed — inner cells
+  // contribute their candidates exactly once.
   std::vector<std::pair<float, ElementId>> cand;
+  const auto scan_cell = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
+    const std::size_t cell = CellIndex(x, y, z);
+    const Entry* entries = CellEntries(cell);
+    const std::uint32_t count = CellCount(cell);
+    c.nodes_visited += 1;
+    c.distance_computations += count;
+    for (std::uint32_t e = 0; e < count; ++e) {
+      cand.emplace_back(entries[e].box.SquaredDistanceTo(p), entries[e].id);
+    }
+  };
+  const auto by_distance = [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  };
+  std::int32_t px0 = 0, px1 = -1, py0 = 0, py1 = -1, pz0 = 0, pz1 = -1;
   while (true) {
-    cand.clear();
     const AABB probe =
         AABB::FromCenterHalfExtent(p, radius).Inflated(max_half_extent_);
     std::int32_t x0, y0, z0, x1, y1, z1;
@@ -207,23 +384,19 @@ void MemGrid::KnnQuery(const Vec3& p, std::size_t k,
     CellCoords(probe.max, &x1, &y1, &z1);
     for (std::int32_t x = x0; x <= x1; ++x) {
       for (std::int32_t y = y0; y <= y1; ++y) {
-        for (std::int32_t z = z0; z <= z1; ++z) {
-          const auto [entries, count] = Bucket(CellIndex(x, y, z));
-          c.nodes_visited += 1;
-          c.distance_computations += count;
-          for (std::size_t e = 0; e < count; ++e) {
-            cand.emplace_back(entries[e].box.SquaredDistanceTo(p),
-                              entries[e].id);
-          }
+        if (x >= px0 && x <= px1 && y >= py0 && y <= py1) {
+          // Column already visited up to [pz0, pz1]: only the caps are new.
+          for (std::int32_t z = z0; z < pz0; ++z) scan_cell(x, y, z);
+          for (std::int32_t z = pz1 + 1; z <= z1; ++z) scan_cell(x, y, z);
+        } else {
+          for (std::int32_t z = z0; z <= z1; ++z) scan_cell(x, y, z);
         }
       }
     }
+    px0 = x0, px1 = x1, py0 = y0, py1 = y1, pz0 = z0, pz1 = z1;
     if (cand.size() >= k) {
       std::nth_element(cand.begin(), cand.begin() + (k - 1), cand.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first != b.first ? a.first < b.first
-                                                   : a.second < b.second;
-                       });
+                       by_distance);
       if (cand[k - 1].first <= radius * radius || radius >= max_radius) break;
     } else if (radius >= max_radius) {
       break;
@@ -232,13 +405,27 @@ void MemGrid::KnnQuery(const Vec3& p, std::size_t k,
   }
   const std::size_t take = std::min(k, cand.size());
   std::partial_sort(cand.begin(), cand.begin() + take, cand.end(),
-                    [](const auto& a, const auto& b) {
-                      return a.first != b.first ? a.first < b.first
-                                                : a.second < b.second;
-                    });
+                    by_distance);
   out->reserve(take);
   for (std::size_t i = 0; i < take; ++i) out->push_back(cand[i].second);
   c.results += out->size();
+}
+
+template <typename Matches>
+void MemGrid::EmitMatches(const Entry* a, std::size_t an, const Entry* b,
+                          std::size_t bn, bool same_run,
+                          const Matches& matches,
+                          std::vector<std::pair<ElementId, ElementId>>* out,
+                          QueryCounters* c) {
+  for (std::size_t i = 0; i < an; ++i) {
+    for (std::size_t j = same_run ? i + 1 : 0; j < bn; ++j) {
+      c->element_tests += 1;
+      if (matches(a[i].box, b[j].box)) {
+        out->emplace_back(std::min(a[i].id, b[j].id),
+                          std::max(a[i].id, b[j].id));
+      }
+    }
+  }
 }
 
 void MemGrid::SelfJoin(float eps,
@@ -247,56 +434,103 @@ void MemGrid::SelfJoin(float eps,
   out->clear();
   QueryCounters local;
   QueryCounters& c = counters != nullptr ? *counters : local;
-  // Completeness needs matching centres within one cell on each axis.
-  assert(cell_ >= 2.0f * max_half_extent_ + eps &&
-         "cell size too small for single-cell self-join");
+
+  // Completeness needs matching centres within `reach` cells on each axis.
+  // The classic §4.3 configuration (cell >= 2*max_half_extent + eps) gives
+  // reach 1 and the 13-forward-neighbour sweep. Smaller cells — previously
+  // only an assert, silently incomplete under NDEBUG — now widen the
+  // neighbourhood instead: centres of matching boxes are at most
+  // need = 2*max_half_extent + eps apart per axis, i.e. at most
+  // floor(need/cell)+1 cells apart (+1 more as float-safety margin).
+  const double need = 2.0 * static_cast<double>(max_half_extent_) +
+                      static_cast<double>(eps);
+  int reach = 1;
+  if (static_cast<double>(cell_) < need) {
+    // Clamp in double BEFORE the int cast: need/cell_ can exceed INT_MAX
+    // for degenerate configs, and no axis spans more than kMaxCellsPerAxis
+    // cells anyway.
+    const double wanted = std::floor(need / static_cast<double>(cell_)) + 2.0;
+    reach = static_cast<int>(
+        std::min(wanted, static_cast<double>(kMaxCellsPerAxis)));
+  }
 
   static constexpr int kForward[13][3] = {
       {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},   {1, -1, 0},
       {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1},  {1, 1, 1},
       {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+  // Reach beyond the grid dimensions is unreachable — clamping per axis
+  // bounds the widened sweep by the grid itself (degenerate configs like a
+  // huge element in a fine grid would otherwise enumerate O(reach^3)
+  // offsets).
+  const int rx = std::min<int>(reach, static_cast<int>(nx_) - 1);
+  const int ry = std::min<int>(reach, static_cast<int>(ny_) - 1);
+  const int rz = std::min<int>(reach, static_cast<int>(nz_) - 1);
+
   const float eps2 = eps * eps;
   const auto matches = [&](const AABB& a, const AABB& b) {
     return eps > 0.0f ? a.SquaredDistanceTo(b) <= eps2 : a.Intersects(b);
   };
 
+  if (reach > 1) {
+    // When the widened sweep visits about as many cells per bucket as
+    // there are elements, the neighbourhood degenerates to "almost
+    // everything" and a direct all-pairs scan over the live entries is
+    // strictly cheaper (and trivially complete).
+    const double sweep = static_cast<double>(rx + 1) *
+                         (2.0 * ry + 1.0) * (2.0 * rz + 1.0);
+    if (sweep >= static_cast<double>(size_)) {
+      std::vector<Entry> live;
+      live.reserve(size_);
+      for (const Slot& s : slots_) {
+        if (s.cell != kNoCell) live.push_back(entries_[s.pos]);
+      }
+      EmitMatches(live.data(), live.size(), live.data(), live.size(),
+                  /*same_run=*/true, matches, out, &c);
+      c.results += out->size();
+      return;
+    }
+  }
+
   for (std::size_t xi = 0; xi < nx_; ++xi) {
     for (std::size_t yi = 0; yi < ny_; ++yi) {
       for (std::size_t zi = 0; zi < nz_; ++zi) {
-        const auto [bucket, bucket_n] = Bucket(CellIndex(
+        const std::size_t cell = CellIndex(
             static_cast<std::int32_t>(xi), static_cast<std::int32_t>(yi),
-            static_cast<std::int32_t>(zi)));
+            static_cast<std::int32_t>(zi));
+        const Entry* bucket = CellEntries(cell);
+        const std::uint32_t bucket_n = CellCount(cell);
         if (bucket_n == 0) continue;
         c.nodes_visited += 1;
-        for (std::size_t i = 0; i < bucket_n; ++i) {
-          for (std::size_t j = i + 1; j < bucket_n; ++j) {
-            c.element_tests += 1;
-            if (matches(bucket[i].box, bucket[j].box)) {
-              out->emplace_back(std::min(bucket[i].id, bucket[j].id),
-                                std::max(bucket[i].id, bucket[j].id));
-            }
-          }
-        }
-        for (const auto& d : kForward) {
-          const std::int64_t x2 = static_cast<std::int64_t>(xi) + d[0];
-          const std::int64_t y2 = static_cast<std::int64_t>(yi) + d[1];
-          const std::int64_t z2 = static_cast<std::int64_t>(zi) + d[2];
+        EmitMatches(bucket, bucket_n, bucket, bucket_n, /*same_run=*/true,
+                    matches, out, &c);
+        const auto visit = [&](int dx, int dy, int dz) {
+          const std::int64_t x2 = static_cast<std::int64_t>(xi) + dx;
+          const std::int64_t y2 = static_cast<std::int64_t>(yi) + dy;
+          const std::int64_t z2 = static_cast<std::int64_t>(zi) + dz;
           if (x2 < 0 || y2 < 0 || z2 < 0 ||
               x2 >= static_cast<std::int64_t>(nx_) ||
               y2 >= static_cast<std::int64_t>(ny_) ||
               z2 >= static_cast<std::int64_t>(nz_)) {
-            continue;
+            return;
           }
-          const auto [other, other_n] = Bucket(CellIndex(
+          const std::size_t other_cell = CellIndex(
               static_cast<std::int32_t>(x2), static_cast<std::int32_t>(y2),
-              static_cast<std::int32_t>(z2)));
-          if (other_n == 0) continue;
-          for (std::size_t i = 0; i < bucket_n; ++i) {
-            for (std::size_t j = 0; j < other_n; ++j) {
-              c.element_tests += 1;
-              if (matches(bucket[i].box, other[j].box)) {
-                out->emplace_back(std::min(bucket[i].id, other[j].id),
-                                  std::max(bucket[i].id, other[j].id));
+              static_cast<std::int32_t>(z2));
+          const Entry* other = CellEntries(other_cell);
+          const std::uint32_t other_n = CellCount(other_cell);
+          if (other_n == 0) return;
+          EmitMatches(bucket, bucket_n, other, other_n, /*same_run=*/false,
+                      matches, out, &c);
+        };
+        if (reach == 1) {
+          for (const auto& d : kForward) visit(d[0], d[1], d[2]);
+        } else {
+          // All lexicographically-forward offsets within the widened
+          // reach; each unordered cell pair is visited exactly once.
+          for (int dx = 0; dx <= rx; ++dx) {
+            for (int dy = dx == 0 ? 0 : -ry; dy <= ry; ++dy) {
+              for (int dz = (dx == 0 && dy == 0) ? 1 : -rz; dz <= rz; ++dz) {
+                visit(dx, dy, dz);
               }
             }
           }
@@ -307,54 +541,20 @@ void MemGrid::SelfJoin(float eps,
   c.results += out->size();
 }
 
-void MemGrid::Compact() {
-  if (compacted_) return;
-  csr_offsets_.assign(cells_.size() + 1, 0);
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    csr_offsets_[i + 1] =
-        csr_offsets_[i] + static_cast<std::uint32_t>(cells_[i].size());
-  }
-  csr_entries_.clear();
-  csr_entries_.reserve(csr_offsets_.back());
-  for (const auto& bucket : cells_) {
-    csr_entries_.insert(csr_entries_.end(), bucket.begin(), bucket.end());
-  }
-  for (auto& bucket : cells_) {
-    bucket.clear();
-    bucket.shrink_to_fit();
-  }
-  compacted_ = true;
-}
-
-void MemGrid::Decompact() {
-  if (!compacted_) return;
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    const std::uint32_t b = csr_offsets_[i];
-    const std::uint32_t e = csr_offsets_[i + 1];
-    cells_[i].assign(csr_entries_.begin() + b, csr_entries_.begin() + e);
-  }
-  csr_entries_.clear();
-  csr_entries_.shrink_to_fit();
-  csr_offsets_.clear();
-  compacted_ = false;
-}
-
 MemGridShape MemGrid::Shape() const {
   MemGridShape s;
-  s.elements = where_.size();
-  s.cells = cells_.size();
+  s.elements = size_;
+  s.cells = regions_.size();
   s.cell_size = cell_;
   s.max_half_extent = max_half_extent_;
-  for (std::size_t cell = 0; cell < cells_.size(); ++cell) {
-    const auto [entries, count] = Bucket(cell);
-    (void)entries;
-    s.occupied_cells += count == 0 ? 0 : 1;
-    s.bytes += compacted_ ? count * sizeof(Entry)
-                          : cells_[cell].capacity() * sizeof(Entry);
+  for (const Region& r : regions_) {
+    s.occupied_cells += r.count == 0 ? 0 : 1;
+    s.slack_slots += r.cap - r.count;
   }
-  if (compacted_) s.bytes += csr_offsets_.size() * sizeof(std::uint32_t);
-  s.bytes += cells_.size() * sizeof(cells_[0]);
-  s.bytes += where_.size() * 24;
+  s.dead_slots = dead_;
+  s.bytes = entries_.capacity() * sizeof(Entry) +
+            regions_.capacity() * sizeof(Region) +
+            slots_.capacity() * sizeof(Slot);
   s.mean_occupancy = s.occupied_cells == 0
                          ? 0.0
                          : static_cast<double>(s.elements) /
@@ -363,31 +563,42 @@ MemGridShape MemGrid::Shape() const {
 }
 
 bool MemGrid::CheckInvariants(std::string* error) const {
+  const auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
   std::size_t total = 0;
-  for (std::size_t cell = 0; cell < cells_.size(); ++cell) {
-    const auto [entries, count] = Bucket(cell);
-    for (std::size_t k = 0; k < count; ++k) {
-      const Entry& e = entries[k];
+  std::vector<std::uint8_t> used(entries_.size(), 0);
+  for (std::size_t cell = 0; cell < regions_.size(); ++cell) {
+    const Region& r = regions_[cell];
+    if (r.count > r.cap) return fail("region count exceeds capacity");
+    if (static_cast<std::size_t>(r.start) + r.cap > entries_.size()) {
+      return fail("region exceeds entry block");
+    }
+    for (std::uint32_t i = 0; i < r.cap; ++i) {
+      if (used[r.start + i]++) return fail("overlapping cell regions");
+    }
+    for (std::uint32_t i = 0; i < r.count; ++i) {
+      const std::uint32_t pos = r.start + i;
+      const Entry& e = entries_[pos];
       ++total;
-      const auto it = where_.find(e.id);
-      if (it == where_.end() || it->second != cell) {
-        if (error != nullptr) {
-          *error = "where_ inconsistent for element " + std::to_string(e.id);
-        }
-        return false;
+      if (e.id >= slots_.size() || slots_[e.id].cell != cell ||
+          slots_[e.id].pos != pos) {
+        return fail("slot map inconsistent for element " +
+                    std::to_string(e.id));
       }
       if (CellOf(e.box.Center()) != cell) {
-        if (error != nullptr) {
-          *error = "element " + std::to_string(e.id) + " in wrong cell";
-        }
-        return false;
+        return fail("element " + std::to_string(e.id) + " in wrong cell");
       }
     }
   }
-  if (total != where_.size()) {
-    if (error != nullptr) *error = "entry count mismatch";
-    return false;
+  if (total != size_) return fail("entry count mismatch");
+  std::size_t live_slots = 0;
+  for (const Slot& s : slots_) {
+    if (s.cell == kPendingCell) return fail("pending slot leaked");
+    if (s.cell != kNoCell) ++live_slots;
   }
+  if (live_slots != size_) return fail("slot map count mismatch");
   return true;
 }
 

@@ -12,14 +12,46 @@
 //     deduplication and updates touch exactly one bucket; completeness is
 //     restored by inflating the probe range by the dataset's largest
 //     element half-extent (tracked online);
-//   * buckets stored as packed (box,id) entries in contiguous memory so
-//     candidate tests stream through the cache (§3.3 node-size insight);
+//   * an always-compact slack-CSR storage layout (below) so queries stream
+//     one contiguous array (§3.3 node-size insight) while mutations stay
+//     in place;
 //   * O(n) counting-sort rebuild — the "faster to build" half of the §5
 //     trade-off;
 //   * displacement-aware updates — an element whose centre stays in its
-//     cell costs one bucket write (§4.3: "only few elements switch grid
-//     cell in every step");
+//     cell costs one box write (§4.3: "only few elements switch grid cell
+//     in every step");
 //   * native self-join over forward neighbour cells (§4.3).
+//
+// Memory layout (slack CSR)
+// -------------------------
+// All entries live in ONE flat array `entries_`. Each cell owns a
+// contiguous region of that array described by `Region{start, cap, count}`:
+// slots [start, start+count) are live, [start+count, start+cap) are gap
+// ("slack") slots available to future inserts. Build() lays regions out in
+// cell order; by default with zero slack, so a fresh grid is a classical
+// gap-free CSR block — measurably the fastest layout to stream, since gaps
+// cost query bandwidth in every cell while mutations only need headroom in
+// the few cells they actually touch (§4.3: "only few elements switch grid
+// cell in every step").
+//
+// Mutations never copy the index:
+//   * in-place update  — one box store at the slot given by the dense
+//     slot map (no hashing, no bucket scan);
+//   * erase            — swap-remove with the region's last live slot;
+//   * insert/migration — consumes a slack slot of the destination region.
+// A region without slack is relocated to fresh, geometrically larger
+// capacity at the array tail (amortized O(1) even for a hot cell); the
+// abandoned slots are dead space. Only when relocation churn doubles the
+// block past the footprint the layout policy originally produced is the
+// whole block re-laid-out in cell order — an O(n) amortized "compaction"
+// that reclaims dead and excess slack and restores perfect streaming
+// order. There is no
+// dual-layout Compact()/Decompact() machinery and no full-index copy on
+// the mutation path.
+//
+// Element lookup is a dense vector `slots_` indexed by ElementId (ids are
+// dense in this codebase's datasets): id -> {cell, position in entries_}.
+// Erase/Update are O(1) with zero hashing.
 
 #ifndef SIMSPATIAL_CORE_MEMGRID_H_
 #define SIMSPATIAL_CORE_MEMGRID_H_
@@ -27,7 +59,6 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,6 +72,15 @@ struct MemGridConfig {
   /// least the dataset's maximum element extent (single-cell assignment
   /// needs cells no smaller than the elements).
   float cell_size = 0.0f;
+  /// Gap slots guaranteed per occupied cell after a (re)layout. The default
+  /// 0 keeps the block gap-free — fastest to stream; mutation headroom then
+  /// comes from geometric region relocation alone. Non-zero values trade
+  /// query bandwidth for fewer relocations under migration-heavy load (the
+  /// "memgrid-padded" registry profile).
+  std::uint32_t min_slack = 0;
+  /// Extra layout slack proportional to a cell's population:
+  /// cap = count + max(min_slack, count * slack_fraction).
+  float slack_fraction = 0.0f;
 };
 
 struct MemGridShape {
@@ -51,12 +91,17 @@ struct MemGridShape {
   float cell_size = 0;
   float max_half_extent = 0;
   std::size_t bytes = 0;
+  /// Reserved-but-unused slots inside live regions.
+  std::size_t slack_slots = 0;
+  /// Slots abandoned by region relocations since the last full layout.
+  std::size_t dead_slots = 0;
 };
 
 struct MemGridUpdateStats {
   std::uint64_t updates = 0;
   std::uint64_t in_place = 0;    ///< Centre stayed in its cell.
-  std::uint64_t migrations = 0;  ///< Bucket-to-bucket moves.
+  std::uint64_t migrations = 0;  ///< Region-to-region moves.
+  std::uint64_t relayouts = 0;   ///< Full slack-CSR re-layouts (amortized).
   double InPlaceFraction() const {
     return updates == 0
                ? 0.0
@@ -64,17 +109,19 @@ struct MemGridUpdateStats {
   }
 };
 
-/// Grid index with centre assignment, packed buckets and O(1) updates.
+/// Grid index with centre assignment, slack-CSR storage and O(1) updates.
 class MemGrid {
  public:
-  MemGrid(const AABB& universe, MemGridConfig config = {});
+  explicit MemGrid(const AABB& universe, MemGridConfig config = {});
 
-  /// O(n) rebuild (counting scatter into flat buckets).
+  /// O(n) rebuild (counting scatter into the slack-CSR block).
   void Build(std::span<const Element> elements);
 
   void Insert(const Element& element);
   bool Erase(ElementId id);
   bool Update(ElementId id, const AABB& new_box);
+  /// Batch update path: in-place writes applied immediately, migrations
+  /// grouped by destination cell, one max-half-extent reduction.
   std::size_t ApplyUpdates(std::span<const ElementUpdate> updates);
 
   void RangeQuery(const AABB& range, std::vector<ElementId>* out,
@@ -83,19 +130,14 @@ class MemGrid {
                 QueryCounters* counters = nullptr) const;
 
   /// Native self-join (§4.3): same-cell plus forward-neighbour comparisons.
-  /// Requires cell_size >= max element extent + eps for completeness; the
-  /// method asserts this and benches pick the cell size accordingly.
+  /// Complete for any cell size: when cell_size < 2*max_half_extent + eps
+  /// the neighbourhood reach widens automatically (slower but never drops
+  /// pairs — the fast 13-neighbour path needs no widening).
   void SelfJoin(float eps,
                 std::vector<std::pair<ElementId, ElementId>>* out,
                 QueryCounters* counters = nullptr) const;
 
-  /// Pack all buckets into one contiguous CSR block (offsets + entries).
-  /// Queries then stream a single array — the cache-friendly read-mostly
-  /// layout of §3.3. Any mutation transparently unpacks first. Idempotent.
-  void Compact();
-  bool compacted() const { return compacted_; }
-
-  std::size_t size() const { return where_.size(); }
+  std::size_t size() const { return size_; }
   float cell_size() const { return cell_; }
   const AABB& universe() const { return universe_; }
   const MemGridUpdateStats& update_stats() const { return update_stats_; }
@@ -107,6 +149,22 @@ class MemGrid {
     AABB box;
     ElementId id;
   };
+  /// One cell's region of `entries_`: [start, start+count) live,
+  /// [start+count, start+cap) slack.
+  struct Region {
+    std::uint32_t start = 0;
+    std::uint32_t cap = 0;
+    std::uint32_t count = 0;
+  };
+  /// Dense per-id locator: owning cell + absolute position in `entries_`.
+  struct Slot {
+    std::uint32_t cell = kNoCell;
+    std::uint32_t pos = 0;
+  };
+  static constexpr std::uint32_t kNoCell = 0xffffffffu;
+  /// Slot marker for ids whose migration is staged inside ApplyUpdates;
+  /// `pos` then indexes the staging vector.
+  static constexpr std::uint32_t kPendingCell = 0xfffffffeu;
 
   std::size_t CellOf(const Vec3& p) const;
   void CellCoords(const Vec3& p, std::int32_t* x, std::int32_t* y,
@@ -117,15 +175,38 @@ class MemGrid {
            static_cast<std::size_t>(z);
   }
 
-  void Decompact();
-  /// Bucket view valid in both layouts.
-  std::pair<const Entry*, std::size_t> Bucket(std::size_t cell) const {
-    if (compacted_) {
-      return {csr_entries_.data() + csr_offsets_[cell],
-              csr_offsets_[cell + 1] - csr_offsets_[cell]};
-    }
-    return {cells_[cell].data(), cells_[cell].size()};
+  /// Grow `slots_` so `id` is addressable.
+  void EnsureSlot(ElementId id);
+  void GrowMaxHalfExtent(const AABB& box);
+  /// Swap-remove the live slot `pos` from `cell`'s region (the shared
+  /// erase/migrate helper); fixes the displaced entry's slot map entry.
+  void RemoveFromCell(std::uint32_t cell, std::uint32_t pos);
+  /// Make room for `need` more entries in `cell`'s region (relocating it or
+  /// re-laying-out the whole block if dead space got too high), then return
+  /// the first free absolute position. Invalidates no indices outside the
+  /// relocated region except under full re-layout, which fixes `slots_`.
+  std::uint32_t ReserveInCell(std::uint32_t cell, std::uint32_t need);
+  /// Full O(n) re-layout in cell order with fresh slack; `demand_cell`
+  /// (if valid) gets `demand` extra guaranteed slots.
+  void Relayout(std::uint32_t demand_cell, std::uint32_t demand);
+  /// Per-cell capacity formula after a (re)layout.
+  std::uint32_t SlackedCap(std::uint32_t count) const;
+
+  const Entry* CellEntries(std::size_t cell) const {
+    return entries_.data() + regions_[cell].start;
   }
+  std::uint32_t CellCount(std::size_t cell) const {
+    return regions_[cell].count;
+  }
+
+  /// Emit matching sorted pairs between two entry runs (a==b for the
+  /// intra-cell triangle) — the shared SelfJoin emitter.
+  template <typename Matches>
+  static void EmitMatches(const Entry* a, std::size_t an, const Entry* b,
+                          std::size_t bn, bool same_run,
+                          const Matches& matches,
+                          std::vector<std::pair<ElementId, ElementId>>* out,
+                          QueryCounters* c);
 
   AABB universe_;
   float cell_ = 1.0f;
@@ -133,12 +214,17 @@ class MemGrid {
   std::size_t nx_ = 1;
   std::size_t ny_ = 1;
   std::size_t nz_ = 1;
-  std::vector<std::vector<Entry>> cells_;
-  bool compacted_ = false;
-  std::vector<std::uint32_t> csr_offsets_;
-  std::vector<Entry> csr_entries_;
-  /// Element id -> owning cell (centre cell).
-  std::unordered_map<ElementId, std::uint32_t> where_;
+  MemGridConfig config_;
+
+  std::vector<Entry> entries_;   ///< The one flat slack-CSR block.
+  std::vector<Region> regions_;  ///< Per-cell region descriptors.
+  std::vector<Slot> slots_;      ///< Dense id -> {cell, pos} map.
+  std::size_t size_ = 0;         ///< Live elements.
+  std::size_t dead_ = 0;         ///< Slots lost to region relocations.
+  /// Block size the layout policy produced at the last Build/Relayout;
+  /// once relocation churn doubles past it, a re-layout reclaims space.
+  std::size_t layout_budget_ = 0;
+
   /// Largest half-extent ever seen; probe inflation bound.
   float max_half_extent_ = 0.0f;
   MemGridUpdateStats update_stats_;

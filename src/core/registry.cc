@@ -251,10 +251,24 @@ class MultiGridAdapter final : public SpatialIndex {
 
 class MemGridAdapter final : public SpatialIndex {
  public:
-  std::string_view name() const override { return "memgrid"; }
+  /// `slack` layers the slack-CSR layout knobs over the computed cell size:
+  /// the default profile lays out a gap-free block (fastest streaming;
+  /// migrations relocate their destination region on demand), the "padded"
+  /// profile pre-reserves gap slots per cell so migrations land in place —
+  /// registering both keeps each structural path covered by the
+  /// differential batteries.
+  struct SlackProfile {
+    std::uint32_t min_slack;
+    float slack_fraction;
+  };
+  MemGridAdapter(std::string name, SlackProfile slack)
+      : name_(std::move(name)), slack_(slack) {}
+  std::string_view name() const override { return name_; }
   void Build(std::span<const Element> elements, const AABB& u) override {
     MemGridConfig cfg;
     cfg.cell_size = DefaultCell(elements, u);
+    cfg.min_slack = slack_.min_slack;
+    cfg.slack_fraction = slack_.slack_fraction;
     grid_ = std::make_unique<MemGrid>(u, cfg);
     grid_->Build(elements);
   }
@@ -278,6 +292,8 @@ class MemGridAdapter final : public SpatialIndex {
   }
 
  private:
+  std::string name_;
+  SlackProfile slack_;
   std::unique_ptr<MemGrid> grid_;
 };
 
@@ -343,7 +359,16 @@ const std::vector<RegistryEntry>& Registry() {
       {"uniform-grid",
        [] { return std::make_unique<UniformGridAdapter>(); }},
       {"multigrid", [] { return std::make_unique<MultiGridAdapter>(); }},
-      {"memgrid", [] { return std::make_unique<MemGridAdapter>(); }},
+      {"memgrid",
+       [] {
+         return std::make_unique<MemGridAdapter>(
+             "memgrid", MemGridAdapter::SlackProfile{0, 0.0f});
+       }},
+      {"memgrid-padded",
+       [] {
+         return std::make_unique<MemGridAdapter>(
+             "memgrid-padded", MemGridAdapter::SlackProfile{2, 0.25f});
+       }},
       {"lsh", [] { return std::make_unique<LshAdapter>(); }},
   };
   return kRegistry;

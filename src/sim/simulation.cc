@@ -92,6 +92,7 @@ Simulation::Simulation(std::vector<Element> elements, const AABB& universe,
     index_ = core::MakeIndex(config_.index_name);
     assert(index_ != nullptr && "unknown index name");
     index_->Build(elements_, universe_);
+    updates_.reserve(elements_.size());
   }
 }
 
@@ -138,7 +139,16 @@ StepReport Simulation::Step() {
       report.updates_applied = updates_.size();
       break;
     case MaintenancePolicy::kIncrementalUpdate:
-      report.updates_applied = index_->ApplyUpdates(updates_);
+      // The whole step's updates go down as one batch — updatable indexes
+      // (MemGrid's slack-CSR path in particular) group the migrations by
+      // destination cell. Static structures fall back to a rebuild instead
+      // of silently dropping the step's movement.
+      if (index_->SupportsUpdates()) {
+        report.updates_applied = index_->ApplyUpdates(updates_);
+      } else {
+        index_->Build(elements_, universe_);
+        report.updates_applied = updates_.size();
+      }
       break;
     case MaintenancePolicy::kNoIndex:
       report.updates_applied = updates_.size();  // The dataset is current.

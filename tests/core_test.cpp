@@ -155,51 +155,172 @@ TEST(MemGridTest, InsertEraseUpdateSoak) {
   EXPECT_TRUE(g.CheckInvariants(&err)) << err;
 }
 
-TEST(MemGridTest, CompactModePreservesSemantics) {
-  const auto elems = GenerateClusteredBoxes(4000, kUniverse, 8, 5.0f, 0.1f,
-                                            0.8f);
-  MemGrid g(kUniverse, MemGridConfig{.cell_size = 3.0f});
-  g.Build(elems);
-  g.Compact();
-  EXPECT_TRUE(g.compacted());
-  g.Compact();  // Idempotent.
+TEST(MemGridTest, SlackExhaustionRelayoutKeepsQueriesExact) {
+  // Hammer a single cell with inserts so its region outgrows every slack
+  // grant: regions must relocate, dead space must accumulate, and the full
+  // re-layout must eventually fire — all invisible to queries.
+  Rng rng(84);
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 5.0f});
+  g.Build({});
+  std::vector<Element> mirror;
+  const Vec3 hot(2.5f, 2.5f, 2.5f);
+  for (ElementId i = 0; i < 4000; ++i) {
+    // ~90% of inserts land in the hot cell, the rest spread out.
+    const Vec3 c = (i % 10 != 0)
+                       ? hot + Vec3(rng.Uniform(-2.0f, 2.0f),
+                                    rng.Uniform(-2.0f, 2.0f),
+                                    rng.Uniform(-2.0f, 2.0f))
+                       : rng.PointIn(kUniverse);
+    const Element e(i, AABB::FromCenterHalfExtent(c, 0.2f));
+    g.Insert(e);
+    mirror.push_back(e);
+  }
   std::string err;
   ASSERT_TRUE(g.CheckInvariants(&err)) << err;
-
-  Rng rng(84);
-  for (int q = 0; q < 25; ++q) {
+  EXPECT_GT(g.update_stats().relayouts, 0u);
+  for (int q = 0; q < 20; ++q) {
     const AABB query = AABB::FromCenterHalfExtent(
-        rng.PointIn(kUniverse), rng.Uniform(1.0f, 10.0f));
+        rng.PointIn(kUniverse), rng.Uniform(0.5f, 8.0f));
     std::vector<ElementId> got;
     g.RangeQuery(query, &got);
-    EXPECT_EQ(Sorted(got), ScanRange(elems, query)) << "q" << q;
+    EXPECT_EQ(Sorted(got), Sorted(ScanRange(mirror, query))) << "q" << q;
   }
   std::vector<ElementId> knn;
-  g.KnnQuery(Vec3(50, 50, 50), 7, &knn);
-  EXPECT_EQ(knn, ScanKnn(elems, Vec3(50, 50, 50), 7));
-
-  // Mutation transparently unpacks.
-  EXPECT_TRUE(g.Update(0, AABB::FromCenterHalfExtent(Vec3(1, 1, 1), 0.3f)));
-  EXPECT_FALSE(g.compacted());
-  ASSERT_TRUE(g.CheckInvariants(&err)) << err;
-  std::vector<ElementId> out;
-  g.RangeQuery(AABB::FromCenterHalfExtent(Vec3(1, 1, 1), 1.0f), &out);
-  EXPECT_NE(std::find(out.begin(), out.end(), 0u), out.end());
+  g.KnnQuery(hot, 9, &knn);
+  EXPECT_EQ(knn, ScanKnn(mirror, hot, 9));
 }
 
-TEST(MemGridTest, CompactSelfJoinMatchesDynamic) {
-  const auto elems = GenerateUniformBoxes(1200, kUniverse, 0.2f, 0.8f);
-  MemGrid g(kUniverse, MemGridConfig{.cell_size = 2.5f});
-  g.Build(elems);
-  std::vector<std::pair<ElementId, ElementId>> dynamic_pairs;
-  g.SelfJoin(0.4f, &dynamic_pairs);
-  SortPairs(&dynamic_pairs);
-  g.Compact();
-  std::vector<std::pair<ElementId, ElementId>> compact_pairs;
-  g.SelfJoin(0.4f, &compact_pairs);
-  SortPairs(&compact_pairs);
-  EXPECT_EQ(dynamic_pairs, compact_pairs);
+TEST(MemGridTest, SelfJoinWidensReachWhenCellsAreTooSmall) {
+  // Regression: with cell_size < 2*max_half_extent + eps the old code only
+  // asserted (debug) and silently dropped pairs in release builds. The
+  // runtime fallback must widen the neighbourhood and stay complete.
+  // 600 elements: the widened sweep would visit more cells than there are
+  // elements, so the all-pairs fallback fires; 3000 elements: the widened
+  // forward-neighbourhood sweep itself runs.
+  for (const ElementId n : {600u, 3000u}) {
+    Rng rng(85);
+    std::vector<Element> elems;
+    for (ElementId i = 0; i < n; ++i) {
+      // Half-extents up to 3.0 vs cell size 2.0: matching centres can sit
+      // several cells apart.
+      elems.emplace_back(
+          i, AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                        rng.Uniform(0.5f, 3.0f)));
+    }
+    MemGrid g(kUniverse, MemGridConfig{.cell_size = 2.0f});
+    g.Build(elems);
+    for (const float eps : {0.0f, 1.0f}) {
+      std::vector<std::pair<ElementId, ElementId>> got;
+      g.SelfJoin(eps, &got);
+      SortPairs(&got);
+      auto want = NestedLoopSelfJoin(elems, eps);
+      SortPairs(&want);
+      EXPECT_EQ(got, want) << "n=" << n << " eps=" << eps;
+    }
+  }
 }
+
+// Mixed-workload differential battery: interleaved bulk-build / insert /
+// erase / update / query phases with CheckInvariants after every phase —
+// exactly the regime the slack-CSR layout must survive, run under both the
+// default and the zero-slack ("tight", relocation-heavy) profiles.
+class MemGridMixedWorkloadTest
+    : public ::testing::TestWithParam<MemGridConfig> {};
+
+TEST_P(MemGridMixedWorkloadTest, PhasesStayExactAndInvariant) {
+  MemGrid g(kUniverse, GetParam());
+  Rng rng(86);
+  std::vector<Element> mirror;
+  ElementId next = 0;
+
+  const auto check_phase = [&](const char* phase) {
+    std::string err;
+    ASSERT_TRUE(g.CheckInvariants(&err)) << phase << ": " << err;
+    ASSERT_EQ(g.size(), mirror.size()) << phase;
+    for (int q = 0; q < 6; ++q) {
+      const AABB query = AABB::FromCenterHalfExtent(
+          rng.PointIn(kUniverse), rng.Uniform(1.0f, 10.0f));
+      std::vector<ElementId> got;
+      g.RangeQuery(query, &got);
+      ASSERT_EQ(Sorted(got), Sorted(ScanRange(mirror, query)))
+          << phase << " q" << q;
+    }
+    const Vec3 p = rng.PointIn(kUniverse);
+    std::vector<ElementId> knn;
+    g.KnnQuery(p, 6, &knn);
+    ASSERT_EQ(knn, ScanKnn(mirror, p, 6)) << phase;
+  };
+
+  // Phase 1: bulk build.
+  for (; next < 1200; ++next) {
+    mirror.emplace_back(next, AABB::FromCenterHalfExtent(
+                                  rng.PointIn(kUniverse),
+                                  rng.Uniform(0.1f, 1.2f)));
+  }
+  g.Build(mirror);
+  check_phase("build");
+
+  // Phase 2: incremental inserts.
+  for (int i = 0; i < 400; ++i, ++next) {
+    const Element e(next, AABB::FromCenterHalfExtent(
+                              rng.PointIn(kUniverse),
+                              rng.Uniform(0.1f, 1.2f)));
+    g.Insert(e);
+    mirror.push_back(e);
+  }
+  check_phase("insert");
+
+  // Phase 3: erases (including re-erase of gone ids).
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t at = rng.NextBelow(mirror.size());
+    ASSERT_TRUE(g.Erase(mirror[at].id));
+    EXPECT_FALSE(g.Erase(mirror[at].id));
+    mirror[at] = mirror.back();
+    mirror.pop_back();
+  }
+  check_phase("erase");
+
+  // Phase 4: single updates, mixing small nudges (in place) with jumps.
+  for (int i = 0; i < 400; ++i) {
+    auto& m = mirror[rng.NextBelow(mirror.size())];
+    const Vec3 c = i % 2 == 0 ? m.Center() + Vec3(0.01f, 0.01f, 0.01f)
+                              : rng.PointIn(kUniverse);
+    m.box = AABB::FromCenterHalfExtent(c, rng.Uniform(0.1f, 1.2f));
+    ASSERT_TRUE(g.Update(m.id, m.box));
+  }
+  check_phase("update");
+
+  // Phase 5: batch updates (the ApplyUpdates migration-grouping path),
+  // including a duplicate id inside one batch.
+  std::vector<ElementUpdate> batch;
+  for (auto& m : mirror) {
+    m.box = AABB::FromCenterHalfExtent(
+        rng.NextFloat() < 0.3f ? rng.PointIn(kUniverse)
+                               : m.Center() + Vec3(0.02f, 0, 0),
+        rng.Uniform(0.1f, 1.2f));
+    batch.emplace_back(m.id, m.box);
+  }
+  mirror.front().box = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                  0.5f);
+  batch.emplace_back(mirror.front().id, mirror.front().box);
+  batch.emplace_back(kInvalidElement, batch.front().new_box);  // Unknown id.
+  EXPECT_EQ(g.ApplyUpdates(batch), batch.size() - 1);
+  check_phase("batch-update");
+
+  // Phase 6: rebuild on top of the mutated state.
+  g.Build(mirror);
+  check_phase("rebuild");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlackProfiles, MemGridMixedWorkloadTest,
+    ::testing::Values(
+        MemGridConfig{.cell_size = 4.0f},
+        MemGridConfig{.cell_size = 4.0f, .min_slack = 2,
+                      .slack_fraction = 0.25f}),
+    [](const ::testing::TestParamInfo<MemGridConfig>& info) {
+      return info.param.min_slack == 0 ? "compact" : "padded";
+    });
 
 TEST(MemGridTest, RebuildIsCheaperThanPerElementWork) {
   // Build must be a small constant per element (O(n) scatter); this is a
