@@ -16,6 +16,9 @@
 
 #include "bench_util.h"
 #include "common/bruteforce.h"
+#include "common/parallel.h"
+#include "core/memgrid.h"
+#include "grid/resolution.h"
 #include "join/spatial_join.h"
 
 namespace simspatial {
@@ -29,6 +32,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t n = flags.GetSize("n", 150000);
   const float eps = static_cast<float>(flags.GetDouble("eps", 0.25));
+  const auto threads = static_cast<std::uint32_t>(
+      flags.GetSize("threads", par::kThreadsAuto));
 
   bench::PrintHeader(
       "Spatial self-join (synapse detection) across algorithms",
@@ -94,11 +99,31 @@ int Main(int argc, char** argv) {
                                    return join::GridSelfJoin(ds.elements, eps,
                                                              {}, c);
                                  });
+  // MemGrid's native self-join: the same §4.3 sweep over the slack-CSR
+  // block, partitioned into per-worker x-slabs (--threads=N; results are
+  // bit-identical at any thread count — see tests/parallel_test.cpp).
+  // Build runs INSIDE the timed region, like every other row's
+  // partitioning/sort step, so "total ms" compares like for like.
+  const auto stats = grid::DatasetStats::Compute(ds.elements, ds.universe);
+  core::MemGridConfig mg_cfg;
+  // 2*max_half_extent + eps = max_extent + eps: the smallest cell for
+  // which the fast 13-neighbour sweep is complete (§4.3).
+  mg_cfg.cell_size = static_cast<float>(stats.max_extent + eps) * 1.01f;
+  mg_cfg.threads = threads;
+  std::printf("memgrid threads: %u\n", par::ResolveThreads(threads));
+  const std::size_t p_memgrid =
+      run("memgrid build+self-join (parallel)", [&](QueryCounters* c) {
+        core::MemGrid memgrid(ds.universe, mg_cfg);
+        memgrid.Build(ds.elements);
+        std::vector<join::JoinPair> pairs;
+        memgrid.SelfJoin(eps, &pairs, c);
+        return pairs;
+      });
   t.Print();
 
   bench::PrintClaim("all algorithms agree on the synapse pair count",
                     p_sweep == p_pbsm && p_pbsm == p_touch &&
-                        p_touch == p_grid);
+                        p_touch == p_grid && p_grid == p_memgrid);
 
   // Comparisons: who tests distant objects?
   QueryCounters c_sweep, c_touch, c_grid;

@@ -8,6 +8,9 @@
 //   --dataset=neurons|uniform
 //   --reps=<r>            timed repetitions per kernel; median reported
 //   --json=<path>         also emit results as a JSON array (bench_util.h)
+//   --threads=<t>         MemGrid worker threads (default: hardware
+//                         concurrency; 0/1 = serial paths). Only the
+//                         memgrid kernels are parallel-capable.
 
 #include <algorithm>
 #include <cmath>
@@ -17,6 +20,7 @@
 
 #include "bench_util.h"
 #include "common/bruteforce.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/memgrid.h"
 #include "crtree/crtree.h"
@@ -63,6 +67,8 @@ int Main(int argc, char** argv) {
   const std::size_t n = flags.GetSize("n", 100000);
   const std::size_t reps = std::max<std::size_t>(1, flags.GetSize("reps", 5));
   const std::string dataset_name = flags.GetString("dataset", "neurons");
+  const auto threads = static_cast<std::uint32_t>(
+      flags.GetSize("threads", par::kThreadsAuto));
   JsonWriter json(flags.GetString("json", ""));
 
   bench::PrintHeader("Microbenchmarks: build/range/knn/update/self-join",
@@ -80,8 +86,10 @@ int Main(int argc, char** argv) {
     universe = ds.universe;
     elems = std::move(ds.elements);
   }
-  std::printf("dataset: %zu %s elements, universe side %.0f, reps %zu\n", n,
-              dataset_name.c_str(), universe.Extent().x, reps);
+  std::printf("dataset: %zu %s elements, universe side %.0f, reps %zu, "
+              "memgrid threads %u\n",
+              n, dataset_name.c_str(), universe.Extent().x, reps,
+              par::ResolveThreads(threads));
 
   const auto stats = grid::DatasetStats::Compute(elems, universe);
   const float grid_cell = std::max(
@@ -89,6 +97,7 @@ int Main(int argc, char** argv) {
       static_cast<float>(stats.max_extent) * 1.01f);
   core::MemGridConfig mg_cfg;
   mg_cfg.cell_size = grid_cell;
+  mg_cfg.threads = threads;
 
   datagen::RangeWorkloadConfig wl_cfg;
   wl_cfg.num_queries = 64;
@@ -249,6 +258,7 @@ int Main(int argc, char** argv) {
     json.Field("structure", r.structure);
     json.Field("dataset", dataset_name);
     json.Field("n", static_cast<double>(n));
+    json.Field("threads", static_cast<double>(par::ResolveThreads(threads)));
     json.Field("ns_per_op", r.ns_per_op);
     json.Field("ops_per_rep", r.ops);
   }

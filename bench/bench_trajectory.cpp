@@ -1,0 +1,253 @@
+// Perf trajectory gate (ROADMAP item): run bench_micro --json at the
+// committed baseline's scale and compare per-(kernel, structure) medians
+// against BENCH_micro.json.
+//
+// Gate metric: the MEDIAN of the per-record ns/op ratios (new / baseline).
+// Each bench_micro record is already a median over --reps repetitions, so a
+// single noisy kernel cannot fail the gate and a single lucky kernel cannot
+// mask a broad regression — the gate trips only when the bulk of the
+// kernels got slower than --max-regression (default 0.25, i.e. >25%).
+// Per-record outliers are reported as warnings for humans to chase.
+//
+// If the gate fails on genuinely different hardware (the baseline encodes
+// the machine it was measured on), regenerate the baseline with the
+// re-measure command printed on failure and commit the new BENCH_micro.json.
+//
+// Flags:
+//   --bench=<path>          bench_micro binary (required)
+//   --baseline=<path>       committed BENCH_micro.json (required)
+//   --json-out=<path>       where the fresh run writes its JSON
+//   --reps=<r>              repetitions per kernel (default 7)
+//   --max-regression=<f>    allowed median slowdown fraction (default 0.25)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace simspatial {
+namespace {
+
+using bench::Flags;
+
+using Record = std::map<std::string, std::string>;
+
+/// Minimal parser for the flat array-of-objects JSON that bench_util.h's
+/// JsonWriter emits ({string|number} fields only, no nesting).
+std::vector<Record> ParseRecords(const std::string& text, bool* ok) {
+  std::vector<Record> records;
+  *ok = true;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n' ||
+                               text[i] == '\t' || text[i] == '\r' ||
+                               text[i] == ',')) {
+      ++i;
+    }
+  };
+  const auto parse_string = [&](std::string* out) {
+    ++i;  // Opening quote.
+    out->clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      out->push_back(text[i++]);
+    }
+    if (i >= text.size()) {
+      *ok = false;
+      return;
+    }
+    ++i;  // Closing quote.
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '[') {
+    *ok = false;
+    return records;
+  }
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i >= text.size()) {
+      *ok = false;
+      return records;
+    }
+    if (text[i] == ']') return records;
+    if (text[i] != '{') {
+      *ok = false;
+      return records;
+    }
+    ++i;
+    Record rec;
+    for (;;) {
+      skip_ws();
+      if (i >= text.size()) {
+        *ok = false;
+        return records;
+      }
+      if (text[i] == '}') {
+        ++i;
+        break;
+      }
+      if (text[i] != '"') {
+        *ok = false;
+        return records;
+      }
+      std::string key, value;
+      parse_string(&key);
+      skip_ws();
+      if (!*ok || i >= text.size() || text[i] != ':') {
+        *ok = false;
+        return records;
+      }
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == '"') {
+        parse_string(&value);
+      } else {
+        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+               text[i] != '\n') {
+          value.push_back(text[i++]);
+        }
+        while (!value.empty() && value.back() == ' ') value.pop_back();
+      }
+      if (!*ok) return records;
+      rec[key] = value;
+    }
+    records.push_back(std::move(rec));
+  }
+}
+
+std::vector<Record> LoadRecords(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trajectory: cannot read %s\n", path.c_str());
+    *ok = false;
+    return {};
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseRecords(buf.str(), ok);
+}
+
+std::string Get(const Record& r, const std::string& key) {
+  const auto it = r.find(key);
+  return it == r.end() ? std::string() : it->second;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string bench = flags.GetString("bench", "");
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const std::string out_path =
+      flags.GetString("json-out", "BENCH_micro.gate.json");
+  const std::size_t reps = flags.GetSize("reps", 7);
+  const double max_regression = flags.GetDouble("max-regression", 0.25);
+  if (bench.empty() || baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_trajectory --bench=<bench_micro> "
+                 "--baseline=<BENCH_micro.json> [--json-out=...] "
+                 "[--reps=N] [--max-regression=F]\n");
+    return 2;
+  }
+
+  bool ok = true;
+  const auto baseline = LoadRecords(baseline_path, &ok);
+  if (!ok || baseline.empty()) {
+    std::fprintf(stderr, "trajectory: baseline %s is empty or malformed\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  // The fresh run must reproduce the baseline's conditions (scale, dataset,
+  // serial kernels) or the per-record ratios are meaningless.
+  const std::string n = Get(baseline.front(), "n");
+  const std::string dataset = Get(baseline.front(), "dataset");
+  if (n.empty() || dataset.empty()) {
+    std::fprintf(stderr, "trajectory: baseline lacks n/dataset fields\n");
+    return 2;
+  }
+  const std::string cmd = "\"" + bench + "\" --n=" + n + " --dataset=" +
+                          dataset + " --reps=" + std::to_string(reps) +
+                          " --threads=1 --json=\"" + out_path + "\"";
+  std::printf("trajectory: %s\n", cmd.c_str());
+  std::fflush(stdout);
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "trajectory: bench run failed\n");
+    return 2;
+  }
+  const auto fresh = LoadRecords(out_path, &ok);
+  if (!ok || fresh.empty()) {
+    std::fprintf(stderr, "trajectory: fresh run produced no records\n");
+    return 2;
+  }
+
+  std::map<std::pair<std::string, std::string>, double> fresh_ns;
+  for (const Record& r : fresh) {
+    fresh_ns[{Get(r, "kernel"), Get(r, "structure")}] =
+        std::atof(Get(r, "ns_per_op").c_str());
+  }
+  std::vector<double> ratios;
+  std::printf("\n%-14s %-18s %12s %12s %8s\n", "kernel", "structure",
+              "base ns/op", "new ns/op", "ratio");
+  int matched = 0;
+  std::vector<std::string> outliers;
+  for (const Record& r : baseline) {
+    const auto key = std::make_pair(Get(r, "kernel"), Get(r, "structure"));
+    const auto it = fresh_ns.find(key);
+    const double base = std::atof(Get(r, "ns_per_op").c_str());
+    if (it == fresh_ns.end() || base <= 0.0 || it->second <= 0.0) {
+      std::printf("%-14s %-18s %12.1f %12s %8s (no match — skipped)\n",
+                  key.first.c_str(), key.second.c_str(), base, "-", "-");
+      continue;
+    }
+    const double ratio = it->second / base;
+    ratios.push_back(ratio);
+    ++matched;
+    std::printf("%-14s %-18s %12.1f %12.1f %8.3f\n", key.first.c_str(),
+                key.second.c_str(), base, it->second, ratio);
+    if (ratio > 1.0 + 2.0 * max_regression) {
+      outliers.push_back(key.first + "/" + key.second);
+    }
+  }
+  if (matched < 3) {
+    std::fprintf(stderr,
+                 "trajectory: only %d records matched the baseline — "
+                 "regenerate BENCH_micro.json\n",
+                 matched);
+    return 2;
+  }
+  const double median_ratio = Median(ratios);
+  std::printf("\ntrajectory: %d kernels matched, median ns/op ratio %.3f "
+              "(gate at %.3f)\n",
+              matched, median_ratio, 1.0 + max_regression);
+  for (const std::string& o : outliers) {
+    std::printf("warning: %s slowed by >%.0f%% (individual kernels do not "
+                "gate; investigate if persistent)\n",
+                o.c_str(), 200.0 * max_regression);
+  }
+  if (median_ratio > 1.0 + max_regression) {
+    std::fprintf(stderr,
+                 "trajectory: REGRESSION — median slowdown %.1f%% exceeds "
+                 "%.0f%%. If the hardware changed rather than the code, "
+                 "re-measure the baseline:\n  %s\nand commit it over %s\n",
+                 100.0 * (median_ratio - 1.0), 100.0 * max_regression,
+                 cmd.c_str(), baseline_path.c_str());
+    return 1;
+  }
+  std::printf("trajectory: OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace simspatial
+
+int main(int argc, char** argv) { return simspatial::Main(argc, argv); }

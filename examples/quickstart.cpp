@@ -20,8 +20,14 @@ int main() {
               "a 285^3 um universe");
 
   // 2. Any index in the registry behind one interface. "memgrid" is the
-  //    library's flagship: grid-based, O(n) rebuild, O(1) updates.
-  auto index = core::MakeIndex("memgrid");
+  //    library's flagship: grid-based, O(n) rebuild, O(1) updates. The
+  //    heavy whole-structure kernels (Build, batch updates, self-join) run
+  //    on a worker pool sized by MemGridConfig::threads — the default
+  //    resolves to the hardware concurrency, 0 forces the serial paths,
+  //    and results are identical at any thread count. Pass it through the
+  //    registry via IndexOptions (or set cfg.threads when constructing a
+  //    core::MemGrid directly).
+  auto index = core::MakeIndex("memgrid", core::IndexOptions{.threads = 4});
   index->Build(ds.elements, ds.universe);
 
   // 3. Range query: everything within a 10 um box around the centre.

@@ -1,0 +1,233 @@
+// SimSpatial — minimal deterministic parallel runtime.
+//
+// The paper's index (MemGrid) is share-nothing per cell, so its heavy
+// kernels — the O(n) counting-scatter Build, the forward-neighbour SelfJoin
+// sweep and the ApplyUpdates migration classification — parallelise with
+// plain static partitioning: split the input into `t` contiguous chunks,
+// give every worker one chunk, merge in chunk order. No work stealing, no
+// task queue, no atomics on the data path. The payoff of keeping the
+// partitioning static is *determinism*: chunk boundaries depend only on
+// (n, t), so any result assembled in chunk order is bit-identical to the
+// serial result regardless of scheduling — which is what the parallel
+// determinism battery (tests/parallel_test.cpp) asserts.
+//
+// The pool itself is the simplest shape that supports this: one
+// `std::thread` per worker, each with its own job slot (mutex + condition
+// variable + function pointer). `Run(k, fn)` writes the job into k-1 slots,
+// executes slot 0 on the calling thread, and waits for the stragglers.
+// Dispatches are serialized — two user threads cannot interleave partial
+// fan-outs — matching the per-rank execution model the library targets
+// (indices themselves stay externally single-threaded; the pool is an
+// internal accelerator for whole-structure operations).
+
+#ifndef SIMSPATIAL_COMMON_PARALLEL_H_
+#define SIMSPATIAL_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/threads.h"  // par::kThreadsAuto
+
+namespace simspatial::par {
+
+/// Resolve a user-facing thread knob: kThreadsAuto picks the hardware
+/// concurrency (at least 1); anything else is taken literally (0 and 1 both
+/// select the serial code paths in the callers).
+inline std::uint32_t ResolveThreads(std::uint32_t requested) {
+  if (requested != kThreadsAuto) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : static_cast<std::uint32_t>(hw);
+}
+
+/// Work-stealing-free thread pool: per-worker job slots, static dispatch.
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    for (auto& w : workers_) {
+      {
+        std::lock_guard<std::mutex> lk(w->m);
+        w->stop = true;
+      }
+      w->cv.notify_one();
+    }
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+
+  /// Process-wide pool, grown on demand. Dispatches are serialized, so
+  /// concurrent callers take turns; a NESTED dispatch (Run invoked from
+  /// inside a running slot) degrades to serial in-thread execution instead
+  /// of deadlocking on the dispatch lock.
+  static ThreadPool& Global() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// Invoke fn(slot) for slot in [0, slots): slot 0 runs on the calling
+  /// thread, slots 1..slots-1 on pool workers. Blocks until all return —
+  /// including when a slot throws: the first exception (from any slot) is
+  /// rethrown here only after every worker has finished, so caller-owned
+  /// state referenced by fn never outlives its users.
+  void Run(std::size_t slots, const std::function<void(std::size_t)>& fn) {
+    if (slots <= 1 || InDispatch()) {
+      // Serial fallback: trivially for <= 1 slot, and for nested dispatch
+      // (this thread is already executing a slot) where taking run_m_
+      // would deadlock against the outer fan-out.
+      for (std::size_t s = 0; s < slots; ++s) fn(s);
+      return;
+    }
+    std::lock_guard<std::mutex> serialize(run_m_);
+    EnsureWorkers(slots - 1);
+    {
+      std::lock_guard<std::mutex> lk(done_m_);
+      pending_ = slots - 1;
+      error_ = nullptr;
+    }
+    for (std::size_t i = 0; i + 1 < slots; ++i) {
+      Worker& w = *workers_[i];
+      {
+        std::lock_guard<std::mutex> lk(w.m);
+        w.job = &fn;
+        w.slot = i + 1;
+      }
+      w.cv.notify_one();
+    }
+    try {
+      InDispatch() = true;
+      fn(0);
+      InDispatch() = false;
+    } catch (...) {
+      InDispatch() = false;
+      RecordError(std::current_exception());
+    }
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lk(done_m_);
+      done_cv_.wait(lk, [&] { return pending_ == 0; });
+      error = error_;
+      error_ = nullptr;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  struct Worker {
+    std::mutex m;
+    std::condition_variable cv;
+    const std::function<void(std::size_t)>* job = nullptr;  // Guarded by m.
+    std::size_t slot = 0;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void EnsureWorkers(std::size_t needed) {
+    while (workers_.size() < needed) {
+      auto w = std::make_unique<Worker>();
+      Worker* raw = w.get();
+      raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+      workers_.push_back(std::move(w));
+    }
+  }
+
+  void WorkerLoop(Worker* w) {
+    for (;;) {
+      const std::function<void(std::size_t)>* job = nullptr;
+      std::size_t slot = 0;
+      {
+        std::unique_lock<std::mutex> lk(w->m);
+        w->cv.wait(lk, [&] { return w->stop || w->job != nullptr; });
+        if (w->job == nullptr) return;  // stop with no pending job.
+        job = w->job;
+        slot = w->slot;
+      }
+      try {
+        InDispatch() = true;
+        (*job)(slot);
+        InDispatch() = false;
+      } catch (...) {
+        InDispatch() = false;
+        RecordError(std::current_exception());
+      }
+      {
+        std::lock_guard<std::mutex> lk(w->m);
+        w->job = nullptr;
+        if (w->stop) {
+          NotifyDone();
+          return;
+        }
+      }
+      NotifyDone();
+    }
+  }
+
+  void NotifyDone() {
+    {
+      std::lock_guard<std::mutex> lk(done_m_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+
+  /// True while the current thread is executing a Run slot (nested-dispatch
+  /// detection; per-thread, so no synchronization needed).
+  static bool& InDispatch() {
+    static thread_local bool in_dispatch = false;
+    return in_dispatch;
+  }
+
+  void RecordError(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(done_m_);
+    if (error_ == nullptr) error_ = std::move(e);
+  }
+
+  std::mutex run_m_;  ///< Serializes whole dispatches.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex done_m_;
+  std::size_t pending_ = 0;              ///< Guarded by done_m_.
+  std::exception_ptr error_ = nullptr;   ///< First slot failure; ditto.
+  std::condition_variable done_cv_;
+};
+
+/// Number of contiguous chunks for `n` items at `grain` items per chunk,
+/// never exceeding `threads`. Depends only on its arguments, so callers
+/// that invoke ParallelChunks twice (count pass + scatter pass) get the
+/// same partition both times.
+inline std::size_t ChunkCount(std::uint32_t threads, std::size_t n,
+                              std::size_t grain) {
+  if (threads <= 1 || n == 0) return 1;
+  const std::size_t by_grain = grain == 0 ? n : n / grain;
+  const std::size_t t = std::min<std::size_t>(threads, by_grain);
+  return t == 0 ? 1 : t;
+}
+
+/// Run fn(chunk, begin, end) over [0, n) split into exactly `chunks`
+/// contiguous ranges (some possibly empty when chunks > n). Chunk
+/// boundaries are a pure function of (n, chunks).
+template <typename Fn>
+void ParallelChunks(std::size_t chunks, std::size_t n, Fn&& fn) {
+  if (chunks <= 1) {
+    fn(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  ThreadPool::Global().Run(chunks, [&](std::size_t w) {
+    fn(w, n * w / chunks, n * (w + 1) / chunks);
+  });
+}
+
+}  // namespace simspatial::par
+
+#endif  // SIMSPATIAL_COMMON_PARALLEL_H_

@@ -1,0 +1,20 @@
+// SimSpatial — the user-facing worker-thread sentinel, split out so public
+// interface headers (core/spatial_index.h, core/memgrid.h) can default
+// their thread knobs without pulling the whole thread-pool implementation
+// (<thread>, <mutex>, <condition_variable>) into every translation unit.
+
+#ifndef SIMSPATIAL_COMMON_THREADS_H_
+#define SIMSPATIAL_COMMON_THREADS_H_
+
+#include <cstdint>
+
+namespace simspatial::par {
+
+/// Sentinel thread count: resolve to std::thread::hardware_concurrency()
+/// (see par::ResolveThreads in common/parallel.h). 0 selects the serial
+/// code paths in every consumer.
+inline constexpr std::uint32_t kThreadsAuto = 0xffffffffu;
+
+}  // namespace simspatial::par
+
+#endif  // SIMSPATIAL_COMMON_THREADS_H_

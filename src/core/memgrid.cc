@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace simspatial::core {
 
 namespace {
@@ -12,10 +14,33 @@ constexpr std::size_t kMaxCellsPerAxis = 1024;
 /// relocation churn: a re-layout is O(cells), which can dwarf a tiny
 /// dataset, and the absolute waste is bounded by this constant anyway.
 constexpr std::size_t kMinEntriesForRelayout = 4096;
+/// Minimum items per worker chunk for the parallel Build / ApplyUpdates
+/// passes; below this the pool dispatch costs more than it saves.
+constexpr std::size_t kParallelGrain = 1024;
+/// Cap on the combined footprint of the per-thread count arrays
+/// (slots, i.e. 4 bytes each): threads are shed before the counting pass
+/// would allocate more than ~64 MB across workers.
+constexpr std::size_t kMaxCountSlots = std::size_t{1} << 24;
+/// The 13 lexicographically-forward neighbour offsets of the §4.3 sweep.
+constexpr int kForward[13][3] = {
+    {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},   {1, -1, 0},
+    {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1},  {1, 1, 1},
+    {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+/// The single definition of the self-join predicate (eps == 0 ->
+/// intersection, eps > 0 -> box distance), shared by the widened-reach
+/// fallback and the slab sweep.
+struct PairPredicate {
+  float eps;
+  float eps2;
+  bool operator()(const AABB& a, const AABB& b) const {
+    return eps > 0.0f ? a.SquaredDistanceTo(b) <= eps2 : a.Intersects(b);
+  }
+};
 }  // namespace
 
 MemGrid::MemGrid(const AABB& universe, MemGridConfig config)
-    : universe_(universe), config_(config) {
+    : universe_(universe), config_(config),
+      threads_(par::ResolveThreads(config.threads)) {
   const Vec3 ext = universe.Extent();
   const float side = std::max({ext.x, ext.y, ext.z, 1e-6f});
   cell_ = config.cell_size > 0.0f ? config.cell_size : side / 64.0f;
@@ -73,6 +98,19 @@ void MemGrid::Build(std::span<const Element> elements) {
   size_ = elements.size();
   dead_ = 0;
 
+  // Chunk count: bounded by the thread knob, the per-chunk grain, and the
+  // footprint of the per-thread count arrays (chunks * cells slots).
+  std::size_t chunks =
+      par::ChunkCount(threads_, elements.size(), kParallelGrain);
+  while (chunks > 1 && chunks * regions_.size() > kMaxCountSlots) --chunks;
+  if (chunks > 1) {
+    BuildParallel(elements, chunks);
+  } else {
+    BuildSerial(elements);
+  }
+}
+
+void MemGrid::BuildSerial(std::span<const Element> elements) {
   // Pass 1: per-cell occupancy and the id range; pass 2: lay out regions
   // in cell order with slack; pass 3: scatter. This is the O(n) "cheap
   // rebuild" — no per-bucket allocations, one flat block.
@@ -101,6 +139,97 @@ void MemGrid::Build(std::span<const Element> elements) {
     slots_[e.id] =
         Slot{static_cast<std::uint32_t>(&r - regions_.data()), pos};
   }
+}
+
+void MemGrid::BuildParallel(std::span<const Element> elements,
+                            std::size_t chunks) {
+  // Same three passes as BuildSerial, chunk-partitioned. Entries land at
+  // the exact positions the serial scatter would choose: within a cell,
+  // chunk c's elements precede chunk c+1's and keep their input order, so
+  // the concatenation over chunks IS the input order — the layout (and
+  // therefore every downstream query result) is bit-identical to serial.
+  const std::size_t n = elements.size();
+#ifndef NDEBUG
+  {
+    // Debug-parity with BuildSerial's duplicate-id assert: a duplicate id
+    // would make two scatter chunks race on the same slots_ entry, so
+    // diagnose it deterministically before fanning out.
+    std::vector<std::uint8_t> seen;
+    for (const Element& e : elements) {
+      if (e.id >= seen.size()) seen.resize(static_cast<std::size_t>(e.id) + 1);
+      assert(!seen[e.id] && "duplicate element id in Build");
+      seen[e.id] = 1;
+    }
+  }
+#endif
+  // Pass 1 (parallel): per-chunk cell ids, per-(chunk, cell) occupancy,
+  // id-range and half-extent reductions. Scratch lives in members so a
+  // rebuild-every-step loop allocates only on its first step.
+  scratch_cell_of_.resize(n);
+  std::vector<std::uint32_t>& cell_of = scratch_cell_of_;
+  if (scratch_chunk_counts_.size() < chunks) {
+    scratch_chunk_counts_.resize(chunks);
+  }
+  std::vector<std::vector<std::uint32_t>>& counts = scratch_chunk_counts_;
+  std::vector<ElementId> chunk_max_id(chunks, 0);
+  std::vector<float> chunk_mhe(chunks, 0.0f);
+  par::ParallelChunks(chunks, n, [&](std::size_t w, std::size_t begin,
+                                     std::size_t end) {
+    std::vector<std::uint32_t>& c = counts[w];
+    c.assign(regions_.size(), 0);
+    ElementId max_id = 0;
+    float mhe = 0.0f;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Element& e = elements[i];
+      const auto cell = static_cast<std::uint32_t>(CellOf(e.Center()));
+      cell_of[i] = cell;
+      ++c[cell];
+      max_id = std::max(max_id, e.id);
+      const Vec3 ext = e.box.Extent();
+      mhe = std::max({mhe, ext.x * 0.5f, ext.y * 0.5f, ext.z * 0.5f});
+    }
+    chunk_max_id[w] = max_id;
+    chunk_mhe[w] = mhe;
+  });
+  ElementId max_id = 0;
+  for (std::size_t w = 0; w < chunks; ++w) {
+    max_id = std::max(max_id, chunk_max_id[w]);
+    max_half_extent_ = std::max(max_half_extent_, chunk_mhe[w]);
+  }
+
+  // Pass 2 (serial): region layout in cell order; the per-(chunk, cell)
+  // counts become absolute write cursors for the scatter.
+  std::size_t total = 0;
+  for (std::size_t cell = 0; cell < regions_.size(); ++cell) {
+    std::uint32_t count = 0;
+    for (std::size_t w = 0; w < chunks; ++w) count += counts[w][cell];
+    regions_[cell] =
+        Region{static_cast<std::uint32_t>(total), SlackedCap(count), count};
+    auto cursor = static_cast<std::uint32_t>(total);
+    for (std::size_t w = 0; w < chunks; ++w) {
+      const std::uint32_t k = counts[w][cell];
+      counts[w][cell] = cursor;
+      cursor += k;
+    }
+    total += regions_[cell].cap;
+  }
+  entries_.assign(total, Entry{});
+  layout_budget_ = total;
+  slots_.assign(n == 0 ? 0 : static_cast<std::size_t>(max_id) + 1, Slot{});
+
+  // Pass 3 (parallel scatter): chunk cursors are disjoint by construction,
+  // and ids are unique, so every entries_/slots_ store has one writer.
+  par::ParallelChunks(chunks, n, [&](std::size_t w, std::size_t begin,
+                                     std::size_t end) {
+    std::vector<std::uint32_t>& cursor = counts[w];
+    for (std::size_t i = begin; i < end; ++i) {
+      const Element& e = elements[i];
+      const std::uint32_t cell = cell_of[i];
+      const std::uint32_t pos = cursor[cell]++;
+      entries_[pos] = Entry{e.box, e.id};
+      slots_[e.id] = Slot{cell, pos};
+    }
+  });
 }
 
 void MemGrid::RemoveFromCell(std::uint32_t cell, std::uint32_t pos) {
@@ -229,20 +358,51 @@ std::size_t MemGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
   };
   std::vector<Migration> staged;
   std::size_t applied = 0;
-  // One pass: in-place writes land immediately; migrations are staged so
-  // they can be grouped by destination cell. The max-half-extent bound is
-  // reduced once over the whole batch instead of per element.
+  // Classification (destination cell + half-extent of every update) reads
+  // only the boxes, so it fans out across the pool; the structural phase
+  // below stays serial and is order-identical to the all-serial path — the
+  // parallel path is therefore deterministic by construction.
+  const std::size_t chunks =
+      par::ChunkCount(threads_, updates.size(), kParallelGrain);
+  if (chunks > 1) {
+    // Member scratch, not locals: a simulation calls this every step with
+    // a same-sized batch, so after the first step this path allocates
+    // nothing.
+    scratch_cells_.resize(updates.size());
+    scratch_mhe_.resize(updates.size());
+    par::ParallelChunks(chunks, updates.size(),
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            const AABB& box = updates[i].new_box;
+                            scratch_cells_[i] = static_cast<std::uint32_t>(
+                                CellOf(box.Center()));
+                            const Vec3 ext = box.Extent();
+                            scratch_mhe_[i] = std::max(
+                                {ext.x, ext.y, ext.z}) * 0.5f;
+                          }
+                        });
+  }
+  // One serial pass: in-place writes land immediately; migrations are
+  // staged so they can be grouped by destination cell. The max-half-extent
+  // bound is reduced once over the whole batch instead of per element.
   float batch_mhe = max_half_extent_;
-  for (const ElementUpdate& u : updates) {
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const ElementUpdate& u = updates[i];
     if (u.id >= slots_.size()) continue;
     const Slot s = slots_[u.id];
     if (s.cell == kNoCell) continue;
-    const Vec3 ext = u.new_box.Extent();
-    batch_mhe = std::max({batch_mhe, ext.x * 0.5f, ext.y * 0.5f,
-                          ext.z * 0.5f});
+    if (chunks > 1) {
+      batch_mhe = std::max(batch_mhe, scratch_mhe_[i]);
+    } else {
+      const Vec3 ext = u.new_box.Extent();
+      batch_mhe = std::max({batch_mhe, ext.x * 0.5f, ext.y * 0.5f,
+                            ext.z * 0.5f});
+    }
     ++applied;
     ++update_stats_.updates;
-    const auto new_cell = static_cast<std::uint32_t>(CellOf(u.new_box.Center()));
+    const auto new_cell =
+        chunks > 1 ? scratch_cells_[i]
+                   : static_cast<std::uint32_t>(CellOf(u.new_box.Center()));
     if (s.cell == kPendingCell) {
       // Same id updated twice in one batch: overwrite the staged move.
       staged[s.pos].box = u.new_box;
@@ -454,10 +614,6 @@ void MemGrid::SelfJoin(float eps,
         std::min(wanted, static_cast<double>(kMaxCellsPerAxis)));
   }
 
-  static constexpr int kForward[13][3] = {
-      {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},   {1, -1, 0},
-      {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1},  {1, 1, 1},
-      {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
   // Reach beyond the grid dimensions is unreachable — clamping per axis
   // bounds the widened sweep by the grid itself (degenerate configs like a
   // huge element in a fine grid would otherwise enumerate O(reach^3)
@@ -466,10 +622,7 @@ void MemGrid::SelfJoin(float eps,
   const int ry = std::min<int>(reach, static_cast<int>(ny_) - 1);
   const int rz = std::min<int>(reach, static_cast<int>(nz_) - 1);
 
-  const float eps2 = eps * eps;
-  const auto matches = [&](const AABB& a, const AABB& b) {
-    return eps > 0.0f ? a.SquaredDistanceTo(b) <= eps2 : a.Intersects(b);
-  };
+  const PairPredicate matches{eps, eps * eps};
 
   if (reach > 1) {
     // When the widened sweep visits about as many cells per bucket as
@@ -491,7 +644,45 @@ void MemGrid::SelfJoin(float eps,
     }
   }
 
-  for (std::size_t xi = 0; xi < nx_; ++xi) {
+  // Slab parallelism: contiguous x-ranges of origin cells. An origin cell
+  // may compare against neighbour cells in the next slab (read-only), but
+  // the forward convention means each pair belongs to exactly one origin
+  // cell; concatenating slab outputs in slab order reproduces the serial
+  // emission order pair-for-pair. Tiny joins (the per-step monitoring
+  // path at small n) stay serial — pool dispatch and per-slab buffers
+  // would dominate a microsecond-scale sweep.
+  const std::size_t slabs =
+      size_ < kParallelGrain ? 1 : par::ChunkCount(threads_, nx_, /*grain=*/1);
+  if (slabs <= 1) {
+    SweepSlab(0, nx_, rx, ry, rz, /*fast13=*/reach == 1, eps, out, &c);
+  } else {
+    std::vector<std::vector<std::pair<ElementId, ElementId>>> parts(slabs);
+    std::vector<QueryCounters> part_counters(slabs);
+    par::ParallelChunks(slabs, nx_,
+                        [&](std::size_t w, std::size_t begin,
+                            std::size_t end) {
+                          SweepSlab(begin, end, rx, ry, rz,
+                                    /*fast13=*/reach == 1, eps, &parts[w],
+                                    &part_counters[w]);
+                        });
+    std::size_t total_pairs = out->size();
+    for (const auto& part : parts) total_pairs += part.size();
+    out->reserve(total_pairs);
+    for (std::size_t w = 0; w < slabs; ++w) {
+      out->insert(out->end(), parts[w].begin(), parts[w].end());
+      c += part_counters[w];
+    }
+  }
+  c.results += out->size();
+}
+
+void MemGrid::SweepSlab(std::size_t x_begin, std::size_t x_end, int rx,
+                        int ry, int rz, bool fast13, float eps,
+                        std::vector<std::pair<ElementId, ElementId>>* out,
+                        QueryCounters* counters) const {
+  QueryCounters& c = *counters;
+  const PairPredicate matches{eps, eps * eps};
+  for (std::size_t xi = x_begin; xi < x_end; ++xi) {
     for (std::size_t yi = 0; yi < ny_; ++yi) {
       for (std::size_t zi = 0; zi < nz_; ++zi) {
         const std::size_t cell = CellIndex(
@@ -522,7 +713,7 @@ void MemGrid::SelfJoin(float eps,
           EmitMatches(bucket, bucket_n, other, other_n, /*same_run=*/false,
                       matches, out, &c);
         };
-        if (reach == 1) {
+        if (fast13) {
           for (const auto& d : kForward) visit(d[0], d[1], d[2]);
         } else {
           // All lexicographically-forward offsets within the widened
@@ -538,7 +729,6 @@ void MemGrid::SelfJoin(float eps,
       }
     }
   }
-  c.results += out->size();
 }
 
 MemGridShape MemGrid::Shape() const {

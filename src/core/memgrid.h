@@ -64,6 +64,7 @@
 
 #include "common/counters.h"
 #include "common/element.h"
+#include "common/threads.h"
 
 namespace simspatial::core {
 
@@ -81,6 +82,14 @@ struct MemGridConfig {
   /// Extra layout slack proportional to a cell's population:
   /// cap = count + max(min_slack, count * slack_fraction).
   float slack_fraction = 0.0f;
+  /// Worker threads for the whole-structure kernels — Build (per-thread
+  /// counting scatter), SelfJoin (x-slab partitioned sweep) and
+  /// ApplyUpdates (parallel migration classification). The default
+  /// (par::kThreadsAuto) resolves to std::thread::hardware_concurrency();
+  /// 0 preserves the serial paths verbatim (1 is equivalent: a one-chunk
+  /// partition IS the serial loop). Every parallel path is deterministic:
+  /// results are element-for-element identical across thread counts.
+  std::uint32_t threads = par::kThreadsAuto;
 };
 
 struct MemGridShape {
@@ -208,6 +217,20 @@ class MemGrid {
                           std::vector<std::pair<ElementId, ElementId>>* out,
                           QueryCounters* c);
 
+  /// Forward-neighbour sweep over origin cells with x in [x_begin, x_end).
+  /// Neighbour cells may lie outside the slab (read-only), but every pair is
+  /// emitted by exactly one origin cell, so disjoint slabs emit disjoint
+  /// pair sets and slab-order concatenation reproduces the serial output.
+  void SweepSlab(std::size_t x_begin, std::size_t x_end, int rx, int ry,
+                 int rz, bool fast13, float eps,
+                 std::vector<std::pair<ElementId, ElementId>>* out,
+                 QueryCounters* c) const;
+
+  /// Serial counting scatter (the pre-parallel Build body, kept verbatim
+  /// for threads <= 1) and its chunked parallel counterpart.
+  void BuildSerial(std::span<const Element> elements);
+  void BuildParallel(std::span<const Element> elements, std::size_t chunks);
+
   AABB universe_;
   float cell_ = 1.0f;
   float inv_cell_ = 1.0f;
@@ -215,6 +238,8 @@ class MemGrid {
   std::size_t ny_ = 1;
   std::size_t nz_ = 1;
   MemGridConfig config_;
+  /// config_.threads resolved once (kThreadsAuto -> hardware concurrency).
+  std::uint32_t threads_ = 1;
 
   std::vector<Entry> entries_;   ///< The one flat slack-CSR block.
   std::vector<Region> regions_;  ///< Per-cell region descriptors.
@@ -228,6 +253,17 @@ class MemGrid {
   /// Largest half-extent ever seen; probe inflation bound.
   float max_half_extent_ = 0.0f;
   MemGridUpdateStats update_stats_;
+
+  /// Reused scratch for ApplyUpdates' parallel classification phase
+  /// (destination cell + half-extent per update), kept across batches so
+  /// the per-step update path stays allocation-free.
+  std::vector<std::uint32_t> scratch_cells_;
+  std::vector<float> scratch_mhe_;
+  /// Reused scratch for BuildParallel (per-element cell ids, per-chunk
+  /// count/cursor arrays) — a rebuild-every-step policy calls Build per
+  /// step, so its scratch is kept across calls too.
+  std::vector<std::uint32_t> scratch_cell_of_;
+  std::vector<std::vector<std::uint32_t>> scratch_chunk_counts_;
 };
 
 }  // namespace simspatial::core

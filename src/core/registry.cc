@@ -261,14 +261,16 @@ class MemGridAdapter final : public SpatialIndex {
     std::uint32_t min_slack;
     float slack_fraction;
   };
-  MemGridAdapter(std::string name, SlackProfile slack)
-      : name_(std::move(name)), slack_(slack) {}
+  MemGridAdapter(std::string name, SlackProfile slack,
+                 const IndexOptions& options)
+      : name_(std::move(name)), slack_(slack), threads_(options.threads) {}
   std::string_view name() const override { return name_; }
   void Build(std::span<const Element> elements, const AABB& u) override {
     MemGridConfig cfg;
     cfg.cell_size = DefaultCell(elements, u);
     cfg.min_slack = slack_.min_slack;
     cfg.slack_fraction = slack_.slack_fraction;
+    cfg.threads = threads_;
     grid_ = std::make_unique<MemGrid>(u, cfg);
     grid_->Build(elements);
   }
@@ -290,10 +292,14 @@ class MemGridAdapter final : public SpatialIndex {
   std::size_t MemoryBytes() const override {
     return grid_ != nullptr ? grid_->Shape().bytes : 0;
   }
+  bool CheckInvariants(std::string* error) const override {
+    return grid_ == nullptr || grid_->CheckInvariants(error);
+  }
 
  private:
   std::string name_;
   SlackProfile slack_;
+  std::uint32_t threads_;
   std::unique_ptr<MemGrid> grid_;
 };
 
@@ -329,47 +335,61 @@ class LshAdapter final : public SpatialIndex {
 
 struct RegistryEntry {
   const char* name;
-  std::function<std::unique_ptr<SpatialIndex>()> make;
+  std::function<std::unique_ptr<SpatialIndex>(const IndexOptions&)> make;
 };
 
 const std::vector<RegistryEntry>& Registry() {
   static const std::vector<RegistryEntry> kRegistry = {
-      {"linear-scan", [] { return std::make_unique<LinearScanAdapter>(); }},
+      {"linear-scan",
+       [](const IndexOptions&) {
+         return std::make_unique<LinearScanAdapter>();
+       }},
       {"rtree",
-       [] {
+       [](const IndexOptions&) {
          return std::make_unique<RTreeAdapter>("rtree", /*bulk=*/false,
                                                rtree::RTreeOptions{});
        }},
       {"rtree-str",
-       [] {
+       [](const IndexOptions&) {
          return std::make_unique<RTreeAdapter>("rtree-str", /*bulk=*/true,
                                                rtree::RTreeOptions{});
        }},
       {"rstar",
-       [] {
+       [](const IndexOptions&) {
          rtree::RTreeOptions o;
          o.forced_reinsert = true;
          return std::make_unique<RTreeAdapter>("rstar", /*bulk=*/false, o);
        }},
-      {"cr-tree", [] { return std::make_unique<CRTreeAdapter>(); }},
-      {"kd-tree", [] { return std::make_unique<KdTreeAdapter>(); }},
-      {"octree", [] { return std::make_unique<OctreeAdapter>(); }},
+      {"cr-tree",
+       [](const IndexOptions&) { return std::make_unique<CRTreeAdapter>(); }},
+      {"kd-tree",
+       [](const IndexOptions&) { return std::make_unique<KdTreeAdapter>(); }},
+      {"octree",
+       [](const IndexOptions&) { return std::make_unique<OctreeAdapter>(); }},
       {"loose-octree",
-       [] { return std::make_unique<LooseOctreeAdapter>(); }},
+       [](const IndexOptions&) {
+         return std::make_unique<LooseOctreeAdapter>();
+       }},
       {"uniform-grid",
-       [] { return std::make_unique<UniformGridAdapter>(); }},
-      {"multigrid", [] { return std::make_unique<MultiGridAdapter>(); }},
+       [](const IndexOptions&) {
+         return std::make_unique<UniformGridAdapter>();
+       }},
+      {"multigrid",
+       [](const IndexOptions&) {
+         return std::make_unique<MultiGridAdapter>();
+       }},
       {"memgrid",
-       [] {
+       [](const IndexOptions& o) {
          return std::make_unique<MemGridAdapter>(
-             "memgrid", MemGridAdapter::SlackProfile{0, 0.0f});
+             "memgrid", MemGridAdapter::SlackProfile{0, 0.0f}, o);
        }},
       {"memgrid-padded",
-       [] {
+       [](const IndexOptions& o) {
          return std::make_unique<MemGridAdapter>(
-             "memgrid-padded", MemGridAdapter::SlackProfile{2, 0.25f});
+             "memgrid-padded", MemGridAdapter::SlackProfile{2, 0.25f}, o);
        }},
-      {"lsh", [] { return std::make_unique<LshAdapter>(); }},
+      {"lsh",
+       [](const IndexOptions&) { return std::make_unique<LshAdapter>(); }},
   };
   return kRegistry;
 }
@@ -377,8 +397,13 @@ const std::vector<RegistryEntry>& Registry() {
 }  // namespace
 
 std::unique_ptr<SpatialIndex> MakeIndex(std::string_view name) {
+  return MakeIndex(name, IndexOptions{});
+}
+
+std::unique_ptr<SpatialIndex> MakeIndex(std::string_view name,
+                                        const IndexOptions& options) {
   for (const RegistryEntry& e : Registry()) {
-    if (name == e.name) return e.make();
+    if (name == e.name) return e.make(options);
   }
   return nullptr;
 }

@@ -16,6 +16,7 @@
 
 #include "common/counters.h"
 #include "common/element.h"
+#include "common/threads.h"
 
 namespace simspatial::core {
 
@@ -62,11 +63,29 @@ class SpatialIndex {
 
   /// Approximate structure footprint in bytes (0 = not reported).
   virtual std::size_t MemoryBytes() const { return 0; }
+
+  /// Structural self-check (used by the differential batteries between
+  /// phases). Structures without one report healthy.
+  virtual bool CheckInvariants(std::string* error) const {
+    (void)error;
+    return true;
+  }
+};
+
+/// Cross-cutting construction knobs applied by MakeIndex to structures
+/// that support them (currently the MemGrid profiles' worker-thread knob;
+/// other adapters ignore it).
+struct IndexOptions {
+  /// Worker threads for parallel-capable structures: par::kThreadsAuto
+  /// resolves to the hardware concurrency, 0 forces the serial paths.
+  std::uint32_t threads = par::kThreadsAuto;
 };
 
 /// Construct an index by registry name (see registry.cc). Returns nullptr
 /// for unknown names.
 std::unique_ptr<SpatialIndex> MakeIndex(std::string_view name);
+std::unique_ptr<SpatialIndex> MakeIndex(std::string_view name,
+                                        const IndexOptions& options);
 
 /// All registered index names, in presentation order.
 std::vector<std::string> AllIndexNames();

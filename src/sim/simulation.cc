@@ -89,7 +89,8 @@ Simulation::Simulation(std::vector<Element> elements, const AABB& universe,
       config_(config),
       monitor_rng_(config.seed) {
   if (config_.policy != MaintenancePolicy::kNoIndex) {
-    index_ = core::MakeIndex(config_.index_name);
+    index_ = core::MakeIndex(config_.index_name,
+                             core::IndexOptions{config_.index_threads});
     assert(index_ != nullptr && "unknown index name");
     index_->Build(elements_, universe_);
     updates_.reserve(elements_.size());

@@ -92,6 +92,11 @@ const char* ToString(MaintenancePolicy policy);
 
 struct SimulationConfig {
   std::string index_name = "memgrid";
+  /// Worker threads handed to the index (core::IndexOptions::threads):
+  /// par::kThreadsAuto resolves to the hardware concurrency, 0 keeps the
+  /// index's serial paths. Parallel-capable structures (MemGrid) use it for
+  /// Build / ApplyUpdates / SelfJoin; others ignore it.
+  std::uint32_t index_threads = par::kThreadsAuto;
   MaintenancePolicy policy = MaintenancePolicy::kIncrementalUpdate;
   /// In-situ monitoring: range queries per step (0 disables).
   std::size_t monitor_range_queries = 10;

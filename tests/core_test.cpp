@@ -446,6 +446,102 @@ std::string RegistryCaseName(
 INSTANTIATE_TEST_SUITE_P(AllIndexes, RegistryDifferentialTest,
                          ::testing::ValuesIn(AllCases()), RegistryCaseName);
 
+// Seeded mixed-workload differential fuzz: ONE op stream (bulk build,
+// jitter batches, teleport batches with a duplicate and an unknown id,
+// rebuild on the mutated state) driven through several registry profiles
+// side by side. After every phase each profile must satisfy its structural
+// invariants (SpatialIndex::CheckInvariants — real for the MemGrid
+// profiles) and agree query-for-query with the brute-force mirror, which
+// transitively cross-checks the profiles against each other.
+TEST(RegistryTest, SeededMixedWorkloadDifferentialFuzz) {
+  const std::vector<std::string> profiles = {"memgrid", "memgrid-padded",
+                                             "rtree", "linear-scan"};
+  std::vector<std::unique_ptr<SpatialIndex>> indexes;
+  for (const std::string& p : profiles) {
+    auto index = MakeIndex(p);
+    ASSERT_NE(index, nullptr) << p;
+    ASSERT_TRUE(index->SupportsUpdates()) << p;
+    indexes.push_back(std::move(index));
+  }
+
+  Rng rng(123);
+  std::vector<Element> mirror = MakeDataset(1, 2500);  // Clustered.
+  const auto check_phase = [&](const char* phase) {
+    for (std::size_t i = 0; i < indexes.size(); ++i) {
+      std::string err;
+      ASSERT_TRUE(indexes[i]->CheckInvariants(&err))
+          << profiles[i] << " after " << phase << ": " << err;
+      ASSERT_EQ(indexes[i]->size(), mirror.size())
+          << profiles[i] << " after " << phase;
+    }
+    for (int q = 0; q < 8; ++q) {
+      const AABB query = AABB::FromCenterHalfExtent(
+          rng.PointIn(kUniverse), rng.Uniform(1.0f, 10.0f));
+      const auto want = Sorted(ScanRange(mirror, query));
+      for (std::size_t i = 0; i < indexes.size(); ++i) {
+        std::vector<ElementId> got;
+        indexes[i]->RangeQuery(query, &got);
+        ASSERT_EQ(Sorted(got), want)
+            << profiles[i] << " after " << phase << " q" << q;
+      }
+    }
+    const Vec3 p = rng.PointIn(kUniverse);
+    const auto want_knn = ScanKnn(mirror, p, 7);
+    for (std::size_t i = 0; i < indexes.size(); ++i) {
+      std::vector<ElementId> got;
+      indexes[i]->KnnQuery(p, 7, &got);
+      ASSERT_EQ(got, want_knn) << profiles[i] << " after " << phase;
+    }
+  };
+
+  for (auto& index : indexes) index->Build(mirror, kUniverse);
+  check_phase("build");
+
+  std::vector<ElementUpdate> batch;
+  for (int round = 0; round < 3; ++round) {
+    // Jitter phase: everything moves a little (the §4.3 regime).
+    batch.clear();
+    for (Element& e : mirror) {
+      e.box = e.box.Translated(Vec3(rng.Normal(0, 0.2f), rng.Normal(0, 0.2f),
+                                    rng.Normal(0, 0.2f)));
+      batch.emplace_back(e.id, e.box);
+    }
+    for (std::size_t i = 0; i < indexes.size(); ++i) {
+      ASSERT_EQ(indexes[i]->ApplyUpdates(batch), batch.size())
+          << profiles[i] << " jitter round " << round;
+    }
+    check_phase("jitter");
+
+    // Teleport phase: ~20% long-distance moves, plus a duplicate id (every
+    // profile applies both, last write wins) and an unknown id (skipped).
+    batch.clear();
+    for (Element& e : mirror) {
+      if (rng.NextFloat() < 0.2f) {
+        e.box = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                           rng.Uniform(0.1f, 0.8f));
+        batch.emplace_back(e.id, e.box);
+      }
+    }
+    if (!mirror.empty()) {
+      Element& dup = mirror[mirror.size() / 3];
+      dup.box = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse), 0.3f);
+      batch.emplace_back(dup.id, dup.box);
+    }
+    const std::size_t valid = batch.size();
+    batch.emplace_back(kInvalidElement,
+                       AABB::FromCenterHalfExtent(Vec3(1, 1, 1), 0.1f));
+    for (std::size_t i = 0; i < indexes.size(); ++i) {
+      ASSERT_EQ(indexes[i]->ApplyUpdates(batch), valid)
+          << profiles[i] << " teleport round " << round;
+    }
+    check_phase("teleport");
+  }
+
+  // Rebuild on the mutated state: Build must discard everything stale.
+  for (auto& index : indexes) index->Build(mirror, kUniverse);
+  check_phase("rebuild");
+}
+
 TEST(RegistryTest, UnknownNameReturnsNull) {
   EXPECT_EQ(MakeIndex("no-such-index"), nullptr);
 }

@@ -1,0 +1,355 @@
+// Parallel determinism battery: the MemGrid parallel kernels (counting-
+// scatter Build, x-slab SelfJoin, ApplyUpdates classification) must produce
+// results ELEMENT-FOR-ELEMENT identical to the serial paths at every thread
+// count, on every dataset shape — the property that makes "--threads=N" a
+// pure performance knob. Also unit-tests the static-partition thread pool
+// itself (common/parallel.h).
+//
+// This suite is the intended TSan workload:
+//   cmake -B build-tsan -S . -DSIMSPATIAL_SANITIZE=thread
+//   cmake --build build-tsan -j && ./build-tsan/parallel_test
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/bruteforce.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/memgrid.h"
+#include "datagen/neuron.h"
+
+namespace simspatial::core {
+namespace {
+
+using datagen::GenerateClusteredBoxes;
+using datagen::GenerateUniformBoxes;
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+// Thread counts the battery sweeps; 0 is the serial reference. 8 on a
+// smaller machine oversubscribes the cores, which is exactly the kind of
+// scheduling chaos determinism must survive.
+const std::uint32_t kThreadCounts[] = {1, 2, 8};
+
+struct NamedDataset {
+  const char* name;
+  std::vector<Element> elements;
+};
+
+std::vector<NamedDataset> BatteryDatasets() {
+  std::vector<NamedDataset> ds;
+  ds.push_back({"uniform", GenerateUniformBoxes(4096, kUniverse, 0.1f, 0.8f)});
+  ds.push_back({"clustered",
+                GenerateClusteredBoxes(4096, kUniverse, 8, 4.0f, 0.1f, 0.6f)});
+  // Degenerate: every centre in one cell (cell_size below pins cell (0,0,0)
+  // region with the whole population).
+  {
+    Rng rng(41);
+    std::vector<Element> one_cell;
+    for (ElementId i = 0; i < 3000; ++i) {
+      const Vec3 c(rng.Uniform(0.5f, 3.5f), rng.Uniform(0.5f, 3.5f),
+                   rng.Uniform(0.5f, 3.5f));
+      one_cell.emplace_back(i, AABB::FromCenterHalfExtent(c, 0.2f));
+    }
+    ds.push_back({"one-cell", std::move(one_cell)});
+  }
+  ds.push_back({"empty", {}});
+  return ds;
+}
+
+MemGrid MakeGrid(const std::vector<Element>& elements, std::uint32_t threads,
+                 float cell_size = 4.0f) {
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = cell_size,
+                                     .threads = threads});
+  g.Build(elements);
+  return g;
+}
+
+/// Ids in storage order: a full-universe range query streams the slack-CSR
+/// block in cell-region order, so equal outputs mean equal *layouts*, not
+/// just equal sets.
+std::vector<ElementId> LayoutOrder(const MemGrid& g) {
+  std::vector<ElementId> out;
+  g.RangeQuery(kUniverse.Inflated(10.0f), &out);
+  return out;
+}
+
+// --- Thread pool ----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunExecutesEverySlotExactlyOnce) {
+  for (const std::size_t slots : {1u, 2u, 5u, 16u}) {
+    std::vector<std::atomic<int>> hits(slots);
+    for (auto& h : hits) h = 0;
+    par::ThreadPool::Global().Run(slots,
+                                  [&](std::size_t s) { hits[s].fetch_add(1); });
+    for (std::size_t s = 0; s < slots; ++s) {
+      EXPECT_EQ(hits[s].load(), 1) << "slot " << s << " of " << slots;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelChunksCoversRangeExactlyOnce) {
+  for (const std::size_t chunks : {1u, 2u, 3u, 8u, 13u}) {
+    for (const std::size_t n : {0u, 1u, 7u, 100u, 1047u}) {
+      std::vector<std::atomic<int>> seen(n);
+      for (auto& s : seen) s = 0;
+      par::ParallelChunks(chunks, n,
+                          [&](std::size_t, std::size_t b, std::size_t e) {
+                            for (std::size_t i = b; i < e; ++i) {
+                              seen[i].fetch_add(1);
+                            }
+                          });
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(seen[i].load(), 1)
+            << "i=" << i << " chunks=" << chunks << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SlotExceptionPropagatesAfterAllSlotsFinish) {
+  std::vector<std::atomic<int>> hits(8);
+  for (auto& h : hits) h = 0;
+  EXPECT_THROW(par::ThreadPool::Global().Run(8,
+                                             [&](std::size_t s) {
+                                               hits[s].fetch_add(1);
+                                               if (s == 3) {
+                                                 throw std::runtime_error(
+                                                     "slot failure");
+                                               }
+                                             }),
+               std::runtime_error);
+  // Run must not unwind until every slot has finished touching `hits`.
+  for (std::size_t s = 0; s < hits.size(); ++s) {
+    EXPECT_EQ(hits[s].load(), 1) << "slot " << s;
+  }
+  // The pool stays usable after a failed dispatch.
+  std::atomic<int> after{0};
+  par::ThreadPool::Global().Run(4, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPoolTest, ChunkCountRespectsGrainAndBounds) {
+  EXPECT_EQ(par::ChunkCount(0, 10000, 100), 1u);
+  EXPECT_EQ(par::ChunkCount(1, 10000, 100), 1u);
+  EXPECT_EQ(par::ChunkCount(8, 0, 100), 1u);
+  EXPECT_EQ(par::ChunkCount(8, 10000, 1024), 8u);
+  EXPECT_EQ(par::ChunkCount(8, 3000, 1024), 2u);   // grain-limited
+  EXPECT_EQ(par::ChunkCount(8, 1000, 1024), 1u);   // below one grain
+  EXPECT_EQ(par::ChunkCount(4, 100, 1), 4u);
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(par::ResolveThreads(0), 0u);
+  EXPECT_EQ(par::ResolveThreads(3), 3u);
+  EXPECT_GE(par::ResolveThreads(par::kThreadsAuto), 1u);
+}
+
+// --- Build determinism ----------------------------------------------------
+
+TEST(ParallelDeterminismTest, BuildLayoutIdenticalAcrossThreadCounts) {
+  for (const NamedDataset& ds : BatteryDatasets()) {
+    const MemGrid serial = MakeGrid(ds.elements, 0);
+    const std::vector<ElementId> want = LayoutOrder(serial);
+    const MemGridShape want_shape = serial.Shape();
+    for (const std::uint32_t t : kThreadCounts) {
+      const MemGrid g = MakeGrid(ds.elements, t);
+      std::string err;
+      ASSERT_TRUE(g.CheckInvariants(&err)) << ds.name << " t=" << t << ": "
+                                           << err;
+      EXPECT_EQ(LayoutOrder(g), want) << ds.name << " t=" << t;
+      const MemGridShape shape = g.Shape();
+      EXPECT_EQ(shape.occupied_cells, want_shape.occupied_cells)
+          << ds.name << " t=" << t;
+      EXPECT_EQ(shape.slack_slots, want_shape.slack_slots)
+          << ds.name << " t=" << t;
+      EXPECT_EQ(shape.max_half_extent, want_shape.max_half_extent)
+          << ds.name << " t=" << t;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RangeAndKnnIdenticalAfterParallelBuild) {
+  for (const NamedDataset& ds : BatteryDatasets()) {
+    const MemGrid serial = MakeGrid(ds.elements, 0);
+    for (const std::uint32_t t : kThreadCounts) {
+      const MemGrid g = MakeGrid(ds.elements, t);
+      Rng rng(57);
+      for (int q = 0; q < 20; ++q) {
+        const AABB query = AABB::FromCenterHalfExtent(
+            rng.PointIn(kUniverse), rng.Uniform(0.5f, 12.0f));
+        std::vector<ElementId> got, want;
+        g.RangeQuery(query, &got);
+        serial.RangeQuery(query, &want);
+        ASSERT_EQ(got, want) << ds.name << " t=" << t << " q" << q;
+      }
+      for (int q = 0; q < 10; ++q) {
+        const Vec3 p = rng.PointIn(kUniverse);
+        std::vector<ElementId> got, want;
+        g.KnnQuery(p, 9, &got);
+        serial.KnnQuery(p, 9, &want);
+        ASSERT_EQ(got, want) << ds.name << " t=" << t << " q" << q;
+      }
+    }
+  }
+}
+
+// --- SelfJoin determinism -------------------------------------------------
+
+TEST(ParallelDeterminismTest, SelfJoinPairsAndCountersIdentical) {
+  for (const NamedDataset& ds : BatteryDatasets()) {
+    const MemGrid serial = MakeGrid(ds.elements, 0);
+    for (const float eps : {0.0f, 0.5f}) {
+      std::vector<std::pair<ElementId, ElementId>> want;
+      QueryCounters want_c;
+      serial.SelfJoin(eps, &want, &want_c);
+      for (const std::uint32_t t : kThreadCounts) {
+        const MemGrid g = MakeGrid(ds.elements, t);
+        std::vector<std::pair<ElementId, ElementId>> got;
+        QueryCounters got_c;
+        g.SelfJoin(eps, &got, &got_c);
+        // Element-for-element: parallel slabs must reproduce the serial
+        // emission ORDER, not just the pair set.
+        ASSERT_EQ(got, want) << ds.name << " t=" << t << " eps=" << eps;
+        EXPECT_EQ(got_c.element_tests, want_c.element_tests)
+            << ds.name << " t=" << t;
+        EXPECT_EQ(got_c.nodes_visited, want_c.nodes_visited)
+            << ds.name << " t=" << t;
+        EXPECT_EQ(got_c.results, want_c.results) << ds.name << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SelfJoinMatchesBruteForce) {
+  const auto elems = GenerateUniformBoxes(2000, kUniverse, 0.2f, 0.8f);
+  for (const std::uint32_t t : kThreadCounts) {
+    const MemGrid g = MakeGrid(elems, t, /*cell_size=*/2.5f);
+    for (const float eps : {0.0f, 0.5f}) {
+      std::vector<std::pair<ElementId, ElementId>> got;
+      g.SelfJoin(eps, &got);
+      SortPairs(&got);
+      auto want = NestedLoopSelfJoin(elems, eps);
+      SortPairs(&want);
+      EXPECT_EQ(got, want) << "t=" << t << " eps=" << eps;
+    }
+  }
+}
+
+// Regression for the widened-reach path (cell_size < 2*max_half_extent +
+// eps): matching centres can sit several cells — and therefore several
+// SLABS — apart, so the slab partitioning must still assign each cross-slab
+// pair to exactly one origin cell. 3000 elements keeps the widened sweep
+// cheaper than the all-pairs fallback, so the slab path itself runs.
+TEST(ParallelDeterminismTest, WidenedReachEmitsCrossSlabPairsExactlyOnce) {
+  Rng rng(85);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 3000; ++i) {
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                     rng.Uniform(0.5f, 3.0f)));
+  }
+  const MemGrid serial = MakeGrid(elems, 0, /*cell_size=*/2.0f);
+  for (const float eps : {0.0f, 1.0f}) {
+    std::vector<std::pair<ElementId, ElementId>> want;
+    serial.SelfJoin(eps, &want);
+    for (const std::uint32_t t : kThreadCounts) {
+      const MemGrid g = MakeGrid(elems, t, /*cell_size=*/2.0f);
+      std::vector<std::pair<ElementId, ElementId>> got;
+      g.SelfJoin(eps, &got);
+      ASSERT_EQ(got, want) << "t=" << t << " eps=" << eps;
+      // Exactly once: no duplicates even among pairs whose cells straddle
+      // a slab boundary.
+      auto sorted = got;
+      SortPairs(&sorted);
+      ASSERT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                sorted.end())
+          << "duplicate pair at t=" << t << " eps=" << eps;
+      auto brute = NestedLoopSelfJoin(elems, eps);
+      SortPairs(&brute);
+      ASSERT_EQ(sorted, brute) << "t=" << t << " eps=" << eps;
+    }
+  }
+}
+
+// --- ApplyUpdates determinism --------------------------------------------
+
+std::vector<ElementUpdate> SeededUpdateBatch(std::vector<Element>* mirror,
+                                             Rng* rng) {
+  std::vector<ElementUpdate> batch;
+  for (Element& e : *mirror) {
+    const float dice = rng->NextFloat();
+    if (dice < 0.6f) {
+      // In-place nudge.
+      e.box = e.box.Translated(Vec3(rng->Normal(0, 0.05f),
+                                    rng->Normal(0, 0.05f),
+                                    rng->Normal(0, 0.05f)));
+    } else {
+      // Teleport: forces a migration (and region slack churn).
+      e.box = AABB::FromCenterHalfExtent(rng->PointIn(kUniverse),
+                                         rng->Uniform(0.1f, 0.9f));
+    }
+    batch.emplace_back(e.id, e.box);
+  }
+  // Same id twice in one batch (staged-overwrite path) + an unknown id.
+  if (!mirror->empty()) {
+    Element& dup = (*mirror)[mirror->size() / 2];
+    dup.box = AABB::FromCenterHalfExtent(rng->PointIn(kUniverse), 0.4f);
+    batch.emplace_back(dup.id, dup.box);
+  }
+  batch.emplace_back(kInvalidElement, AABB::FromCenterHalfExtent(
+                                          Vec3(1, 1, 1), 0.1f));
+  return batch;
+}
+
+TEST(ParallelDeterminismTest, ApplyUpdatesIdenticalAcrossThreadCounts) {
+  const auto elems = GenerateUniformBoxes(4096, kUniverse, 0.1f, 0.8f);
+  // Drive the serial reference and each thread count through the SAME
+  // seeded three-round batch stream; every structural observable must
+  // match after every round.
+  MemGrid serial = MakeGrid(elems, 0);
+  std::vector<MemGrid> grids;
+  for (const std::uint32_t t : kThreadCounts) {
+    grids.push_back(MakeGrid(elems, t));
+  }
+  std::vector<Element> mirror = elems;
+  Rng rng(99);
+  for (int round = 0; round < 3; ++round) {
+    // One batch per round; every grid sees the identical batch.
+    const auto batch = SeededUpdateBatch(&mirror, &rng);
+    const std::size_t want_applied = serial.ApplyUpdates(batch);
+    const std::vector<ElementId> want_layout = LayoutOrder(serial);
+    const MemGridUpdateStats& ws = serial.update_stats();
+    for (std::size_t gi = 0; gi < grids.size(); ++gi) {
+      MemGrid& g = grids[gi];
+      EXPECT_EQ(g.ApplyUpdates(batch), want_applied)
+          << "t=" << kThreadCounts[gi] << " round " << round;
+      std::string err;
+      ASSERT_TRUE(g.CheckInvariants(&err))
+          << "t=" << kThreadCounts[gi] << " round " << round << ": " << err;
+      ASSERT_EQ(LayoutOrder(g), want_layout)
+          << "t=" << kThreadCounts[gi] << " round " << round;
+      const MemGridUpdateStats& s = g.update_stats();
+      EXPECT_EQ(s.updates, ws.updates) << "t=" << kThreadCounts[gi];
+      EXPECT_EQ(s.in_place, ws.in_place) << "t=" << kThreadCounts[gi];
+      EXPECT_EQ(s.migrations, ws.migrations) << "t=" << kThreadCounts[gi];
+      EXPECT_EQ(s.relayouts, ws.relayouts) << "t=" << kThreadCounts[gi];
+    }
+  }
+  // End state must also agree with brute force, not merely with itself.
+  Rng qrng(100);
+  for (int q = 0; q < 20; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(qrng.PointIn(kUniverse),
+                                                  qrng.Uniform(1.0f, 10.0f));
+    std::vector<ElementId> got;
+    serial.RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, ScanRange(mirror, query)) << "q" << q;
+  }
+}
+
+}  // namespace
+}  // namespace simspatial::core
