@@ -34,6 +34,15 @@ int Main(int argc, char** argv) {
   const float eps = static_cast<float>(flags.GetDouble("eps", 0.25));
   const auto threads = static_cast<std::uint32_t>(
       flags.GetSize("threads", par::kThreadsAuto));
+  core::CellLayout layout = core::CellLayout::kRowMajor;
+  const std::string layout_name = flags.GetString("layout", "rowmajor");
+  if (!core::ParseCellLayout(layout_name, &layout)) {
+    std::fprintf(stderr,
+                 "unknown --layout=%s (expected rowmajor|morton|hilbert)\n",
+                 layout_name.c_str());
+    return 2;
+  }
+  bench::JsonWriter json(flags.GetString("json", ""));
 
   bench::PrintHeader(
       "Spatial self-join (synapse detection) across algorithms",
@@ -78,6 +87,15 @@ int Main(int argc, char** argv) {
                                     : double(c.element_tests) /
                                           double(pairs.size()),
                                 1)});
+    json.BeginRecord();
+    json.Field("bench", "bench_join_compare");
+    json.Field("algorithm", name);
+    json.Field("n", static_cast<double>(n));
+    json.Field("eps", static_cast<double>(eps));
+    json.Field("layout", core::ToString(layout));
+    json.Field("total_ms", ms);
+    json.Field("comparisons", static_cast<double>(c.element_tests));
+    json.Field("pairs", static_cast<double>(pairs.size()));
     return pairs.size();
   };
 
@@ -100,8 +118,9 @@ int Main(int argc, char** argv) {
                                                              {}, c);
                                  });
   // MemGrid's native self-join: the same §4.3 sweep over the slack-CSR
-  // block, partitioned into per-worker x-slabs (--threads=N; results are
-  // bit-identical at any thread count — see tests/parallel_test.cpp).
+  // block, partitioned into per-worker contiguous rank ranges
+  // (--threads=N; results are bit-identical at any thread count — see
+  // tests/parallel_test.cpp) and laid out per --layout.
   // Build runs INSIDE the timed region, like every other row's
   // partitioning/sort step, so "total ms" compares like for like.
   const auto stats = grid::DatasetStats::Compute(ds.elements, ds.universe);
@@ -110,7 +129,9 @@ int Main(int argc, char** argv) {
   // which the fast 13-neighbour sweep is complete (§4.3).
   mg_cfg.cell_size = static_cast<float>(stats.max_extent + eps) * 1.01f;
   mg_cfg.threads = threads;
-  std::printf("memgrid threads: %u\n", par::ResolveThreads(threads));
+  mg_cfg.layout = layout;
+  std::printf("memgrid threads: %u, memgrid layout: %s\n",
+              par::ResolveThreads(threads), core::ToString(layout));
   const std::size_t p_memgrid =
       run("memgrid build+self-join (parallel)", [&](QueryCounters* c) {
         core::MemGrid memgrid(ds.universe, mg_cfg);
@@ -120,6 +141,7 @@ int Main(int argc, char** argv) {
         return pairs;
       });
   t.Print();
+  json.Flush();
 
   bench::PrintClaim("all algorithms agree on the synapse pair count",
                     p_sweep == p_pbsm && p_pbsm == p_touch &&

@@ -11,6 +11,9 @@
 //   --threads=<t>         MemGrid worker threads (default: hardware
 //                         concurrency; 0/1 = serial paths). Only the
 //                         memgrid kernels are parallel-capable.
+//   --layout=<l>          MemGrid cell layout: rowmajor (default), morton
+//                         or hilbert. A pure storage-order knob — results
+//                         are identical; ns/op is the point.
 
 #include <algorithm>
 #include <cmath>
@@ -69,6 +72,14 @@ int Main(int argc, char** argv) {
   const std::string dataset_name = flags.GetString("dataset", "neurons");
   const auto threads = static_cast<std::uint32_t>(
       flags.GetSize("threads", par::kThreadsAuto));
+  core::CellLayout layout = core::CellLayout::kRowMajor;
+  const std::string layout_name = flags.GetString("layout", "rowmajor");
+  if (!core::ParseCellLayout(layout_name, &layout)) {
+    std::fprintf(stderr,
+                 "unknown --layout=%s (expected rowmajor|morton|hilbert)\n",
+                 layout_name.c_str());
+    return 2;
+  }
   JsonWriter json(flags.GetString("json", ""));
 
   bench::PrintHeader("Microbenchmarks: build/range/knn/update/self-join",
@@ -87,9 +98,9 @@ int Main(int argc, char** argv) {
     elems = std::move(ds.elements);
   }
   std::printf("dataset: %zu %s elements, universe side %.0f, reps %zu, "
-              "memgrid threads %u\n",
+              "memgrid threads %u, memgrid layout %s\n",
               n, dataset_name.c_str(), universe.Extent().x, reps,
-              par::ResolveThreads(threads));
+              par::ResolveThreads(threads), core::ToString(layout));
 
   const auto stats = grid::DatasetStats::Compute(elems, universe);
   const float grid_cell = std::max(
@@ -98,6 +109,7 @@ int Main(int argc, char** argv) {
   core::MemGridConfig mg_cfg;
   mg_cfg.cell_size = grid_cell;
   mg_cfg.threads = threads;
+  mg_cfg.layout = layout;
 
   datagen::RangeWorkloadConfig wl_cfg;
   wl_cfg.num_queries = 64;
@@ -190,6 +202,31 @@ int Main(int argc, char** argv) {
            static_cast<double>(queries.size()));
   }
 
+  // --- Cubic range probes (the §3.3 working-set regime) ---------------------
+  // Two orders of magnitude higher selectivity makes each probe span
+  // several cells per axis: the regime the curve layouts target, where
+  // MemGrid fuses the probe cube into contiguous-rank streams (compare
+  // --layout=rowmajor vs =hilbert on this kernel; the tiny probes of the
+  // "range" kernel above favour plain z-column order instead).
+  {
+    datagen::RangeWorkloadConfig cubic_cfg;
+    cubic_cfg.num_queries = 32;
+    cubic_cfg.selectivity = 1e-2;
+    const auto cubic_queries =
+        datagen::MakeRangeWorkload(elems, universe, cubic_cfg).queries;
+    std::vector<ElementId> out;
+    record("range-cubic", "memgrid", MedianNs(reps, [&] {
+             for (const AABB& q : cubic_queries) memgrid.RangeQuery(q, &out);
+           }),
+           static_cast<double>(cubic_queries.size()));
+    rtree::RTree tree;
+    tree.BulkLoadStr(elems);
+    record("range-cubic", "rtree-str", MedianNs(reps, [&] {
+             for (const AABB& q : cubic_queries) tree.RangeQuery(q, &out);
+           }),
+           static_cast<double>(cubic_queries.size()));
+  }
+
   // --- kNN ------------------------------------------------------------------
   {
     rtree::RTree tree;
@@ -259,6 +296,7 @@ int Main(int argc, char** argv) {
     json.Field("dataset", dataset_name);
     json.Field("n", static_cast<double>(n));
     json.Field("threads", static_cast<double>(par::ResolveThreads(threads)));
+    json.Field("layout", core::ToString(layout));
     json.Field("ns_per_op", r.ns_per_op);
     json.Field("ops_per_rep", r.ops);
   }

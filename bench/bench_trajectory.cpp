@@ -168,16 +168,19 @@ int Main(int argc, char** argv) {
     return 2;
   }
   // The fresh run must reproduce the baseline's conditions (scale, dataset,
-  // serial kernels) or the per-record ratios are meaningless.
+  // cell layout, serial kernels) or the per-record ratios are meaningless.
   const std::string n = Get(baseline.front(), "n");
   const std::string dataset = Get(baseline.front(), "dataset");
+  const std::string layout = Get(baseline.front(), "layout");
   if (n.empty() || dataset.empty()) {
     std::fprintf(stderr, "trajectory: baseline lacks n/dataset fields\n");
     return 2;
   }
-  const std::string cmd = "\"" + bench + "\" --n=" + n + " --dataset=" +
-                          dataset + " --reps=" + std::to_string(reps) +
-                          " --threads=1 --json=\"" + out_path + "\"";
+  const std::string cmd =
+      "\"" + bench + "\" --n=" + n + " --dataset=" + dataset +
+      " --reps=" + std::to_string(reps) + " --threads=1" +
+      (layout.empty() ? "" : " --layout=" + layout) + " --json=\"" +
+      out_path + "\"";
   std::printf("trajectory: %s\n", cmd.c_str());
   std::fflush(stdout);
   if (std::system(cmd.c_str()) != 0) {

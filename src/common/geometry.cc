@@ -260,19 +260,18 @@ void Quantize21(const Vec3& p, const AABB& universe, std::uint32_t* qx,
 
 }  // namespace
 
-std::uint64_t MortonEncode(const Vec3& p, const AABB& universe) {
-  std::uint32_t qx, qy, qz;
-  Quantize21(p, universe, &qx, &qy, &qz);
-  return SpreadBits21(qx) | (SpreadBits21(qy) << 1) | (SpreadBits21(qz) << 2);
+std::uint64_t MortonEncodeCell(std::uint32_t x, std::uint32_t y,
+                               std::uint32_t z) {
+  return SpreadBits21(x) | (SpreadBits21(y) << 1) | (SpreadBits21(z) << 2);
 }
 
-std::uint64_t HilbertEncode(const Vec3& p, const AABB& universe) {
-  std::uint32_t coords[3];
-  Quantize21(p, universe, &coords[0], &coords[1], &coords[2]);
+std::uint64_t HilbertEncodeCell(std::uint32_t x, std::uint32_t y,
+                                std::uint32_t z, int bits) {
+  std::uint32_t coords[3] = {x, y, z};
 
   // Skilling, "Programming the Hilbert curve" (AIP 2004): transform the
   // coordinates in place into the transposed Hilbert index.
-  constexpr int kBits = 21;
+  const int kBits = bits;
   constexpr int kDims = 3;
   // Inverse undo excess work.
   for (std::uint32_t q = 1u << (kBits - 1); q > 1; q >>= 1) {
@@ -295,8 +294,8 @@ std::uint64_t HilbertEncode(const Vec3& p, const AABB& universe) {
   }
   for (int i = 0; i < kDims; ++i) coords[i] ^= t;
 
-  // Interleave the transposed coordinates into one 63-bit key: bit b of
-  // coords[i] becomes bit (b*3 + (2-i)) of the result.
+  // Interleave the transposed coordinates into one 3*kBits-bit key: bit b
+  // of coords[i] becomes bit (b*3 + (2-i)) of the result.
   std::uint64_t key = 0;
   for (int b = kBits - 1; b >= 0; --b) {
     for (int i = 0; i < kDims; ++i) {
@@ -304,6 +303,18 @@ std::uint64_t HilbertEncode(const Vec3& p, const AABB& universe) {
     }
   }
   return key;
+}
+
+std::uint64_t MortonEncode(const Vec3& p, const AABB& universe) {
+  std::uint32_t qx, qy, qz;
+  Quantize21(p, universe, &qx, &qy, &qz);
+  return MortonEncodeCell(qx, qy, qz);
+}
+
+std::uint64_t HilbertEncode(const Vec3& p, const AABB& universe) {
+  std::uint32_t qx, qy, qz;
+  Quantize21(p, universe, &qx, &qy, &qz);
+  return HilbertEncodeCell(qx, qy, qz);
 }
 
 }  // namespace simspatial

@@ -329,14 +329,31 @@ bool TriangleIntersectsAABB(const Vec3& t0, const Vec3& t1, const Vec3& t2,
 /// AABB-hits is not face-connected even on convex meshes).
 bool TetIntersectsAABB(const Tetrahedron& tet, const AABB& box);
 
+/// Morton (Z-order) code of integer lattice coordinates (low 21 bits per
+/// axis are used; x occupies the least-significant interleave slot).
+/// Injective on [0, 2^21)^3 — distinct cells get distinct keys — which is
+/// what MemGrid's curve-ordered cell layout relies on.
+std::uint64_t MortonEncodeCell(std::uint32_t x, std::uint32_t y,
+                               std::uint32_t z);
+
+/// Hilbert-curve index of integer lattice coordinates (`bits` bits per
+/// axis, Skilling's transpose algorithm). A bijection [0, 2^bits)^3 ->
+/// [0, 2^(3*bits)) with the Hilbert adjacency property: consecutive keys
+/// differ by one lattice step. Size `bits` to the lattice (e.g. 10 for a
+/// grid of up to 1024 cells per axis): the transform cost and the key
+/// magnitude both scale with it.
+std::uint64_t HilbertEncodeCell(std::uint32_t x, std::uint32_t y,
+                                std::uint32_t z, int bits = 21);
+
 /// Morton (Z-order) code interleaving 21 bits per axis from a position
 /// normalised to [0,1)^3. Used by bulk loaders and space-filling-curve
-/// partitioners.
+/// partitioners. Equivalent to MortonEncodeCell over the quantised lattice.
 std::uint64_t MortonEncode(const Vec3& p, const AABB& universe);
 
 /// Hilbert-curve index (21 bits per axis, Skilling's transpose algorithm)
 /// of a position normalised to [0,1)^3. Better locality than Morton: no
 /// long jumps between adjacent keys, which tightens bulk-loaded leaves.
+/// Equivalent to HilbertEncodeCell over the quantised lattice.
 std::uint64_t HilbertEncode(const Vec3& p, const AABB& universe);
 
 }  // namespace simspatial

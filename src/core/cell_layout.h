@@ -1,0 +1,66 @@
+// SimSpatial — cell-layout policy for MemGrid's slack-CSR block.
+//
+// The policy governs the ORDER in which per-cell regions are laid out in
+// the one flat entry array; cell addressing stays raw row-major CellIndex
+// everywhere, so the policy changes only which regions end up storage-
+// adjacent. A 3-D-local query probes a small cube of cells; under the
+// row-major order that cube is storage-contiguous only along z, while a
+// space-filling-curve order keeps most of the cube in a handful of long
+// contiguous rank runs — fewer, longer streams for the same probe
+// (ROADMAP: "a space-filling-curve layout would tighten the working set of
+// cubic probes"). A curve rank is also a natural shard key for future
+// NUMA/sharded partitioning.
+
+#ifndef SIMSPATIAL_CORE_CELL_LAYOUT_H_
+#define SIMSPATIAL_CORE_CELL_LAYOUT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace simspatial::core {
+
+/// Order of cell regions inside the slack-CSR entry block.
+enum class CellLayout : std::uint8_t {
+  /// x-major cell-index order (the classical CSR layout): z-columns are
+  /// contiguous, (x, y) neighbours a whole plane apart. Zero metadata.
+  kRowMajor = 0,
+  /// Z-order (Morton) curve over the cell lattice: bit-interleaved ranks,
+  /// cheap to compute, good locality with occasional long jumps.
+  kMorton = 1,
+  /// Hilbert curve over the cell lattice (Skilling transpose): consecutive
+  /// keys are lattice neighbours (restricting to a non-power-of-two grid
+  /// keeps almost all of that adjacency) — the tightest working set for
+  /// cubic probes, at the cost of a dearer rank codec at build time.
+  kHilbert = 2,
+};
+
+inline const char* ToString(CellLayout layout) {
+  switch (layout) {
+    case CellLayout::kRowMajor:
+      return "rowmajor";
+    case CellLayout::kMorton:
+      return "morton";
+    case CellLayout::kHilbert:
+      return "hilbert";
+  }
+  return "rowmajor";
+}
+
+/// Parse a user-facing layout name ("rowmajor" | "morton" | "hilbert").
+/// Returns false (and leaves *out untouched) for unknown names.
+inline bool ParseCellLayout(std::string_view name, CellLayout* out) {
+  if (name == "rowmajor") {
+    *out = CellLayout::kRowMajor;
+  } else if (name == "morton") {
+    *out = CellLayout::kMorton;
+  } else if (name == "hilbert") {
+    *out = CellLayout::kHilbert;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace simspatial::core
+
+#endif  // SIMSPATIAL_CORE_CELL_LAYOUT_H_

@@ -22,17 +22,34 @@
 //     in every step");
 //   * native self-join over forward neighbour cells (§4.3).
 //
-// Memory layout (slack CSR)
-// -------------------------
+// Memory layout (slack CSR, curve-orderable)
+// ------------------------------------------
 // All entries live in ONE flat array `entries_`. Each cell owns a
 // contiguous region of that array described by `Region{start, cap, count}`:
 // slots [start, start+count) are live, [start+count, start+cap) are gap
-// ("slack") slots available to future inserts. Build() lays regions out in
-// cell order; by default with zero slack, so a fresh grid is a classical
-// gap-free CSR block — measurably the fastest layout to stream, since gaps
-// cost query bandwidth in every cell while mutations only need headroom in
-// the few cells they actually touch (§4.3: "only few elements switch grid
-// cell in every step").
+// ("slack") slots available to future inserts. By default regions carry
+// zero slack, so a fresh grid is a classical gap-free CSR block —
+// measurably the fastest layout to stream, since gaps cost query bandwidth
+// in every cell while mutations only need headroom in the few cells they
+// actually touch (§4.3: "only few elements switch grid cell in every
+// step").
+//
+// The ORDER regions appear in the block is a policy (`CellLayout`), while
+// cell ADDRESSING stays raw row-major CellIndex everywhere:
+//   * kRowMajor — x-major cell order. Queries probe a cube of cells, so
+//     only z-columns are storage-contiguous; the probe streams one column,
+//     then jumps a whole (x, y) plane.
+//   * kMorton / kHilbert — space-filling-curve order over the cell
+//     lattice. The cells of a cubic probe collapse into a handful of long
+//     contiguous RANK runs, so range/knn/self-join working sets shrink to
+//     a few sequential streams (Hilbert: adjacent ranks are always lattice
+//     neighbours; Morton: cheaper codec, occasional long jumps).
+// Trade-offs of the curve layouts: a cached cell<->rank mapping costs
+// 8 bytes per cell plus one O(C log C) sort at construction, and query
+// probes sort their candidate cells by rank (small cubes — tens of
+// entries). kRowMajor keeps the zero-metadata identity mapping and is
+// bit-compatible with the historical layout. A curve rank is also the
+// natural shard key for future NUMA/sharded partitioning.
 //
 // Mutations never copy the index:
 //   * in-place update  — one box store at the slot given by the dense
@@ -41,11 +58,12 @@
 //   * insert/migration — consumes a slack slot of the destination region.
 // A region without slack is relocated to fresh, geometrically larger
 // capacity at the array tail (amortized O(1) even for a hot cell); the
-// abandoned slots are dead space. Only when relocation churn doubles the
-// block past the footprint the layout policy originally produced is the
-// whole block re-laid-out in cell order — an O(n) amortized "compaction"
-// that reclaims dead and excess slack and restores perfect streaming
-// order. There is no
+// abandoned slots are dead space — and the block is no longer in pristine
+// rank order (Shape().layout_runs counts the streams a full scan now
+// needs). Only when relocation churn doubles the block past the footprint
+// the layout policy originally produced is the whole block re-laid-out in
+// rank order — an O(n) amortized "compaction" that reclaims dead and
+// excess slack and restores perfect streaming order. There is no
 // dual-layout Compact()/Decompact() machinery and no full-index copy on
 // the mutation path.
 //
@@ -65,6 +83,7 @@
 #include "common/counters.h"
 #include "common/element.h"
 #include "common/threads.h"
+#include "core/cell_layout.h"
 
 namespace simspatial::core {
 
@@ -83,13 +102,18 @@ struct MemGridConfig {
   /// cap = count + max(min_slack, count * slack_fraction).
   float slack_fraction = 0.0f;
   /// Worker threads for the whole-structure kernels — Build (per-thread
-  /// counting scatter), SelfJoin (x-slab partitioned sweep) and
+  /// counting scatter), SelfJoin (rank-range partitioned sweep) and
   /// ApplyUpdates (parallel migration classification). The default
   /// (par::kThreadsAuto) resolves to std::thread::hardware_concurrency();
   /// 0 preserves the serial paths verbatim (1 is equivalent: a one-chunk
   /// partition IS the serial loop). Every parallel path is deterministic:
   /// results are element-for-element identical across thread counts.
   std::uint32_t threads = par::kThreadsAuto;
+  /// Order of cell regions in the slack-CSR block (see the header comment):
+  /// kRowMajor streams z-columns, kMorton/kHilbert stream curve-rank runs.
+  /// Purely a storage-order knob — query/join/update RESULTS are identical
+  /// across layouts (ordering aside), verified by the determinism battery.
+  CellLayout layout = CellLayout::kRowMajor;
 };
 
 struct MemGridShape {
@@ -104,6 +128,12 @@ struct MemGridShape {
   std::size_t slack_slots = 0;
   /// Slots abandoned by region relocations since the last full layout.
   std::size_t dead_slots = 0;
+  /// Active cell-layout policy.
+  CellLayout layout = CellLayout::kRowMajor;
+  /// Number of contiguous-rank streams a full-universe range query would
+  /// scan: 1 for a pristine gap-free block, one per occupied cell for
+  /// padded profiles, and growing with relocation churn in between.
+  std::size_t layout_runs = 0;
 };
 
 struct MemGridUpdateStats {
@@ -195,8 +225,8 @@ class MemGrid {
   /// the first free absolute position. Invalidates no indices outside the
   /// relocated region except under full re-layout, which fixes `slots_`.
   std::uint32_t ReserveInCell(std::uint32_t cell, std::uint32_t need);
-  /// Full O(n) re-layout in cell order with fresh slack; `demand_cell`
-  /// (if valid) gets `demand` extra guaranteed slots.
+  /// Full O(n) re-layout in layout-rank order with fresh slack;
+  /// `demand_cell` (if valid) gets `demand` extra guaranteed slots.
   void Relayout(std::uint32_t demand_cell, std::uint32_t demand);
   /// Per-cell capacity formula after a (re)layout.
   std::uint32_t SlackedCap(std::uint32_t count) const;
@@ -217,19 +247,35 @@ class MemGrid {
                           std::vector<std::pair<ElementId, ElementId>>* out,
                           QueryCounters* c);
 
-  /// Forward-neighbour sweep over origin cells with x in [x_begin, x_end).
-  /// Neighbour cells may lie outside the slab (read-only), but every pair is
-  /// emitted by exactly one origin cell, so disjoint slabs emit disjoint
-  /// pair sets and slab-order concatenation reproduces the serial output.
-  void SweepSlab(std::size_t x_begin, std::size_t x_end, int rx, int ry,
-                 int rz, bool fast13, float eps,
-                 std::vector<std::pair<ElementId, ElementId>>* out,
-                 QueryCounters* c) const;
+  /// Forward-neighbour sweep over origin cells with layout rank in
+  /// [rank_begin, rank_end). Neighbour cells may lie outside the range
+  /// (read-only), but every pair is emitted by exactly one origin cell, so
+  /// disjoint rank ranges emit disjoint pair sets and range-order
+  /// concatenation reproduces the serial output. Rank-range partitioning
+  /// also balances elongated universes, where x-slabs were too coarse.
+  void SweepRanks(std::size_t rank_begin, std::size_t rank_end, int rx,
+                  int ry, int rz, bool fast13, float eps,
+                  std::vector<std::pair<ElementId, ElementId>>* out,
+                  QueryCounters* c) const;
 
   /// Serial counting scatter (the pre-parallel Build body, kept verbatim
-  /// for threads <= 1) and its chunked parallel counterpart.
+  /// for threads <= 1) and its chunked parallel counterpart. Both lay
+  /// regions out in layout-rank order and are bit-identical to each other.
   void BuildSerial(std::span<const Element> elements);
   void BuildParallel(std::span<const Element> elements, std::size_t chunks);
+
+  /// Populate the cell<->rank maps for the curve layouts (sort the cell
+  /// lattice by curve key once per grid). kRowMajor keeps both maps empty:
+  /// rank IS the cell index.
+  void BuildCurveRanks();
+  /// Layout rank of a cell / cell at a layout rank (identity under
+  /// kRowMajor).
+  std::size_t CellRank(std::size_t cell) const {
+    return rank_of_cell_.empty() ? cell : rank_of_cell_[cell];
+  }
+  std::size_t RankCell(std::size_t rank) const {
+    return cell_of_rank_.empty() ? rank : cell_of_rank_[rank];
+  }
 
   AABB universe_;
   float cell_ = 1.0f;
@@ -244,6 +290,13 @@ class MemGrid {
   std::vector<Entry> entries_;   ///< The one flat slack-CSR block.
   std::vector<Region> regions_;  ///< Per-cell region descriptors.
   std::vector<Slot> slots_;      ///< Dense id -> {cell, pos} map.
+  /// Curve-layout rank maps (both empty under kRowMajor — identity).
+  std::vector<std::uint32_t> rank_of_cell_;
+  std::vector<std::uint32_t> cell_of_rank_;
+  /// True while `entries_` is still exactly in layout-rank order (set by
+  /// Build/Relayout, cleared by the first region relocation); gates the
+  /// rank-order check in CheckInvariants.
+  bool pristine_layout_ = true;
   std::size_t size_ = 0;         ///< Live elements.
   std::size_t dead_ = 0;         ///< Slots lost to region relocations.
   /// Block size the layout policy produced at the last Build/Relayout;

@@ -256,14 +256,18 @@ class MemGridAdapter final : public SpatialIndex {
   /// migrations relocate their destination region on demand), the "padded"
   /// profile pre-reserves gap slots per cell so migrations land in place —
   /// registering both keeps each structural path covered by the
-  /// differential batteries.
+  /// differential batteries. `layout` fixes the cell-region storage order:
+  /// the base profiles take it from IndexOptions, the "memgrid-morton" /
+  /// "memgrid-hilbert" profiles pin their curve so every battery that
+  /// sweeps the registry exercises every rank-order code path.
   struct SlackProfile {
     std::uint32_t min_slack;
     float slack_fraction;
   };
-  MemGridAdapter(std::string name, SlackProfile slack,
+  MemGridAdapter(std::string name, SlackProfile slack, CellLayout layout,
                  const IndexOptions& options)
-      : name_(std::move(name)), slack_(slack), threads_(options.threads) {}
+      : name_(std::move(name)), slack_(slack), layout_(layout),
+        threads_(options.threads) {}
   std::string_view name() const override { return name_; }
   void Build(std::span<const Element> elements, const AABB& u) override {
     MemGridConfig cfg;
@@ -271,6 +275,7 @@ class MemGridAdapter final : public SpatialIndex {
     cfg.min_slack = slack_.min_slack;
     cfg.slack_fraction = slack_.slack_fraction;
     cfg.threads = threads_;
+    cfg.layout = layout_;
     grid_ = std::make_unique<MemGrid>(u, cfg);
     grid_->Build(elements);
   }
@@ -299,6 +304,7 @@ class MemGridAdapter final : public SpatialIndex {
  private:
   std::string name_;
   SlackProfile slack_;
+  CellLayout layout_;
   std::uint32_t threads_;
   std::unique_ptr<MemGrid> grid_;
 };
@@ -381,12 +387,25 @@ const std::vector<RegistryEntry>& Registry() {
       {"memgrid",
        [](const IndexOptions& o) {
          return std::make_unique<MemGridAdapter>(
-             "memgrid", MemGridAdapter::SlackProfile{0, 0.0f}, o);
+             "memgrid", MemGridAdapter::SlackProfile{0, 0.0f}, o.layout, o);
        }},
       {"memgrid-padded",
        [](const IndexOptions& o) {
          return std::make_unique<MemGridAdapter>(
-             "memgrid-padded", MemGridAdapter::SlackProfile{2, 0.25f}, o);
+             "memgrid-padded", MemGridAdapter::SlackProfile{2, 0.25f},
+             o.layout, o);
+       }},
+      {"memgrid-morton",
+       [](const IndexOptions& o) {
+         return std::make_unique<MemGridAdapter>(
+             "memgrid-morton", MemGridAdapter::SlackProfile{0, 0.0f},
+             CellLayout::kMorton, o);
+       }},
+      {"memgrid-hilbert",
+       [](const IndexOptions& o) {
+         return std::make_unique<MemGridAdapter>(
+             "memgrid-hilbert", MemGridAdapter::SlackProfile{0, 0.0f},
+             CellLayout::kHilbert, o);
        }},
       {"lsh",
        [](const IndexOptions&) { return std::make_unique<LshAdapter>(); }},

@@ -25,6 +25,7 @@
 #include "common/stats.h"
 
 // The unified index interface, the registry, and MemGrid.
+#include "core/cell_layout.h"
 #include "core/memgrid.h"
 #include "core/spatial_index.h"
 

@@ -17,6 +17,7 @@
 #include "common/counters.h"
 #include "common/element.h"
 #include "common/threads.h"
+#include "core/cell_layout.h"
 
 namespace simspatial::core {
 
@@ -73,12 +74,16 @@ class SpatialIndex {
 };
 
 /// Cross-cutting construction knobs applied by MakeIndex to structures
-/// that support them (currently the MemGrid profiles' worker-thread knob;
-/// other adapters ignore it).
+/// that support them (currently the MemGrid profiles' worker-thread and
+/// cell-layout knobs; other adapters ignore them).
 struct IndexOptions {
   /// Worker threads for parallel-capable structures: par::kThreadsAuto
   /// resolves to the hardware concurrency, 0 forces the serial paths.
   std::uint32_t threads = par::kThreadsAuto;
+  /// Cell-region storage order for the base MemGrid profiles ("memgrid",
+  /// "memgrid-padded"). The dedicated "memgrid-morton"/"memgrid-hilbert"
+  /// profiles pin their own curve and ignore this knob.
+  CellLayout layout = CellLayout::kRowMajor;
 };
 
 /// Construct an index by registry name (see registry.cc). Returns nullptr

@@ -89,8 +89,10 @@ Simulation::Simulation(std::vector<Element> elements, const AABB& universe,
       config_(config),
       monitor_rng_(config.seed) {
   if (config_.policy != MaintenancePolicy::kNoIndex) {
-    index_ = core::MakeIndex(config_.index_name,
-                             core::IndexOptions{config_.index_threads});
+    index_ = core::MakeIndex(
+        config_.index_name,
+        core::IndexOptions{.threads = config_.index_threads,
+                           .layout = config_.index_layout});
     assert(index_ != nullptr && "unknown index name");
     index_->Build(elements_, universe_);
     updates_.reserve(elements_.size());

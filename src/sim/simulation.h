@@ -97,6 +97,11 @@ struct SimulationConfig {
   /// index's serial paths. Parallel-capable structures (MemGrid) use it for
   /// Build / ApplyUpdates / SelfJoin; others ignore it.
   std::uint32_t index_threads = par::kThreadsAuto;
+  /// Cell-region storage order for the base MemGrid profiles
+  /// (core::IndexOptions::layout): kRowMajor | kMorton | kHilbert. Other
+  /// structures ignore it. Purely a performance knob — step results are
+  /// identical across layouts.
+  core::CellLayout index_layout = core::CellLayout::kRowMajor;
   MaintenancePolicy policy = MaintenancePolicy::kIncrementalUpdate;
   /// In-situ monitoring: range queries per step (0 disables).
   std::size_t monitor_range_queries = 10;

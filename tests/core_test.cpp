@@ -102,6 +102,38 @@ TEST(MemGridTest, PlasticityUpdatesAreOverwhelminglyInPlace) {
   EXPECT_TRUE(g.CheckInvariants(&err)) << err;
 }
 
+// The per-shell distance lower bound must stop kNN shell expansion early
+// WITHOUT changing results — exactness is checked against the linear scan
+// on clustered data with coarse cells, the regime where the plain radius
+// doubling overshoots by a whole shell (the ROADMAP item this closes).
+TEST(MemGridTest, KnnShellLowerBoundStaysExactOnClusteredData) {
+  const auto elems =
+      GenerateClusteredBoxes(8000, kUniverse, 6, 3.0f, 0.1f, 0.7f);
+  for (const CellLayout layout :
+       {CellLayout::kRowMajor, CellLayout::kMorton, CellLayout::kHilbert}) {
+    MemGridConfig cfg;
+    cfg.cell_size = 6.0f;  // Coarse cells: shells expose many elements.
+    cfg.layout = layout;
+    MemGrid g(kUniverse, cfg);
+    g.Build(elems);
+    Rng rng(77);
+    for (int q = 0; q < 24; ++q) {
+      // Alternate probes inside clusters (dense, early stop matters) and
+      // in the void between them (sparse, expansion must keep going).
+      const Vec3 p = q % 2 == 0
+                         ? elems[rng.NextBelow(elems.size())].Center()
+                         : rng.PointIn(kUniverse);
+      for (const std::size_t k : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{33}}) {
+        std::vector<ElementId> got;
+        g.KnnQuery(p, k, &got);
+        ASSERT_EQ(got, ScanKnn(elems, p, k))
+            << "layout=" << ToString(layout) << " q" << q << " k=" << k;
+      }
+    }
+  }
+}
+
 TEST(MemGridTest, SelfJoinMatchesReference) {
   const auto elems = GenerateUniformBoxes(1500, kUniverse, 0.2f, 0.8f);
   MemGridConfig cfg;
@@ -454,8 +486,9 @@ INSTANTIATE_TEST_SUITE_P(AllIndexes, RegistryDifferentialTest,
 // profiles) and agree query-for-query with the brute-force mirror, which
 // transitively cross-checks the profiles against each other.
 TEST(RegistryTest, SeededMixedWorkloadDifferentialFuzz) {
-  const std::vector<std::string> profiles = {"memgrid", "memgrid-padded",
-                                             "rtree", "linear-scan"};
+  const std::vector<std::string> profiles = {
+      "memgrid",        "memgrid-padded", "memgrid-morton",
+      "memgrid-hilbert", "rtree",         "linear-scan"};
   std::vector<std::unique_ptr<SpatialIndex>> indexes;
   for (const std::string& p : profiles) {
     auto index = MakeIndex(p);

@@ -293,6 +293,99 @@ TEST(TriangleBoxTest, MatchesSamplingOnRandomTriangles) {
   }
 }
 
+TEST(CellCodecTest, IntegerCodecsAreInjectiveOnTheLattice) {
+  // The MemGrid cell layout relies on distinct cells getting distinct
+  // curve keys; sweep a full 8^3 block plus the axis extremes.
+  std::vector<std::uint64_t> morton, hilbert;
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        morton.push_back(MortonEncodeCell(x, y, z));
+        hilbert.push_back(HilbertEncodeCell(x, y, z));
+      }
+    }
+  }
+  std::sort(morton.begin(), morton.end());
+  std::sort(hilbert.begin(), hilbert.end());
+  EXPECT_EQ(std::unique(morton.begin(), morton.end()) - morton.begin(), 512);
+  EXPECT_EQ(std::unique(hilbert.begin(), hilbert.end()) - hilbert.begin(),
+            512);
+  // Morton of a lattice point is the classic bit interleave: x in the
+  // least-significant slot.
+  EXPECT_EQ(MortonEncodeCell(1, 0, 0), 1u);
+  EXPECT_EQ(MortonEncodeCell(0, 1, 0), 2u);
+  EXPECT_EQ(MortonEncodeCell(0, 0, 1), 4u);
+  EXPECT_EQ(MortonEncodeCell(0, 0, 0), 0u);
+  EXPECT_EQ(HilbertEncodeCell(0, 0, 0), 0u);
+}
+
+TEST(CellCodecTest, PositionCodecsQuantizeToCellCodecs) {
+  // The Vec3 overloads must be the integer codecs applied to the 21-bit
+  // quantised lattice — the property that lets MemGrid mix both.
+  const AABB u(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  constexpr float kScale = 2097151.0f;  // 2^21 - 1, as in Quantize21.
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p = rng.PointIn(u);
+    const auto q = [&](float v) {
+      return static_cast<std::uint32_t>(v / 100.0f * kScale);
+    };
+    EXPECT_EQ(MortonEncode(p, u), MortonEncodeCell(q(p.x), q(p.y), q(p.z)));
+    EXPECT_EQ(HilbertEncode(p, u),
+              HilbertEncodeCell(q(p.x), q(p.y), q(p.z)));
+  }
+}
+
+TEST(CellCodecTest, SizedHilbertIsABijectionOntoTheCube) {
+  // With `bits` sized to the lattice, the codec is a bijection onto
+  // [0, 2^(3*bits)) — what lets MemGrid pack (key << 32 | cell) and radix
+  // sort by the key bytes.
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        const std::uint64_t k = HilbertEncodeCell(x, y, z, /*bits=*/3);
+        EXPECT_LT(k, 512u);
+        keys.push_back(k);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(keys[i], i) << "keys must cover 0..511 exactly once";
+  }
+}
+
+TEST(CellCodecTest, HilbertConsecutiveKeysAreLatticeNeighbours) {
+  // Defining property of the Hilbert curve (and what makes it the
+  // tightest MemGrid layout): sort a full power-of-two block by key and
+  // every consecutive pair differs by exactly one unit step on one axis.
+  struct Cell {
+    std::uint64_t key;
+    std::uint32_t x, y, z;
+  };
+  std::vector<Cell> cells;
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        cells.push_back({HilbertEncodeCell(x, y, z), x, y, z});
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    const int manhattan =
+        std::abs(static_cast<int>(cells[i].x) -
+                 static_cast<int>(cells[i - 1].x)) +
+        std::abs(static_cast<int>(cells[i].y) -
+                 static_cast<int>(cells[i - 1].y)) +
+        std::abs(static_cast<int>(cells[i].z) -
+                 static_cast<int>(cells[i - 1].z));
+    EXPECT_EQ(manhattan, 1) << "hop " << i;
+  }
+}
+
 TEST(MortonTest, OrderRespectsLocality) {
   const AABB u(Vec3(0, 0, 0), Vec3(100, 100, 100));
   const auto a = MortonEncode(Vec3(1, 1, 1), u);

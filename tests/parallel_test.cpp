@@ -1,13 +1,18 @@
-// Parallel determinism battery: the MemGrid parallel kernels (counting-
-// scatter Build, x-slab SelfJoin, ApplyUpdates classification) must produce
-// results ELEMENT-FOR-ELEMENT identical to the serial paths at every thread
-// count, on every dataset shape — the property that makes "--threads=N" a
-// pure performance knob. Also unit-tests the static-partition thread pool
-// itself (common/parallel.h).
+// Parallel + layout determinism battery: the MemGrid parallel kernels
+// (counting-scatter Build, rank-range SelfJoin, ApplyUpdates
+// classification) must produce results ELEMENT-FOR-ELEMENT identical to
+// the serial paths at every thread count, on every dataset shape and under
+// EVERY cell layout (rowmajor / morton / hilbert) — the properties that
+// make "--threads=N" and "--layout=L" pure performance knobs. Across
+// layouts the storage (and therefore emission) order legitimately differs,
+// so cross-layout agreement is asserted on sorted results and on
+// order-independent observables (pair sets, counter totals, update stats).
+// Also unit-tests the static-partition thread pool itself
+// (common/parallel.h).
 //
-// This suite is the intended TSan workload:
+// This suite is the intended TSan workload (ctest label "determinism"):
 //   cmake -B build-tsan -S . -DSIMSPATIAL_SANITIZE=thread
-//   cmake --build build-tsan -j && ./build-tsan/parallel_test
+//   cmake --build build-tsan -j && cd build-tsan && ctest -L determinism
 
 #include <gtest/gtest.h>
 
@@ -34,6 +39,10 @@ const AABB kUniverse(Vec3(0, 0, 0), Vec3(100, 100, 100));
 // smaller machine oversubscribes the cores, which is exactly the kind of
 // scheduling chaos determinism must survive.
 const std::uint32_t kThreadCounts[] = {1, 2, 8};
+
+// Cell layouts the battery crosses with the thread counts.
+const CellLayout kLayouts[] = {CellLayout::kRowMajor, CellLayout::kMorton,
+                               CellLayout::kHilbert};
 
 struct NamedDataset {
   const char* name;
@@ -62,9 +71,11 @@ std::vector<NamedDataset> BatteryDatasets() {
 }
 
 MemGrid MakeGrid(const std::vector<Element>& elements, std::uint32_t threads,
-                 float cell_size = 4.0f) {
+                 float cell_size = 4.0f,
+                 CellLayout layout = CellLayout::kRowMajor) {
   MemGrid g(kUniverse, MemGridConfig{.cell_size = cell_size,
-                                     .threads = threads});
+                                     .threads = threads,
+                                     .layout = layout});
   g.Build(elements);
   return g;
 }
@@ -153,46 +164,126 @@ TEST(ThreadPoolTest, ResolveThreads) {
 
 TEST(ParallelDeterminismTest, BuildLayoutIdenticalAcrossThreadCounts) {
   for (const NamedDataset& ds : BatteryDatasets()) {
-    const MemGrid serial = MakeGrid(ds.elements, 0);
-    const std::vector<ElementId> want = LayoutOrder(serial);
-    const MemGridShape want_shape = serial.Shape();
-    for (const std::uint32_t t : kThreadCounts) {
-      const MemGrid g = MakeGrid(ds.elements, t);
-      std::string err;
-      ASSERT_TRUE(g.CheckInvariants(&err)) << ds.name << " t=" << t << ": "
-                                           << err;
-      EXPECT_EQ(LayoutOrder(g), want) << ds.name << " t=" << t;
-      const MemGridShape shape = g.Shape();
-      EXPECT_EQ(shape.occupied_cells, want_shape.occupied_cells)
-          << ds.name << " t=" << t;
-      EXPECT_EQ(shape.slack_slots, want_shape.slack_slots)
-          << ds.name << " t=" << t;
-      EXPECT_EQ(shape.max_half_extent, want_shape.max_half_extent)
-          << ds.name << " t=" << t;
+    // Cross-layout reference: the rowmajor serial build's element SET.
+    const std::vector<ElementId> want_sorted = [&] {
+      auto ids = LayoutOrder(MakeGrid(ds.elements, 0));
+      std::sort(ids.begin(), ids.end());
+      return ids;
+    }();
+    for (const CellLayout layout : kLayouts) {
+      // Within a layout, the parallel build must reproduce the serial
+      // build's layout BYTES (LayoutOrder streams the block in storage
+      // order, so equal outputs mean equal layouts).
+      const MemGrid serial = MakeGrid(ds.elements, 0, 4.0f, layout);
+      const std::vector<ElementId> want = LayoutOrder(serial);
+      const MemGridShape want_shape = serial.Shape();
+      EXPECT_EQ(want_shape.layout, layout) << ds.name;
+      // Gap-free profile fresh from Build: ONE contiguous stream covers
+      // the universe, whatever the rank order.
+      EXPECT_EQ(want_shape.layout_runs, ds.elements.empty() ? 0u : 1u)
+          << ds.name << " layout=" << ToString(layout);
+      {
+        auto sorted = want;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(sorted, want_sorted)
+            << ds.name << " layout=" << ToString(layout)
+            << ": layouts must hold the same element set";
+      }
+      for (const std::uint32_t t : kThreadCounts) {
+        const MemGrid g = MakeGrid(ds.elements, t, 4.0f, layout);
+        std::string err;
+        ASSERT_TRUE(g.CheckInvariants(&err))
+            << ds.name << " layout=" << ToString(layout) << " t=" << t
+            << ": " << err;
+        EXPECT_EQ(LayoutOrder(g), want)
+            << ds.name << " layout=" << ToString(layout) << " t=" << t;
+        const MemGridShape shape = g.Shape();
+        EXPECT_EQ(shape.occupied_cells, want_shape.occupied_cells)
+            << ds.name << " t=" << t;
+        EXPECT_EQ(shape.slack_slots, want_shape.slack_slots)
+            << ds.name << " t=" << t;
+        EXPECT_EQ(shape.max_half_extent, want_shape.max_half_extent)
+            << ds.name << " t=" << t;
+        EXPECT_EQ(shape.layout_runs, want_shape.layout_runs)
+            << ds.name << " t=" << t;
+      }
     }
+  }
+}
+
+// Shape()/CheckInvariants layout observability: a fresh gap-free build is
+// ONE contiguous stream in pristine rank order; a forced region relocation
+// splits the stream (observable via layout_runs) without breaking any
+// structural invariant; the padded profile streams one run per occupied
+// cell because per-cell slack breaks storage adjacency.
+TEST(ParallelDeterminismTest, LayoutRunsAndPristineOrderObservable) {
+  const auto elems = GenerateUniformBoxes(2048, kUniverse, 0.1f, 0.6f);
+  for (const CellLayout layout : kLayouts) {
+    MemGrid g = MakeGrid(elems, 0, 4.0f, layout);
+    EXPECT_EQ(g.Shape().layout, layout);
+    EXPECT_EQ(g.Shape().layout_runs, 1u) << ToString(layout);
+    std::string err;
+    ASSERT_TRUE(g.CheckInvariants(&err)) << ToString(layout) << ": " << err;
+    // Gap-free regions have no slack, so this insert relocates its
+    // destination region to the block tail (id 2048 = one past the
+    // generated dense id range — no slot-map blowup).
+    g.Insert(Element(2048, AABB::FromCenterHalfExtent(
+                               Vec3(50.0f, 50.0f, 50.0f), 0.3f)));
+    ASSERT_TRUE(g.CheckInvariants(&err)) << ToString(layout) << ": " << err;
+    EXPECT_GT(g.Shape().layout_runs, 1u) << ToString(layout);
+
+    MemGrid padded(kUniverse, MemGridConfig{.cell_size = 4.0f,
+                                            .min_slack = 2,
+                                            .threads = 0,
+                                            .layout = layout});
+    padded.Build(elems);
+    const MemGridShape s = padded.Shape();
+    EXPECT_EQ(s.layout_runs, s.occupied_cells) << ToString(layout);
+    ASSERT_TRUE(padded.CheckInvariants(&err)) << ToString(layout) << ": "
+                                              << err;
   }
 }
 
 TEST(ParallelDeterminismTest, RangeAndKnnIdenticalAfterParallelBuild) {
   for (const NamedDataset& ds : BatteryDatasets()) {
-    const MemGrid serial = MakeGrid(ds.elements, 0);
-    for (const std::uint32_t t : kThreadCounts) {
-      const MemGrid g = MakeGrid(ds.elements, t);
-      Rng rng(57);
-      for (int q = 0; q < 20; ++q) {
-        const AABB query = AABB::FromCenterHalfExtent(
-            rng.PointIn(kUniverse), rng.Uniform(0.5f, 12.0f));
-        std::vector<ElementId> got, want;
-        g.RangeQuery(query, &got);
-        serial.RangeQuery(query, &want);
-        ASSERT_EQ(got, want) << ds.name << " t=" << t << " q" << q;
-      }
-      for (int q = 0; q < 10; ++q) {
-        const Vec3 p = rng.PointIn(kUniverse);
-        std::vector<ElementId> got, want;
-        g.KnnQuery(p, 9, &got);
-        serial.KnnQuery(p, 9, &want);
-        ASSERT_EQ(got, want) << ds.name << " t=" << t << " q" << q;
+    const MemGrid rowmajor_serial = MakeGrid(ds.elements, 0);
+    for (const CellLayout layout : kLayouts) {
+      const MemGrid serial = MakeGrid(ds.elements, 0, 4.0f, layout);
+      for (const std::uint32_t t : kThreadCounts) {
+        const MemGrid g = MakeGrid(ds.elements, t, 4.0f, layout);
+        Rng rng(57);
+        for (int q = 0; q < 20; ++q) {
+          const AABB query = AABB::FromCenterHalfExtent(
+              rng.PointIn(kUniverse), rng.Uniform(0.5f, 12.0f));
+          std::vector<ElementId> got, want, rowmajor_want;
+          g.RangeQuery(query, &got);
+          serial.RangeQuery(query, &want);
+          ASSERT_EQ(got, want)
+              << ds.name << " layout=" << ToString(layout) << " t=" << t
+              << " q" << q;
+          // Across layouts only the emission order may differ.
+          rowmajor_serial.RangeQuery(query, &rowmajor_want);
+          std::sort(got.begin(), got.end());
+          std::sort(rowmajor_want.begin(), rowmajor_want.end());
+          ASSERT_EQ(got, rowmajor_want)
+              << ds.name << " layout=" << ToString(layout) << " t=" << t
+              << " q" << q;
+        }
+        for (int q = 0; q < 10; ++q) {
+          const Vec3 p = rng.PointIn(kUniverse);
+          std::vector<ElementId> got, want, rowmajor_want;
+          g.KnnQuery(p, 9, &got);
+          serial.KnnQuery(p, 9, &want);
+          ASSERT_EQ(got, want)
+              << ds.name << " layout=" << ToString(layout) << " t=" << t
+              << " q" << q;
+          // kNN output is distance-ordered (ties by id) — identical
+          // ELEMENT-FOR-ELEMENT across layouts, not just as a set.
+          rowmajor_serial.KnnQuery(p, 9, &rowmajor_want);
+          ASSERT_EQ(got, rowmajor_want)
+              << ds.name << " layout=" << ToString(layout) << " t=" << t
+              << " q" << q;
+        }
       }
     }
   }
@@ -202,24 +293,48 @@ TEST(ParallelDeterminismTest, RangeAndKnnIdenticalAfterParallelBuild) {
 
 TEST(ParallelDeterminismTest, SelfJoinPairsAndCountersIdentical) {
   for (const NamedDataset& ds : BatteryDatasets()) {
-    const MemGrid serial = MakeGrid(ds.elements, 0);
+    // Cross-layout references (rowmajor serial): the sorted pair set and
+    // the counter totals are layout-independent — every layout enumerates
+    // the same cell pairs, only in a different order.
     for (const float eps : {0.0f, 0.5f}) {
-      std::vector<std::pair<ElementId, ElementId>> want;
-      QueryCounters want_c;
-      serial.SelfJoin(eps, &want, &want_c);
-      for (const std::uint32_t t : kThreadCounts) {
-        const MemGrid g = MakeGrid(ds.elements, t);
-        std::vector<std::pair<ElementId, ElementId>> got;
-        QueryCounters got_c;
-        g.SelfJoin(eps, &got, &got_c);
-        // Element-for-element: parallel slabs must reproduce the serial
-        // emission ORDER, not just the pair set.
-        ASSERT_EQ(got, want) << ds.name << " t=" << t << " eps=" << eps;
-        EXPECT_EQ(got_c.element_tests, want_c.element_tests)
-            << ds.name << " t=" << t;
-        EXPECT_EQ(got_c.nodes_visited, want_c.nodes_visited)
-            << ds.name << " t=" << t;
-        EXPECT_EQ(got_c.results, want_c.results) << ds.name << " t=" << t;
+      std::vector<std::pair<ElementId, ElementId>> rowmajor_sorted;
+      QueryCounters rowmajor_c;
+      MakeGrid(ds.elements, 0).SelfJoin(eps, &rowmajor_sorted, &rowmajor_c);
+      SortPairs(&rowmajor_sorted);
+      for (const CellLayout layout : kLayouts) {
+        const MemGrid serial = MakeGrid(ds.elements, 0, 4.0f, layout);
+        std::vector<std::pair<ElementId, ElementId>> want;
+        QueryCounters want_c;
+        serial.SelfJoin(eps, &want, &want_c);
+        {
+          auto sorted = want;
+          SortPairs(&sorted);
+          ASSERT_EQ(sorted, rowmajor_sorted)
+              << ds.name << " layout=" << ToString(layout)
+              << " eps=" << eps;
+          EXPECT_EQ(want_c.element_tests, rowmajor_c.element_tests)
+              << ds.name << " layout=" << ToString(layout);
+          EXPECT_EQ(want_c.nodes_visited, rowmajor_c.nodes_visited)
+              << ds.name << " layout=" << ToString(layout);
+          EXPECT_EQ(want_c.results, rowmajor_c.results)
+              << ds.name << " layout=" << ToString(layout);
+        }
+        for (const std::uint32_t t : kThreadCounts) {
+          const MemGrid g = MakeGrid(ds.elements, t, 4.0f, layout);
+          std::vector<std::pair<ElementId, ElementId>> got;
+          QueryCounters got_c;
+          g.SelfJoin(eps, &got, &got_c);
+          // Element-for-element: parallel rank ranges must reproduce the
+          // serial emission ORDER, not just the pair set.
+          ASSERT_EQ(got, want) << ds.name << " layout=" << ToString(layout)
+                               << " t=" << t << " eps=" << eps;
+          EXPECT_EQ(got_c.element_tests, want_c.element_tests)
+              << ds.name << " layout=" << ToString(layout) << " t=" << t;
+          EXPECT_EQ(got_c.nodes_visited, want_c.nodes_visited)
+              << ds.name << " layout=" << ToString(layout) << " t=" << t;
+          EXPECT_EQ(got_c.results, want_c.results)
+              << ds.name << " layout=" << ToString(layout) << " t=" << t;
+        }
       }
     }
   }
@@ -227,50 +342,65 @@ TEST(ParallelDeterminismTest, SelfJoinPairsAndCountersIdentical) {
 
 TEST(ParallelDeterminismTest, SelfJoinMatchesBruteForce) {
   const auto elems = GenerateUniformBoxes(2000, kUniverse, 0.2f, 0.8f);
-  for (const std::uint32_t t : kThreadCounts) {
-    const MemGrid g = MakeGrid(elems, t, /*cell_size=*/2.5f);
-    for (const float eps : {0.0f, 0.5f}) {
-      std::vector<std::pair<ElementId, ElementId>> got;
-      g.SelfJoin(eps, &got);
-      SortPairs(&got);
-      auto want = NestedLoopSelfJoin(elems, eps);
-      SortPairs(&want);
-      EXPECT_EQ(got, want) << "t=" << t << " eps=" << eps;
+  for (const float eps : {0.0f, 0.5f}) {
+    // The O(n^2) reference depends only on eps — hoist it out of the
+    // layout x thread sweep.
+    auto want = NestedLoopSelfJoin(elems, eps);
+    SortPairs(&want);
+    for (const CellLayout layout : kLayouts) {
+      for (const std::uint32_t t : kThreadCounts) {
+        const MemGrid g = MakeGrid(elems, t, /*cell_size=*/2.5f, layout);
+        std::vector<std::pair<ElementId, ElementId>> got;
+        g.SelfJoin(eps, &got);
+        SortPairs(&got);
+        EXPECT_EQ(got, want) << "layout=" << ToString(layout) << " t=" << t
+                             << " eps=" << eps;
+      }
     }
   }
 }
 
 // Regression for the widened-reach path (cell_size < 2*max_half_extent +
 // eps): matching centres can sit several cells — and therefore several
-// SLABS — apart, so the slab partitioning must still assign each cross-slab
-// pair to exactly one origin cell. 3000 elements keeps the widened sweep
-// cheaper than the all-pairs fallback, so the slab path itself runs.
-TEST(ParallelDeterminismTest, WidenedReachEmitsCrossSlabPairsExactlyOnce) {
+// worker RANK RANGES — apart, so the partitioning must still assign each
+// cross-range pair to exactly one origin cell. Under the curve layouts a
+// range boundary can additionally cut straight through a lattice
+// neighbourhood, which is exactly what this guards. 3000 elements keeps
+// the widened sweep cheaper than the all-pairs fallback, so the rank-range
+// path itself runs.
+TEST(ParallelDeterminismTest, WidenedReachEmitsCrossRangePairsExactlyOnce) {
   Rng rng(85);
   std::vector<Element> elems;
   for (ElementId i = 0; i < 3000; ++i) {
     elems.emplace_back(i, AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
                                                      rng.Uniform(0.5f, 3.0f)));
   }
-  const MemGrid serial = MakeGrid(elems, 0, /*cell_size=*/2.0f);
   for (const float eps : {0.0f, 1.0f}) {
-    std::vector<std::pair<ElementId, ElementId>> want;
-    serial.SelfJoin(eps, &want);
-    for (const std::uint32_t t : kThreadCounts) {
-      const MemGrid g = MakeGrid(elems, t, /*cell_size=*/2.0f);
-      std::vector<std::pair<ElementId, ElementId>> got;
-      g.SelfJoin(eps, &got);
-      ASSERT_EQ(got, want) << "t=" << t << " eps=" << eps;
-      // Exactly once: no duplicates even among pairs whose cells straddle
-      // a slab boundary.
-      auto sorted = got;
-      SortPairs(&sorted);
-      ASSERT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
-                sorted.end())
-          << "duplicate pair at t=" << t << " eps=" << eps;
-      auto brute = NestedLoopSelfJoin(elems, eps);
-      SortPairs(&brute);
-      ASSERT_EQ(sorted, brute) << "t=" << t << " eps=" << eps;
+    // The O(n^2) reference depends only on eps — hoist it out of the
+    // layout x thread sweep.
+    auto brute = NestedLoopSelfJoin(elems, eps);
+    SortPairs(&brute);
+    for (const CellLayout layout : kLayouts) {
+      const MemGrid serial = MakeGrid(elems, 0, /*cell_size=*/2.0f, layout);
+      std::vector<std::pair<ElementId, ElementId>> want;
+      serial.SelfJoin(eps, &want);
+      for (const std::uint32_t t : kThreadCounts) {
+        const MemGrid g = MakeGrid(elems, t, /*cell_size=*/2.0f, layout);
+        std::vector<std::pair<ElementId, ElementId>> got;
+        g.SelfJoin(eps, &got);
+        ASSERT_EQ(got, want) << "layout=" << ToString(layout) << " t=" << t
+                             << " eps=" << eps;
+        // Exactly once: no duplicates even among pairs whose cells
+        // straddle a worker boundary.
+        auto sorted = got;
+        SortPairs(&sorted);
+        ASSERT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                  sorted.end())
+            << "duplicate pair at layout=" << ToString(layout)
+            << " t=" << t << " eps=" << eps;
+        ASSERT_EQ(sorted, brute) << "layout=" << ToString(layout)
+                                 << " t=" << t << " eps=" << eps;
+      }
     }
   }
 }
@@ -307,47 +437,70 @@ std::vector<ElementUpdate> SeededUpdateBatch(std::vector<Element>* mirror,
 
 TEST(ParallelDeterminismTest, ApplyUpdatesIdenticalAcrossThreadCounts) {
   const auto elems = GenerateUniformBoxes(4096, kUniverse, 0.1f, 0.8f);
-  // Drive the serial reference and each thread count through the SAME
-  // seeded three-round batch stream; every structural observable must
-  // match after every round.
-  MemGrid serial = MakeGrid(elems, 0);
-  std::vector<MemGrid> grids;
-  for (const std::uint32_t t : kThreadCounts) {
-    grids.push_back(MakeGrid(elems, t));
-  }
-  std::vector<Element> mirror = elems;
-  Rng rng(99);
-  for (int round = 0; round < 3; ++round) {
-    // One batch per round; every grid sees the identical batch.
-    const auto batch = SeededUpdateBatch(&mirror, &rng);
-    const std::size_t want_applied = serial.ApplyUpdates(batch);
-    const std::vector<ElementId> want_layout = LayoutOrder(serial);
-    const MemGridUpdateStats& ws = serial.update_stats();
-    for (std::size_t gi = 0; gi < grids.size(); ++gi) {
-      MemGrid& g = grids[gi];
-      EXPECT_EQ(g.ApplyUpdates(batch), want_applied)
-          << "t=" << kThreadCounts[gi] << " round " << round;
-      std::string err;
-      ASSERT_TRUE(g.CheckInvariants(&err))
-          << "t=" << kThreadCounts[gi] << " round " << round << ": " << err;
-      ASSERT_EQ(LayoutOrder(g), want_layout)
-          << "t=" << kThreadCounts[gi] << " round " << round;
-      const MemGridUpdateStats& s = g.update_stats();
-      EXPECT_EQ(s.updates, ws.updates) << "t=" << kThreadCounts[gi];
-      EXPECT_EQ(s.in_place, ws.in_place) << "t=" << kThreadCounts[gi];
-      EXPECT_EQ(s.migrations, ws.migrations) << "t=" << kThreadCounts[gi];
-      EXPECT_EQ(s.relayouts, ws.relayouts) << "t=" << kThreadCounts[gi];
+  // Drive, per layout, the serial reference and each thread count through
+  // the SAME seeded three-round batch stream; every structural observable
+  // must match after every round. The update stats are additionally
+  // layout-independent (migration/relayout decisions depend only on cell
+  // membership and capacity, never on rank order), so each layout's final
+  // stats must agree with rowmajor's.
+  MemGridUpdateStats rowmajor_stats;
+  for (const CellLayout layout : kLayouts) {
+    MemGrid serial = MakeGrid(elems, 0, 4.0f, layout);
+    std::vector<MemGrid> grids;
+    for (const std::uint32_t t : kThreadCounts) {
+      grids.push_back(MakeGrid(elems, t, 4.0f, layout));
     }
-  }
-  // End state must also agree with brute force, not merely with itself.
-  Rng qrng(100);
-  for (int q = 0; q < 20; ++q) {
-    const AABB query = AABB::FromCenterHalfExtent(qrng.PointIn(kUniverse),
-                                                  qrng.Uniform(1.0f, 10.0f));
-    std::vector<ElementId> got;
-    serial.RangeQuery(query, &got);
-    std::sort(got.begin(), got.end());
-    ASSERT_EQ(got, ScanRange(mirror, query)) << "q" << q;
+    std::vector<Element> mirror = elems;
+    Rng rng(99);
+    for (int round = 0; round < 3; ++round) {
+      // One batch per round; every grid sees the identical batch.
+      const auto batch = SeededUpdateBatch(&mirror, &rng);
+      const std::size_t want_applied = serial.ApplyUpdates(batch);
+      const std::vector<ElementId> want_layout = LayoutOrder(serial);
+      const MemGridUpdateStats& ws = serial.update_stats();
+      for (std::size_t gi = 0; gi < grids.size(); ++gi) {
+        MemGrid& g = grids[gi];
+        EXPECT_EQ(g.ApplyUpdates(batch), want_applied)
+            << "layout=" << ToString(layout) << " t=" << kThreadCounts[gi]
+            << " round " << round;
+        std::string err;
+        ASSERT_TRUE(g.CheckInvariants(&err))
+            << "layout=" << ToString(layout) << " t=" << kThreadCounts[gi]
+            << " round " << round << ": " << err;
+        ASSERT_EQ(LayoutOrder(g), want_layout)
+            << "layout=" << ToString(layout) << " t=" << kThreadCounts[gi]
+            << " round " << round;
+        const MemGridUpdateStats& s = g.update_stats();
+        EXPECT_EQ(s.updates, ws.updates) << "t=" << kThreadCounts[gi];
+        EXPECT_EQ(s.in_place, ws.in_place) << "t=" << kThreadCounts[gi];
+        EXPECT_EQ(s.migrations, ws.migrations) << "t=" << kThreadCounts[gi];
+        EXPECT_EQ(s.relayouts, ws.relayouts) << "t=" << kThreadCounts[gi];
+      }
+    }
+    if (layout == CellLayout::kRowMajor) {
+      rowmajor_stats = serial.update_stats();
+    } else {
+      const MemGridUpdateStats& s = serial.update_stats();
+      EXPECT_EQ(s.updates, rowmajor_stats.updates)
+          << "layout=" << ToString(layout);
+      EXPECT_EQ(s.in_place, rowmajor_stats.in_place)
+          << "layout=" << ToString(layout);
+      EXPECT_EQ(s.migrations, rowmajor_stats.migrations)
+          << "layout=" << ToString(layout);
+      EXPECT_EQ(s.relayouts, rowmajor_stats.relayouts)
+          << "layout=" << ToString(layout);
+    }
+    // End state must also agree with brute force, not merely with itself.
+    Rng qrng(100);
+    for (int q = 0; q < 20; ++q) {
+      const AABB query = AABB::FromCenterHalfExtent(qrng.PointIn(kUniverse),
+                                                    qrng.Uniform(1.0f, 10.0f));
+      std::vector<ElementId> got;
+      serial.RangeQuery(query, &got);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, ScanRange(mirror, query))
+          << "layout=" << ToString(layout) << " q" << q;
+    }
   }
 }
 
