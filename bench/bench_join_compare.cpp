@@ -42,6 +42,7 @@ int Main(int argc, char** argv) {
                  layout_name.c_str());
     return 2;
   }
+  const auto shards = static_cast<std::uint32_t>(flags.GetSize("shards", 1));
   bench::JsonWriter json(flags.GetString("json", ""));
 
   bench::PrintHeader(
@@ -93,6 +94,7 @@ int Main(int argc, char** argv) {
     json.Field("n", static_cast<double>(n));
     json.Field("eps", static_cast<double>(eps));
     json.Field("layout", core::ToString(layout));
+    json.Field("shards", static_cast<double>(shards));
     json.Field("total_ms", ms);
     json.Field("comparisons", static_cast<double>(c.element_tests));
     json.Field("pairs", static_cast<double>(pairs.size()));
@@ -130,8 +132,9 @@ int Main(int argc, char** argv) {
   mg_cfg.cell_size = static_cast<float>(stats.max_extent + eps) * 1.01f;
   mg_cfg.threads = threads;
   mg_cfg.layout = layout;
-  std::printf("memgrid threads: %u, memgrid layout: %s\n",
-              par::ResolveThreads(threads), core::ToString(layout));
+  mg_cfg.shards = shards;
+  std::printf("memgrid threads: %u, memgrid layout: %s, memgrid shards: %u\n",
+              par::ResolveThreads(threads), core::ToString(layout), shards);
   const std::size_t p_memgrid =
       run("memgrid build+self-join (parallel)", [&](QueryCounters* c) {
         core::MemGrid memgrid(ds.universe, mg_cfg);

@@ -14,6 +14,12 @@
 //   --layout=<l>          MemGrid cell layout: rowmajor (default), morton
 //                         or hilbert. A pure storage-order knob — results
 //                         are identical; ns/op is the point.
+//   --shards=<s>          MemGrid entry-block shards (default 1). Bounds
+//                         the worst-case update stall at O(n/shards);
+//                         results are identical at every value.
+//   --compact=<r>         MemGrid incremental-compaction budget: regions
+//                         reclaimed per ApplyUpdates batch (default 0 =
+//                         off).
 
 #include <algorithm>
 #include <cmath>
@@ -80,6 +86,8 @@ int Main(int argc, char** argv) {
                  layout_name.c_str());
     return 2;
   }
+  const auto shards = static_cast<std::uint32_t>(flags.GetSize("shards", 1));
+  const auto compact = static_cast<std::uint32_t>(flags.GetSize("compact", 0));
   JsonWriter json(flags.GetString("json", ""));
 
   bench::PrintHeader("Microbenchmarks: build/range/knn/update/self-join",
@@ -98,9 +106,11 @@ int Main(int argc, char** argv) {
     elems = std::move(ds.elements);
   }
   std::printf("dataset: %zu %s elements, universe side %.0f, reps %zu, "
-              "memgrid threads %u, memgrid layout %s\n",
+              "memgrid threads %u, memgrid layout %s, memgrid shards %u, "
+              "memgrid compact %u\n",
               n, dataset_name.c_str(), universe.Extent().x, reps,
-              par::ResolveThreads(threads), core::ToString(layout));
+              par::ResolveThreads(threads), core::ToString(layout), shards,
+              compact);
 
   const auto stats = grid::DatasetStats::Compute(elems, universe);
   const float grid_cell = std::max(
@@ -110,6 +120,8 @@ int Main(int argc, char** argv) {
   mg_cfg.cell_size = grid_cell;
   mg_cfg.threads = threads;
   mg_cfg.layout = layout;
+  mg_cfg.shards = shards;
+  mg_cfg.compact_regions_per_batch = compact;
 
   datagen::RangeWorkloadConfig wl_cfg;
   wl_cfg.num_queries = 64;
@@ -297,6 +309,8 @@ int Main(int argc, char** argv) {
     json.Field("n", static_cast<double>(n));
     json.Field("threads", static_cast<double>(par::ResolveThreads(threads)));
     json.Field("layout", core::ToString(layout));
+    json.Field("shards", static_cast<double>(shards));
+    json.Field("compact_regions", static_cast<double>(compact));
     json.Field("ns_per_op", r.ns_per_op);
     json.Field("ops_per_rep", r.ops);
   }

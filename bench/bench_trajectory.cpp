@@ -9,6 +9,12 @@
 // kernels got slower than --max-regression (default 0.25, i.e. >25%).
 // Per-record outliers are reported as warnings for humans to chase.
 //
+// Coverage gate: every committed baseline record must match a fresh
+// record — unmatched records from either side are reported by name, and a
+// matched count below the baseline's record count FAILS (a bench that
+// silently dropped kernels would otherwise keep passing while guarding
+// less and less).
+//
 // If the gate fails on genuinely different hardware (the baseline encodes
 // the machine it was measured on), regenerate the baseline with the
 // re-measure command printed on failure and commit the new BENCH_micro.json.
@@ -25,6 +31,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -168,10 +175,13 @@ int Main(int argc, char** argv) {
     return 2;
   }
   // The fresh run must reproduce the baseline's conditions (scale, dataset,
-  // cell layout, serial kernels) or the per-record ratios are meaningless.
+  // cell layout, shard count, serial kernels) or the per-record ratios are
+  // meaningless.
   const std::string n = Get(baseline.front(), "n");
   const std::string dataset = Get(baseline.front(), "dataset");
   const std::string layout = Get(baseline.front(), "layout");
+  const std::string shards = Get(baseline.front(), "shards");
+  const std::string compact = Get(baseline.front(), "compact_regions");
   if (n.empty() || dataset.empty()) {
     std::fprintf(stderr, "trajectory: baseline lacks n/dataset fields\n");
     return 2;
@@ -179,7 +189,9 @@ int Main(int argc, char** argv) {
   const std::string cmd =
       "\"" + bench + "\" --n=" + n + " --dataset=" + dataset +
       " --reps=" + std::to_string(reps) + " --threads=1" +
-      (layout.empty() ? "" : " --layout=" + layout) + " --json=\"" +
+      (layout.empty() ? "" : " --layout=" + layout) +
+      (shards.empty() ? "" : " --shards=" + shards) +
+      (compact.empty() ? "" : " --compact=" + compact) + " --json=\"" +
       out_path + "\"";
   std::printf("trajectory: %s\n", cmd.c_str());
   std::fflush(stdout);
@@ -201,15 +213,30 @@ int Main(int argc, char** argv) {
   std::vector<double> ratios;
   std::printf("\n%-14s %-18s %12s %12s %8s\n", "kernel", "structure",
               "base ns/op", "new ns/op", "ratio");
-  int matched = 0;
+  std::size_t matched = 0;
   std::vector<std::string> outliers;
+  // Kernels present in only one side must surface, not vanish: a silently
+  // skipped pair means either the bench lost a kernel (the gate would
+  // otherwise pass while guarding less) or grew one the baseline lacks.
+  std::vector<std::string> baseline_only;
+  std::vector<std::string> fresh_only;
+  std::set<std::pair<std::string, std::string>> baseline_keys;
   for (const Record& r : baseline) {
     const auto key = std::make_pair(Get(r, "kernel"), Get(r, "structure"));
+    baseline_keys.insert(key);
     const auto it = fresh_ns.find(key);
     const double base = std::atof(Get(r, "ns_per_op").c_str());
     if (it == fresh_ns.end() || base <= 0.0 || it->second <= 0.0) {
-      std::printf("%-14s %-18s %12.1f %12s %8s (no match — skipped)\n",
-                  key.first.c_str(), key.second.c_str(), base, "-", "-");
+      // Distinguish a genuinely missing fresh record from one whose
+      // measurement is unusable (ns_per_op <= 0 on either side) — the
+      // operator debugs very different things for the two.
+      std::printf("%-14s %-18s %12.1f %12s %8s (UNMATCHED%s)\n",
+                  key.first.c_str(), key.second.c_str(), base, "-", "-",
+                  it == fresh_ns.end() ? "" : ": non-positive ns_per_op");
+      baseline_only.push_back(key.first + "/" + key.second +
+                              (it == fresh_ns.end()
+                                   ? ""
+                                   : " (non-positive ns_per_op)"));
       continue;
     }
     const double ratio = it->second / base;
@@ -221,15 +248,31 @@ int Main(int argc, char** argv) {
       outliers.push_back(key.first + "/" + key.second);
     }
   }
-  if (matched < 3) {
+  for (const auto& [key, ns] : fresh_ns) {
+    if (baseline_keys.find(key) == baseline_keys.end()) {
+      fresh_only.push_back(key.first + "/" + key.second);
+    }
+  }
+  for (const std::string& k : baseline_only) {
+    std::fprintf(stderr, "trajectory: baseline record %s did not match the "
+                         "fresh run\n",
+                 k.c_str());
+  }
+  for (const std::string& k : fresh_only) {
+    std::printf("trajectory: fresh kernel %s is not in the baseline — "
+                "regenerate BENCH_micro.json to start gating it\n",
+                k.c_str());
+  }
+  if (matched < baseline.size()) {
     std::fprintf(stderr,
-                 "trajectory: only %d records matched the baseline — "
-                 "regenerate BENCH_micro.json\n",
-                 matched);
+                 "trajectory: only %zu of %zu baseline records matched — "
+                 "the gate no longer covers the committed baseline. "
+                 "Regenerate BENCH_micro.json with:\n  %s\n",
+                 matched, baseline.size(), cmd.c_str());
     return 2;
   }
   const double median_ratio = Median(ratios);
-  std::printf("\ntrajectory: %d kernels matched, median ns/op ratio %.3f "
+  std::printf("\ntrajectory: %zu kernels matched, median ns/op ratio %.3f "
               "(gate at %.3f)\n",
               matched, median_ratio, 1.0 + max_regression);
   for (const std::string& o : outliers) {

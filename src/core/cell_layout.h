@@ -8,8 +8,10 @@
 // space-filling-curve order keeps most of the cube in a handful of long
 // contiguous rank runs — fewer, longer streams for the same probe
 // (ROADMAP: "a space-filling-curve layout would tighten the working set of
-// cubic probes"). A curve rank is also a natural shard key for future
-// NUMA/sharded partitioning.
+// cubic probes"). The rank is also MemGrid's shard key: the entry block is
+// split into contiguous rank ranges (MemGridConfig::shards), each with its
+// own storage and compaction, so a curve layout doubles as a spatially
+// coherent shard partition.
 
 #ifndef SIMSPATIAL_CORE_CELL_LAYOUT_H_
 #define SIMSPATIAL_CORE_CELL_LAYOUT_H_

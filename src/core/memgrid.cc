@@ -13,10 +13,29 @@ namespace simspatial::core {
 
 namespace {
 constexpr std::size_t kMaxCellsPerAxis = 1024;
-/// Entry blocks smaller than this never trigger a full re-layout from
-/// relocation churn: a re-layout is O(cells), which can dwarf a tiny
-/// dataset, and the absolute waste is bounded by this constant anyway.
+/// Shard blocks smaller than this never trigger a growth-based re-layout:
+/// a re-layout is O(cells in the shard), which can dwarf a tiny dataset.
+/// (Waste on small grids is bounded by the churn cap below instead — the
+/// old behaviour let a near-empty grid bloat to this constant.)
 constexpr std::size_t kMinEntriesForRelayout = 4096;
+/// Churn cap: a shard whose relocation-abandoned DEAD slots exceed this
+/// multiple of its live entries (plus a small floor so near-empty grids
+/// don't re-layout on every insert) is re-laid-out regardless of absolute
+/// size. Only dead slots count — layout-policy slack (min_slack /
+/// slack_fraction) is recreated by every re-layout, so counting it would
+/// keep the trigger permanently armed for padded configs; and geometric
+/// relocation strands at most ~1.5x a region's abandoned total as extra
+/// slack, so capping dead bounds the shard's total waste at a constant
+/// multiple of live + policy slack anyway.
+constexpr std::size_t kChurnWasteMultiple = 4;
+constexpr std::size_t kChurnWasteFloor = 256;
+/// Incremental compaction starts once a shard's block has grown this many
+/// slots past its layout budget (or half the budget, whichever is larger).
+/// Half-way to the 2x growth trigger balances pass frequency (each pass
+/// re-copies the shard, a steady-state throughput tax under heavy churn)
+/// against headroom for the pass to complete before that trigger would
+/// stall the batch.
+constexpr std::size_t kCompactHeadroomFloor = 1024;
 /// Minimum items per worker chunk for the parallel Build / ApplyUpdates
 /// passes; below this the pool dispatch costs more than it saves.
 constexpr std::size_t kParallelGrain = 1024;
@@ -83,6 +102,7 @@ MemGrid::MemGrid(const AABB& universe, MemGridConfig config)
   nz_ = axis(ext.z);
   regions_.resize(nx_ * ny_ * nz_);
   BuildCurveRanks();
+  PartitionShards({}, 0);
 }
 
 void MemGrid::BuildCurveRanks() {
@@ -127,6 +147,91 @@ void MemGrid::BuildCurveRanks() {
   }
 }
 
+void MemGrid::PartitionShards(const std::vector<std::uint32_t>& counts,
+                              std::size_t total) {
+  const std::size_t cells = regions_.size();
+  const std::size_t want = std::max<std::uint32_t>(config_.shards, 1);
+  const std::size_t S = std::min<std::size_t>(want, cells);
+  shard_begin_rank_.assign(S + 1, 0);
+  shard_begin_rank_[S] = static_cast<std::uint32_t>(cells);
+  if (total == 0 || counts.empty()) {
+    // No occupancy information: even rank split.
+    for (std::size_t s = 1; s < S; ++s) {
+      shard_begin_rank_[s] = static_cast<std::uint32_t>(cells * s / S);
+    }
+  } else {
+    // Entry-balanced boundaries: close shard s-1 at the first rank whose
+    // entry prefix reaches s/S of the total, while guaranteeing every
+    // shard at least one rank. A pure function of the per-cell counts and
+    // the rank order — identical across thread counts.
+    std::size_t r = 0;
+    std::size_t acc = 0;
+    for (std::size_t s = 1; s < S; ++s) {
+      const std::size_t target = total * s / S;
+      const std::size_t lo = shard_begin_rank_[s - 1] + std::size_t{1};
+      const std::size_t hi = cells - (S - s);
+      while (r < lo || (r < hi && acc < target)) {
+        acc += counts[RankCell(r)];
+        ++r;
+      }
+      shard_begin_rank_[s] = static_cast<std::uint32_t>(r);
+    }
+  }
+  shards_.assign(S, Shard{});
+  for (std::size_t s = 0; s < S; ++s) {
+    shards_[s].rank_begin = shard_begin_rank_[s];
+    shards_[s].rank_end = shard_begin_rank_[s + 1];
+    shards_[s].cursor = shards_[s].rank_begin;
+  }
+}
+
+template <typename PerRank>
+void MemGrid::LayoutShardRegions(const std::vector<std::uint32_t>& counts,
+                                 const PerRank& per_rank) {
+  for (Shard& sh : shards_) {
+    std::size_t total = 0;
+    std::size_t live = 0;
+    for (std::size_t rank = sh.rank_begin; rank < sh.rank_end; ++rank) {
+      const std::size_t cell = RankCell(rank);
+      const std::uint32_t count = counts[cell];
+      const std::uint32_t cap = SlackedCap(count);
+      per_rank(cell, static_cast<std::uint32_t>(total), cap, count);
+      total += cap;
+      live += count;
+    }
+    sh.block.assign(total, Entry{});
+    sh.layout_budget = total;
+    sh.live = live;
+  }
+}
+
+std::size_t MemGrid::ShardOfRank(std::size_t rank) const {
+  if (shards_.size() == 1) return 0;
+  const auto it = std::upper_bound(shard_begin_rank_.begin() + 1,
+                                   shard_begin_rank_.end(),
+                                   static_cast<std::uint32_t>(rank));
+  return static_cast<std::size_t>(it - shard_begin_rank_.begin()) - 1;
+}
+
+const std::vector<MemGrid::Entry>& MemGrid::SpaceOf(std::size_t cell) const {
+  if (shards_.size() == 1 && !shards_[0].compacting) return shards_[0].block;
+  const std::size_t rank = CellRank(cell);
+  const Shard& sh = shards_[ShardOfRank(rank)];
+  return sh.compacting && rank < sh.cursor ? sh.fresh : sh.block;
+}
+
+MemGrid::CellRef MemGrid::ResolveCell(std::size_t cell) {
+  if (shards_.size() == 1 && !shards_[0].compacting) {
+    return CellRef{shards_[0].block.data(), 0};
+  }
+  const std::size_t rank = CellRank(cell);
+  const std::size_t shard = ShardOfRank(rank);
+  Shard& sh = shards_[shard];
+  return CellRef{
+      (sh.compacting && rank < sh.cursor ? sh.fresh : sh.block).data(),
+      shard};
+}
+
 void MemGrid::CellCoords(const Vec3& p, std::int32_t* x, std::int32_t* y,
                          std::int32_t* z) const {
   const auto clamp_axis = [&](float v, float lo, std::size_t n) {
@@ -166,7 +271,6 @@ void MemGrid::Build(std::span<const Element> elements) {
   update_stats_ = MemGridUpdateStats{};
   max_half_extent_ = 0.0f;
   size_ = elements.size();
-  dead_ = 0;
 
   // Chunk count: bounded by the thread knob, the per-chunk grain, and the
   // footprint of the per-thread count arrays (chunks * cells slots).
@@ -178,13 +282,13 @@ void MemGrid::Build(std::span<const Element> elements) {
   } else {
     BuildSerial(elements);
   }
-  pristine_layout_ = true;
 }
 
 void MemGrid::BuildSerial(std::span<const Element> elements) {
-  // Pass 1: per-cell occupancy and the id range; pass 2: lay out regions
-  // in layout-rank order with slack; pass 3: scatter. This is the O(n)
-  // "cheap rebuild" — no per-bucket allocations, one flat block.
+  // Pass 1: per-cell occupancy and the id range; pass 2: entry-balanced
+  // shard boundaries, then per shard the region layout in layout-rank
+  // order with slack; pass 3: scatter. This is the O(n) "cheap rebuild" —
+  // no per-bucket allocations, one flat block per shard.
   std::vector<std::uint32_t> counts(regions_.size(), 0);
   ElementId max_id = 0;
   for (const Element& e : elements) {
@@ -192,24 +296,20 @@ void MemGrid::BuildSerial(std::span<const Element> elements) {
     max_id = std::max(max_id, e.id);
     GrowMaxHalfExtent(e.box);
   }
-  std::size_t total = 0;
-  for (std::size_t r = 0; r < regions_.size(); ++r) {
-    const std::size_t cell = RankCell(r);
-    const std::uint32_t cap = SlackedCap(counts[cell]);
-    regions_[cell] = Region{static_cast<std::uint32_t>(total), cap, 0};
-    total += cap;
-  }
-  entries_.assign(total, Entry{});
-  layout_budget_ = total;
+  PartitionShards(counts, elements.size());
+  LayoutShardRegions(counts, [&](std::size_t cell, std::uint32_t start,
+                                 std::uint32_t cap, std::uint32_t) {
+    regions_[cell] = Region{start, cap, 0};
+  });
   slots_.assign(elements.empty() ? 0 : static_cast<std::size_t>(max_id) + 1,
                 Slot{});
   for (const Element& e : elements) {
-    Region& r = regions_[CellOf(e.Center())];
+    const auto cell = static_cast<std::uint32_t>(CellOf(e.Center()));
+    Region& r = regions_[cell];
     const std::uint32_t pos = r.start + r.count++;
-    entries_[pos] = Entry{e.box, e.id};
+    shards_[ShardOfCell(cell)].block[pos] = Entry{e.box, e.id};
     assert(slots_[e.id].cell == kNoCell && "duplicate element id in Build");
-    slots_[e.id] =
-        Slot{static_cast<std::uint32_t>(&r - regions_.data()), pos};
+    slots_[e.id] = Slot{cell, pos};
   }
 }
 
@@ -269,31 +369,31 @@ void MemGrid::BuildParallel(std::span<const Element> elements,
     max_half_extent_ = std::max(max_half_extent_, chunk_mhe[w]);
   }
 
-  // Pass 2 (serial): region layout in layout-rank order — the identical
-  // iteration BuildSerial performs, so the layout is bit-identical to the
-  // serial build; the per-(chunk, cell) counts become absolute write
-  // cursors for the scatter.
-  std::size_t total = 0;
-  for (std::size_t r = 0; r < regions_.size(); ++r) {
-    const std::size_t cell = RankCell(r);
-    std::uint32_t count = 0;
-    for (std::size_t w = 0; w < chunks; ++w) count += counts[w][cell];
-    regions_[cell] =
-        Region{static_cast<std::uint32_t>(total), SlackedCap(count), count};
-    auto cursor = static_cast<std::uint32_t>(total);
+  // Pass 2 (serial): combined per-cell counts feed the entry-balanced
+  // shard boundaries, then the region layout walks each shard's rank
+  // range — the identical iteration BuildSerial performs, so the layout is
+  // bit-identical to the serial build; the per-(chunk, cell) counts become
+  // shard-block write cursors for the scatter.
+  std::vector<std::uint32_t> combined(regions_.size(), 0);
+  for (std::size_t w = 0; w < chunks; ++w) {
+    const std::vector<std::uint32_t>& c = counts[w];
+    for (std::size_t i = 0; i < combined.size(); ++i) combined[i] += c[i];
+  }
+  PartitionShards(combined, n);
+  LayoutShardRegions(combined, [&](std::size_t cell, std::uint32_t start,
+                                   std::uint32_t cap, std::uint32_t count) {
+    regions_[cell] = Region{start, cap, count};
+    std::uint32_t cursor = start;
     for (std::size_t w = 0; w < chunks; ++w) {
       const std::uint32_t k = counts[w][cell];
       counts[w][cell] = cursor;
       cursor += k;
     }
-    total += regions_[cell].cap;
-  }
-  entries_.assign(total, Entry{});
-  layout_budget_ = total;
+  });
   slots_.assign(n == 0 ? 0 : static_cast<std::size_t>(max_id) + 1, Slot{});
 
   // Pass 3 (parallel scatter): chunk cursors are disjoint by construction,
-  // and ids are unique, so every entries_/slots_ store has one writer.
+  // and ids are unique, so every block/slots_ store has one writer.
   par::ParallelChunks(chunks, n, [&](std::size_t w, std::size_t begin,
                                      std::size_t end) {
     std::vector<std::uint32_t>& cursor = counts[w];
@@ -301,7 +401,7 @@ void MemGrid::BuildParallel(std::span<const Element> elements,
       const Element& e = elements[i];
       const std::uint32_t cell = cell_of[i];
       const std::uint32_t pos = cursor[cell]++;
-      entries_[pos] = Entry{e.box, e.id};
+      shards_[ShardOfCell(cell)].block[pos] = Entry{e.box, e.id};
       slots_[e.id] = Slot{cell, pos};
     }
   });
@@ -310,85 +410,223 @@ void MemGrid::BuildParallel(std::span<const Element> elements,
 void MemGrid::RemoveFromCell(std::uint32_t cell, std::uint32_t pos) {
   Region& r = regions_[cell];
   assert(r.count > 0);
+  const CellRef ref = ResolveCell(cell);
   const std::uint32_t last = r.start + r.count - 1;
   if (pos != last) {
-    entries_[pos] = entries_[last];
-    slots_[entries_[pos].id].pos = pos;
+    ref.data[pos] = ref.data[last];
+    slots_[ref.data[pos].id].pos = pos;
   }
   --r.count;
+  --shards_[ref.shard].live;
 }
 
-void MemGrid::Relayout(std::uint32_t demand_cell, std::uint32_t demand) {
-  std::vector<Entry> fresh;
-  std::size_t total = 0;
+void MemGrid::RelayoutShard(std::size_t shard, std::uint32_t demand_cell,
+                            std::uint32_t demand) {
+  Shard& sh = shards_[shard];
+  if (sh.compacting) FinishCompactionPass(shard);
+  const std::size_t ranks = sh.rank_end - sh.rank_begin;
   // First sweep (rank order): new start/cap per cell (old starts still
-  // needed, so stash the new descriptors separately via a running cursor
-  // re-walk below).
-  std::vector<std::uint32_t> new_start(regions_.size());
-  for (std::size_t r = 0; r < regions_.size(); ++r) {
-    const std::size_t c = RankCell(r);
+  // needed, so stash the new offsets separately).
+  std::vector<std::uint32_t> new_start(ranks);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < ranks; ++i) {
+    const std::size_t c = RankCell(sh.rank_begin + i);
     const std::uint32_t want =
         regions_[c].count + (c == demand_cell ? demand : 0);
-    new_start[c] = static_cast<std::uint32_t>(total);
+    new_start[i] = static_cast<std::uint32_t>(total);
     total += SlackedCap(want);
   }
-  fresh.assign(total, Entry{});
+  std::vector<Entry> fresh(total, Entry{});
   // Second sweep in rank order too: destination writes stream the fresh
   // block sequentially.
-  for (std::size_t rank = 0; rank < regions_.size(); ++rank) {
-    const std::size_t c = RankCell(rank);
+  for (std::size_t i = 0; i < ranks; ++i) {
+    const std::size_t c = RankCell(sh.rank_begin + i);
     Region& r = regions_[c];
     const std::uint32_t want = r.count + (c == demand_cell ? demand : 0);
-    const Entry* src = entries_.data() + r.start;
-    Entry* dst = fresh.data() + new_start[c];
-    for (std::uint32_t i = 0; i < r.count; ++i) {
-      dst[i] = src[i];
-      slots_[dst[i].id].pos = new_start[c] + i;
+    const Entry* src = sh.block.data() + r.start;
+    Entry* dst = fresh.data() + new_start[i];
+    for (std::uint32_t k = 0; k < r.count; ++k) {
+      dst[k] = src[k];
+      slots_[dst[k].id].pos = new_start[i] + k;
     }
-    r.start = new_start[c];
+    r.start = new_start[i];
     r.cap = SlackedCap(want);
   }
-  entries_ = std::move(fresh);
-  dead_ = 0;
-  layout_budget_ = entries_.size();
-  pristine_layout_ = true;
+  sh.block = std::move(fresh);
+  sh.dead = 0;
+  sh.layout_budget = sh.block.size();
+  sh.pristine = true;
   ++update_stats_.relayouts;
 }
 
-std::uint32_t MemGrid::ReserveInCell(std::uint32_t cell, std::uint32_t need) {
+void MemGrid::MaybeReclaimShard(std::size_t shard, std::uint32_t demand_cell,
+                                std::uint32_t demand, bool allow_churn) {
+  Shard& sh = shards_[shard];
+  const auto triggered = [&sh, allow_churn] {
+    // Mid-pass, block slots whose regions were already copied into fresh
+    // are discarded for free at the swap — subtract them, or a pass ~1/3
+    // done would read as 2x-grown and every pass would be force-finished
+    // right back into the O(shard) stall incremental mode removes.
+    const std::size_t footprint =
+        sh.block.size() + sh.fresh.size() - sh.stale;
+    const bool grown = footprint >= kMinEntriesForRelayout &&
+                       footprint >= 2 * sh.layout_budget;
+    const bool churned = allow_churn &&
+                         sh.dead + sh.fresh_dead >
+                             kChurnWasteMultiple * sh.live + kChurnWasteFloor;
+    return grown || churned;
+  };
+  if (!triggered()) return;
+  if (sh.compacting) {
+    FinishCompactionPass(shard);
+    // The finished pass reclaimed the churn already in most cases.
+    if (!triggered()) return;
+  }
+  RelayoutShard(shard, demand_cell, demand);
+}
+
+std::uint32_t MemGrid::ReserveInCell(std::uint32_t cell, std::uint32_t need,
+                                     bool allow_churn) {
+  // Reclamation triggers run on every reservation, not only when the
+  // region is out of slack: a shard whose waste outgrew the churn cap must
+  // compact even if the next insert happens to have room (a small grid
+  // that shrank after a burst would otherwise stay bloated forever).
+  const std::size_t shard = ShardOfCell(cell);
+  MaybeReclaimShard(shard, cell, need, allow_churn);
   Region& r = regions_[cell];
   if (r.count + need <= r.cap) return r.start + r.count;
-  // Out of slack. Either compact the whole block or relocate just this
-  // region to fresh capacity at the tail. The trigger is growth-based:
-  // relocations leave dead slots and grow slack without bound under
-  // sustained churn, so once the block doubles past the footprint the
-  // layout policy itself produced (captured at the last Build/Relayout —
-  // NOT the live count, which padded profiles legitimately exceed) a full
-  // re-layout reclaims the churn and restores cell-order streaming.
-  if (entries_.size() >= kMinEntriesForRelayout &&
-      entries_.size() >= 2 * layout_budget_) {
-    Relayout(cell, need);
-    return r.start + r.count;
-  }
-  // Geometric growth (~1.5x) regardless of the layout-slack knobs: a hot
-  // cell absorbing a stream of inserts relocates O(log n) times total.
+  // Out of slack: relocate just this region to fresh geometric (~1.5x)
+  // capacity at the tail of the block it currently lives in — a hot cell
+  // absorbing a stream of inserts relocates O(log n) times total. The
+  // abandoned slots are dead space until the shard compacts.
+  Shard& sh = shards_[shard];
+  const std::size_t rank = CellRank(cell);
+  const bool in_fresh = sh.compacting && rank < sh.cursor;
+  std::vector<Entry>& space = in_fresh ? sh.fresh : sh.block;
   const std::uint32_t want = r.count + need;
   const std::uint32_t new_cap = std::max(SlackedCap(want),
                                          want + want / 2 + 2);
-  const std::uint32_t new_start = static_cast<std::uint32_t>(entries_.size());
-  entries_.resize(entries_.size() + new_cap);
-  const Entry* src = entries_.data() + r.start;
-  Entry* dst = entries_.data() + new_start;
+  const auto new_start = static_cast<std::uint32_t>(space.size());
+  space.resize(space.size() + new_cap);
+  const Entry* src = space.data() + r.start;
+  Entry* dst = space.data() + new_start;
   for (std::uint32_t i = 0; i < r.count; ++i) {
     dst[i] = src[i];
     slots_[dst[i].id].pos = new_start + i;
   }
-  dead_ += r.cap;
+  // The relocated region now sits at its block's tail, out of rank order.
+  if (in_fresh) {
+    sh.fresh_dead += r.cap;
+    sh.fresh_pristine = false;
+  } else {
+    sh.dead += r.cap;
+    sh.pristine = false;
+  }
   r.start = new_start;
   r.cap = new_cap;
-  // The relocated region now sits at the tail, out of layout-rank order.
-  pristine_layout_ = false;
   return r.start + r.count;
+}
+
+void MemGrid::BeginCompactionPass(std::size_t shard) {
+  Shard& sh = shards_[shard];
+  assert(!sh.compacting);
+  sh.compacting = true;
+  sh.cursor = sh.rank_begin;
+  sh.stale = 0;
+  sh.fresh_dead = 0;
+  sh.fresh_pristine = true;
+  sh.pristine = false;  // The block no longer covers the whole shard.
+  sh.fresh.clear();
+  // Reserve generously so the pass appends without reallocating (a
+  // realloc's copy would be a stall of its own). Padded profiles add
+  // per-cell slack on top of live entries; churn during the pass can grow
+  // the target further — an overflow just falls back to vector growth.
+  const std::size_t ranks = sh.rank_end - sh.rank_begin;
+  sh.fresh.reserve(
+      sh.live + sh.live / 2 +
+      static_cast<std::size_t>(static_cast<double>(sh.live) *
+                               config_.slack_fraction) +
+      static_cast<std::size_t>(config_.min_slack) * std::min(sh.live, ranks) +
+      kChurnWasteFloor);
+}
+
+std::uint32_t MemGrid::AdvanceCompaction(std::size_t shard,
+                                         std::uint32_t budget) {
+  Shard& sh = shards_[shard];
+  assert(sh.compacting);
+  std::uint32_t used = 0;
+  // Never-occupied ranks are processed for free (one descriptor write),
+  // but a hard visit cap bounds the walk through huge empty stretches.
+  std::size_t visits_left =
+      std::max<std::size_t>(std::size_t{64} * budget, std::size_t{1024});
+  while (sh.cursor < sh.rank_end && used < budget && visits_left > 0) {
+    --visits_left;
+    const std::size_t c = RankCell(sh.cursor);
+    Region& r = regions_[c];
+    const std::uint32_t cap = SlackedCap(r.count);
+    const auto new_start = static_cast<std::uint32_t>(sh.fresh.size());
+    // Only occupied regions copy entries and consume budget; emptied ones
+    // (count == 0, stale cap) reclaim their cap for free, and the visit
+    // cap above bounds the walk either way.
+    if (r.count != 0) {
+      sh.fresh.resize(sh.fresh.size() + cap);
+      const Entry* src = sh.block.data() + r.start;
+      Entry* dst = sh.fresh.data() + new_start;
+      for (std::uint32_t k = 0; k < r.count; ++k) {
+        dst[k] = src[k];
+        slots_[dst[k].id].pos = new_start + k;
+      }
+      ++used;
+      ++update_stats_.compacted_regions;
+    }
+    // The region's block slots are superseded from here on — free at swap.
+    sh.stale += r.cap;
+    r.start = new_start;
+    r.cap = cap;
+    ++sh.cursor;
+  }
+  if (sh.cursor == sh.rank_end) {
+    // Pass complete: O(1) retirement of the old block.
+    sh.block.swap(sh.fresh);
+    sh.fresh.clear();
+    sh.fresh.shrink_to_fit();
+    sh.stale = 0;
+    sh.dead = sh.fresh_dead;
+    sh.fresh_dead = 0;
+    sh.layout_budget = sh.block.size();
+    sh.pristine = sh.fresh_pristine;
+    sh.fresh_pristine = true;
+    sh.compacting = false;
+    sh.cursor = sh.rank_begin;
+    ++update_stats_.compaction_passes;
+  }
+  return used;
+}
+
+void MemGrid::FinishCompactionPass(std::size_t shard) {
+  while (shards_[shard].compacting) {
+    AdvanceCompaction(shard, std::numeric_limits<std::uint32_t>::max());
+  }
+}
+
+void MemGrid::CompactStep() {
+  const std::uint32_t budget = config_.compact_regions_per_batch;
+  if (budget == 0) return;
+  // The budget is PER SHARD: every drifted shard advances every batch, so
+  // no shard can starve behind the others' passes and hit its growth
+  // trigger while incremental mode is on. The per-batch compaction work is
+  // bounded by budget * shards regions either way.
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& sh = shards_[si];
+    if (!sh.compacting) {
+      const std::size_t headroom =
+          sh.layout_budget + std::max<std::size_t>(sh.layout_budget / 2,
+                                                   kCompactHeadroomFloor);
+      if (sh.block.size() < headroom) continue;
+      BeginCompactionPass(si);
+    }
+    AdvanceCompaction(si, budget);
+  }
 }
 
 void MemGrid::Insert(const Element& element) {
@@ -396,8 +634,10 @@ void MemGrid::Insert(const Element& element) {
   assert(slots_[element.id].cell == kNoCell && "id already present");
   const auto cell = static_cast<std::uint32_t>(CellOf(element.Center()));
   const std::uint32_t pos = ReserveInCell(cell, 1);
-  entries_[pos] = Entry{element.box, element.id};
+  const CellRef ref = ResolveCell(cell);
+  ref.data[pos] = Entry{element.box, element.id};
   ++regions_[cell].count;
+  ++shards_[ref.shard].live;
   slots_[element.id] = Slot{cell, pos};
   ++size_;
   GrowMaxHalfExtent(element.box);
@@ -420,14 +660,16 @@ bool MemGrid::Update(ElementId id, const AABB& new_box) {
   const auto new_cell = static_cast<std::uint32_t>(CellOf(new_box.Center()));
   if (new_cell == s.cell) {
     // §4.3 fast path: one box store, no structural change, no scan.
-    entries_[s.pos].box = new_box;
+    SpaceOf(s.cell)[s.pos].box = new_box;
     ++update_stats_.in_place;
     return true;
   }
   RemoveFromCell(s.cell, s.pos);
   const std::uint32_t pos = ReserveInCell(new_cell, 1);
-  entries_[pos] = Entry{new_box, id};
+  const CellRef ref = ResolveCell(new_cell);
+  ref.data[pos] = Entry{new_box, id};
   ++regions_[new_cell].count;
+  ++shards_[ref.shard].live;
   slots_[id] = Slot{new_cell, pos};
   ++update_stats_.migrations;
   return true;
@@ -468,6 +710,12 @@ std::size_t MemGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
   // One serial pass: in-place writes land immediately; migrations are
   // staged so they can be grouped by destination cell. The max-half-extent
   // bound is reduced once over the whole batch instead of per element.
+  // In-place stores are the §4.3 hot path, so the single-shard/idle case
+  // keeps a hoisted block pointer (nothing below resizes a block until the
+  // landing phase).
+  Entry* const fast_base = shards_.size() == 1 && !shards_[0].compacting
+                               ? shards_[0].block.data()
+                               : nullptr;
   float batch_mhe = max_half_extent_;
   for (std::size_t i = 0; i < updates.size(); ++i) {
     const ElementUpdate& u = updates[i];
@@ -493,7 +741,9 @@ std::size_t MemGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
       continue;
     }
     if (new_cell == s.cell) {
-      entries_[s.pos].box = u.new_box;
+      Entry* e = fast_base != nullptr ? fast_base + s.pos
+                                      : SpaceOf(s.cell).data() + s.pos;
+      e->box = u.new_box;
       ++update_stats_.in_place;
       continue;
     }
@@ -518,16 +768,34 @@ std::size_t MemGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
       while (j < staged.size() && staged[j].cell == staged[i].cell) ++j;
       const std::uint32_t cell = staged[i].cell;
       const auto run = static_cast<std::uint32_t>(j - i);
-      std::uint32_t pos = ReserveInCell(cell, run);
-      Region& r = regions_[cell];  // Re-fetch: ReserveInCell may relayout.
+      // Churn cap deferred: shard live counts are deflated by the still-
+      // staged migrations here, and a live-relative trigger would pay a
+      // spurious stop-the-shard re-layout mid-batch. The growth trigger
+      // (absolute footprint) stays armed.
+      std::uint32_t pos = ReserveInCell(cell, run, /*allow_churn=*/false);
+      // Re-resolve after ReserveInCell: it may have relocated the region,
+      // re-laid-out the shard, or finished a compaction pass.
+      const CellRef ref = ResolveCell(cell);
+      Region& r = regions_[cell];
       for (std::size_t k = i; k < j; ++k, ++pos) {
-        entries_[pos] = Entry{staged[k].box, staged[k].id};
+        ref.data[pos] = Entry{staged[k].box, staged[k].id};
         slots_[staged[k].id] = Slot{cell, pos};
       }
       r.count += run;
+      shards_[ref.shard].live += run;
       i = j;
     }
+    // Re-run the deferred churn cap now that every migration has landed
+    // and the live counts are settled — one cheap sweep per batch.
+    for (std::size_t si = 0; si < shards_.size(); ++si) {
+      MaybeReclaimShard(si, kNoCell, 0);
+    }
   }
+  // Budget-bounded incremental compaction: reclaim a few regions of
+  // relocation churn per batch so steady-state mutation never triggers a
+  // stop-the-shard re-layout. Runs after the structural phase, serially —
+  // deterministic at every thread count.
+  CompactStep();
   return applied;
 }
 
@@ -543,20 +811,24 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
   std::int32_t x0, y0, z0, x1, y1, z1;
   CellCoords(probe.min, &x0, &y0, &z0);
   CellCoords(probe.max, &x1, &y1, &z1);
-  const Entry* data = entries_.data();
-  const auto scan_run = [&](std::uint32_t begin, std::uint32_t len) {
+  const auto scan_run = [&](const Entry* base, std::uint32_t begin,
+                            std::uint32_t len) {
+    if (len == 0) return;
     c.element_tests += len;
     c.bytes_read += len * sizeof(Entry);
     for (std::uint32_t e = begin; e < begin + len; ++e) {
-      if (data[e].box.Intersects(range)) out->push_back(data[e].id);
+      if (base[e].box.Intersects(range)) out->push_back(base[e].id);
     }
   };
   // Scan the probed cells as fused contiguous-rank runs: in a pristine
   // layout, rank-consecutive regions are storage-adjacent (empty cells are
   // zero-width), so the cube's cells FUSE into a few long streams — whole
   // z-columns (and beyond) under kRowMajor, multi-cell curve runs under
-  // kMorton/kHilbert. Relocated regions simply break a run and fall back
-  // to per-cell granularity until the next re-layout.
+  // kMorton/kHilbert. A run can only fuse within one block, so shard
+  // boundaries (and a mid-compaction fresh/old split) break a run and the
+  // scan falls back to per-cell granularity there — the emission ORDER
+  // stays the rank order regardless, which is what keeps results
+  // bit-identical across shard counts and compaction states.
   //
   // Two iteration orders produce those runs:
   //   * coordinate order — zero bookkeeping. Under kRowMajor cell index
@@ -567,13 +839,27 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
   //     fusion is maximal for ANY layout. The sort only pays for itself
   //     once the probe cube is big enough to contain long runs, so small
   //     probes (the common monitoring query) keep the zero-overhead path.
+  const bool single = shards_.size() == 1 && !shards_[0].compacting;
+  const Entry* const single_base = shards_[0].block.data();
+  constexpr std::size_t kNoRank = ~std::size_t{0};
+  const Entry* run_base = nullptr;
   std::uint32_t run_begin = 0;
   std::uint32_t run_len = 0;
-  const auto fuse_cell = [&](std::size_t cell) {
+  const auto fuse_cell = [&](std::size_t cell, std::size_t rank_hint) {
     const Region& r = regions_[cell];
     c.nodes_visited += 1;
     if (r.count == 0) return;
-    if (run_len != 0 && r.start == run_begin + run_len) {
+    const Entry* base;
+    if (single) {
+      base = single_base;
+    } else {
+      const std::size_t rank =
+          rank_hint != kNoRank ? rank_hint : CellRank(cell);
+      const Shard& sh = shards_[ShardOfRank(rank)];
+      base = (sh.compacting && rank < sh.cursor ? sh.fresh : sh.block).data();
+    }
+    if (run_len != 0 && base == run_base &&
+        r.start == run_begin + run_len) {
       run_len += r.count;
       return;
     }
@@ -581,9 +867,10 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
     // being scanned — the run starts are the one access pattern the
     // hardware prefetcher cannot predict (they follow the layout, not an
     // address stride).
-    __builtin_prefetch(data + r.start);
-    __builtin_prefetch(data + r.start + 2);
-    scan_run(run_begin, run_len);
+    __builtin_prefetch(base + r.start);
+    __builtin_prefetch(base + r.start + 2);
+    scan_run(run_base, run_begin, run_len);
+    run_base = base;
     run_begin = r.start;
     run_len = r.count;
   };
@@ -596,7 +883,7 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
       for (std::int32_t y = y0; y <= y1; ++y) {
         const std::size_t base = CellIndex(x, y, z0);
         for (std::int32_t z = z0; z <= z1; ++z) {
-          fuse_cell(base + static_cast<std::size_t>(z - z0));
+          fuse_cell(base + static_cast<std::size_t>(z - z0), kNoRank);
         }
       }
     }
@@ -619,9 +906,9 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
     }
     RadixSortDigits(&ranks, &radix_scratch, /*base_shift=*/0,
                     /*bound=*/regions_.size() - 1);
-    for (const std::uint32_t rank : ranks) fuse_cell(RankCell(rank));
+    for (const std::uint32_t rank : ranks) fuse_cell(RankCell(rank), rank);
   }
-  scan_run(run_begin, run_len);
+  scan_run(run_base, run_begin, run_len);
   c.results += out->size();
 }
 
@@ -719,7 +1006,11 @@ void MemGrid::KnnQuery(const Vec3& p, std::size_t k,
     }
     // A cautious margin absorbs the float divergence between the face
     // positions computed here (min + i*cell_) and the truncation grid
-    // CellCoords uses ((v - min) * inv_cell_).
+    // CellCoords uses ((v - min) * inv_cell_): both scale with the lattice
+    // span (<= kMaxCellsPerAxis cells), so a 1e-3*cell_ slack dominates
+    // the worst-case rounding by an order of magnitude. The degenerate
+    // inputs (k >= n, zero-extent points, probes exactly on a cell face,
+    // gap == 0) are pinned by the differential battery in core_test.
     const float shell_lb =
         std::max(0.0f, gap - max_half_extent_ - cell_ * 1e-3f);
     const bool grid_fully_scanned = std::isinf(gap);
@@ -808,7 +1099,7 @@ void MemGrid::SelfJoin(float eps,
       std::vector<Entry> live;
       live.reserve(size_);
       for (const Slot& s : slots_) {
-        if (s.cell != kNoCell) live.push_back(entries_[s.pos]);
+        if (s.cell != kNoCell) live.push_back(SpaceOf(s.cell)[s.pos]);
       }
       EmitMatches(live.data(), live.size(), live.data(), live.size(),
                   /*same_run=*/true, matches, out, &c);
@@ -821,10 +1112,11 @@ void MemGrid::SelfJoin(float eps,
   // so every worker sweeps the cells whose regions it will stream anyway
   // (and, unlike the former x-slab split, the partition grain never
   // degenerates on elongated universes with few x cells). An origin cell
-  // may compare against neighbour cells in another worker's range
-  // (read-only), but the forward convention means each pair belongs to
-  // exactly one origin cell; concatenating range outputs in rank order
-  // reproduces the serial emission order pair-for-pair. Tiny joins (the
+  // may compare against neighbour cells in another worker's range — or
+  // another SHARD's block (read-only) — but the forward convention means
+  // each pair belongs to exactly one origin cell; concatenating range
+  // outputs in rank order reproduces the serial emission order
+  // pair-for-pair at every thread AND shard count. Tiny joins (the
   // per-step monitoring path at small n) stay serial — pool dispatch and
   // per-range buffers would dominate a microsecond-scale sweep.
   const std::size_t cells = regions_.size();
@@ -889,9 +1181,9 @@ void MemGrid::SweepRanks(std::size_t rank_begin, std::size_t rank_end, int rx,
       const std::size_t other_cell = CellIndex(
           static_cast<std::int32_t>(x2), static_cast<std::int32_t>(y2),
           static_cast<std::int32_t>(z2));
-      const Entry* other = CellEntries(other_cell);
       const std::uint32_t other_n = CellCount(other_cell);
       if (other_n == 0) return;
+      const Entry* other = CellEntries(other_cell);
       EmitMatches(bucket, bucket_n, other, other_n, /*same_run=*/false,
                   matches, out, &c);
     };
@@ -918,22 +1210,36 @@ MemGridShape MemGrid::Shape() const {
   s.cell_size = cell_;
   s.max_half_extent = max_half_extent_;
   s.layout = config_.layout;
+  s.shards = shards_.size();
   for (const Region& r : regions_) {
     s.occupied_cells += r.count == 0 ? 0 : 1;
     s.slack_slots += r.cap - r.count;
   }
   // Contiguous-rank streams a full-universe range query would scan: walk
   // the regions in rank order and count where storage adjacency breaks
-  // (slack and relocations both break it; empty regions are zero-width).
+  // (slack, relocations, shard boundaries and a mid-compaction block split
+  // all break it; empty regions are zero-width).
+  const Entry* next_base = nullptr;
   std::uint64_t next_start = 0;
   for (std::size_t r = 0; r < regions_.size(); ++r) {
-    const Region& reg = regions_[RankCell(r)];
+    const std::size_t cell = RankCell(r);
+    const Region& reg = regions_[cell];
     if (reg.count == 0) continue;
-    if (s.layout_runs == 0 || reg.start != next_start) ++s.layout_runs;
+    const Entry* base = SpaceOf(cell).data();
+    if (s.layout_runs == 0 || base != next_base || reg.start != next_start) {
+      ++s.layout_runs;
+    }
+    next_base = base;
     next_start = static_cast<std::uint64_t>(reg.start) + reg.count;
   }
-  s.dead_slots = dead_;
-  s.bytes = entries_.capacity() * sizeof(Entry) +
+  std::size_t shard_bytes = 0;
+  for (const Shard& sh : shards_) {
+    s.dead_slots += sh.dead + sh.fresh_dead;
+    if (sh.compacting) ++s.compacting_shards;
+    shard_bytes += (sh.block.capacity() + sh.fresh.capacity()) * sizeof(Entry);
+  }
+  s.bytes = shard_bytes + shards_.capacity() * sizeof(Shard) +
+            shard_begin_rank_.capacity() * sizeof(std::uint32_t) +
             regions_.capacity() * sizeof(Region) +
             slots_.capacity() * sizeof(Slot) +
             rank_of_cell_.capacity() * sizeof(std::uint32_t) +
@@ -963,46 +1269,82 @@ bool MemGrid::CheckInvariants(std::string* error) const {
       }
     }
   }
-  // After Build/Relayout (and until the first region relocation) the block
-  // must be exactly in layout-rank order: regions tightly packed by rank,
-  // covering the whole entry block.
-  if (pristine_layout_) {
-    std::uint64_t cursor = 0;
-    for (std::size_t r = 0; r < regions_.size(); ++r) {
-      const Region& reg = regions_[RankCell(r)];
-      if (reg.start != cursor) {
-        return fail("pristine block not in layout rank order at rank " +
-                    std::to_string(r));
-      }
-      cursor += reg.cap;
+  // Shard boundaries must partition the rank space into contiguous,
+  // non-empty ranges matching the shard descriptors.
+  if (shards_.empty() || shard_begin_rank_.size() != shards_.size() + 1 ||
+      shard_begin_rank_.front() != 0 ||
+      shard_begin_rank_.back() != regions_.size()) {
+    return fail("shard rank boundaries do not cover the rank space");
+  }
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const Shard& sh = shards_[si];
+    if (sh.rank_begin != shard_begin_rank_[si] ||
+        sh.rank_end != shard_begin_rank_[si + 1] ||
+        sh.rank_begin >= sh.rank_end) {
+      return fail("shard " + std::to_string(si) + " rank range inconsistent");
     }
-    if (cursor != entries_.size()) {
-      return fail("pristine rank order does not cover the entry block");
+    if (!sh.compacting && !sh.fresh.empty()) {
+      return fail("idle shard " + std::to_string(si) + " holds a fresh block");
+    }
+    if (sh.compacting &&
+        (sh.cursor < sh.rank_begin || sh.cursor > sh.rank_end)) {
+      return fail("shard " + std::to_string(si) + " cursor out of range");
     }
   }
   std::size_t total = 0;
-  std::vector<std::uint8_t> used(entries_.size(), 0);
-  for (std::size_t cell = 0; cell < regions_.size(); ++cell) {
-    const Region& r = regions_[cell];
-    if (r.count > r.cap) return fail("region count exceeds capacity");
-    if (static_cast<std::size_t>(r.start) + r.cap > entries_.size()) {
-      return fail("region exceeds entry block");
-    }
-    for (std::uint32_t i = 0; i < r.cap; ++i) {
-      if (used[r.start + i]++) return fail("overlapping cell regions");
-    }
-    for (std::uint32_t i = 0; i < r.count; ++i) {
-      const std::uint32_t pos = r.start + i;
-      const Entry& e = entries_[pos];
-      ++total;
-      if (e.id >= slots_.size() || slots_[e.id].cell != cell ||
-          slots_[e.id].pos != pos) {
-        return fail("slot map inconsistent for element " +
-                    std::to_string(e.id));
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const Shard& sh = shards_[si];
+    // After Build / re-layout / a relocation-free pass (and until the next
+    // relocation or pass) the shard's block must be exactly in layout-rank
+    // order: regions tightly packed by rank, covering the whole block.
+    if (sh.pristine && !sh.compacting) {
+      std::uint64_t cursor = 0;
+      for (std::size_t rank = sh.rank_begin; rank < sh.rank_end; ++rank) {
+        const Region& reg = regions_[RankCell(rank)];
+        if (reg.start != cursor) {
+          return fail("pristine shard not in layout rank order at rank " +
+                      std::to_string(rank));
+        }
+        cursor += reg.cap;
       }
-      if (CellOf(e.box.Center()) != cell) {
-        return fail("element " + std::to_string(e.id) + " in wrong cell");
+      if (cursor != sh.block.size()) {
+        return fail("pristine rank order does not cover shard " +
+                    std::to_string(si));
       }
+    }
+    std::vector<std::uint8_t> used_block(sh.block.size(), 0);
+    std::vector<std::uint8_t> used_fresh(sh.fresh.size(), 0);
+    std::size_t live = 0;
+    for (std::size_t rank = sh.rank_begin; rank < sh.rank_end; ++rank) {
+      const auto cell = static_cast<std::uint32_t>(RankCell(rank));
+      const Region& r = regions_[cell];
+      const bool in_fresh = sh.compacting && rank < sh.cursor;
+      const std::vector<Entry>& space = in_fresh ? sh.fresh : sh.block;
+      std::vector<std::uint8_t>& used = in_fresh ? used_fresh : used_block;
+      if (r.count > r.cap) return fail("region count exceeds capacity");
+      if (static_cast<std::size_t>(r.start) + r.cap > space.size()) {
+        return fail("region exceeds its shard block");
+      }
+      for (std::uint32_t i = 0; i < r.cap; ++i) {
+        if (used[r.start + i]++) return fail("overlapping cell regions");
+      }
+      for (std::uint32_t i = 0; i < r.count; ++i) {
+        const std::uint32_t pos = r.start + i;
+        const Entry& e = space[pos];
+        ++total;
+        ++live;
+        if (e.id >= slots_.size() || slots_[e.id].cell != cell ||
+            slots_[e.id].pos != pos) {
+          return fail("slot map inconsistent for element " +
+                      std::to_string(e.id));
+        }
+        if (CellOf(e.box.Center()) != cell) {
+          return fail("element " + std::to_string(e.id) + " in wrong cell");
+        }
+      }
+    }
+    if (live != sh.live) {
+      return fail("shard " + std::to_string(si) + " live count mismatch");
     }
   }
   if (total != size_) return fail("entry count mismatch");

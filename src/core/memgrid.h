@@ -12,9 +12,9 @@
 //     deduplication and updates touch exactly one bucket; completeness is
 //     restored by inflating the probe range by the dataset's largest
 //     element half-extent (tracked online);
-//   * an always-compact slack-CSR storage layout (below) so queries stream
-//     one contiguous array (§3.3 node-size insight) while mutations stay
-//     in place;
+//   * rank-sharded always-compact slack-CSR storage (below) so queries
+//     stream a handful of contiguous arrays (§3.3 node-size insight) while
+//     mutations stay in place;
 //   * O(n) counting-sort rebuild — the "faster to build" half of the §5
 //     trade-off;
 //   * displacement-aware updates — an element whose centre stays in its
@@ -22,34 +22,28 @@
 //     in every step");
 //   * native self-join over forward neighbour cells (§4.3).
 //
-// Memory layout (slack CSR, curve-orderable)
-// ------------------------------------------
-// All entries live in ONE flat array `entries_`. Each cell owns a
-// contiguous region of that array described by `Region{start, cap, count}`:
-// slots [start, start+count) are live, [start+count, start+cap) are gap
-// ("slack") slots available to future inserts. By default regions carry
-// zero slack, so a fresh grid is a classical gap-free CSR block —
-// measurably the fastest layout to stream, since gaps cost query bandwidth
-// in every cell while mutations only need headroom in the few cells they
-// actually touch (§4.3: "only few elements switch grid cell in every
-// step").
+// Memory layout (rank-sharded slack CSR, curve-orderable)
+// -------------------------------------------------------
+// The cell lattice is ordered by a layout policy (`CellLayout`) that
+// assigns every cell a RANK, while cell ADDRESSING stays raw row-major
+// CellIndex everywhere:
+//   * kRowMajor — x-major cell order (rank == cell index, zero metadata).
+//     Queries probe a cube of cells, so only z-columns are rank-contiguous.
+//   * kMorton / kHilbert — space-filling-curve order over the lattice. The
+//     cells of a cubic probe collapse into a handful of long contiguous
+//     rank runs (Hilbert: adjacent ranks are always lattice neighbours;
+//     Morton: cheaper codec, occasional long jumps). A cached cell<->rank
+//     map costs 8 bytes per cell plus one O(C) radix sort per grid.
 //
-// The ORDER regions appear in the block is a policy (`CellLayout`), while
-// cell ADDRESSING stays raw row-major CellIndex everywhere:
-//   * kRowMajor — x-major cell order. Queries probe a cube of cells, so
-//     only z-columns are storage-contiguous; the probe streams one column,
-//     then jumps a whole (x, y) plane.
-//   * kMorton / kHilbert — space-filling-curve order over the cell
-//     lattice. The cells of a cubic probe collapse into a handful of long
-//     contiguous RANK runs, so range/knn/self-join working sets shrink to
-//     a few sequential streams (Hilbert: adjacent ranks are always lattice
-//     neighbours; Morton: cheaper codec, occasional long jumps).
-// Trade-offs of the curve layouts: a cached cell<->rank mapping costs
-// 8 bytes per cell plus one O(C log C) sort at construction, and query
-// probes sort their candidate cells by rank (small cubes — tens of
-// entries). kRowMajor keeps the zero-metadata identity mapping and is
-// bit-compatible with the historical layout. A curve rank is also the
-// natural shard key for future NUMA/sharded partitioning.
+// The rank space is split into `MemGridConfig::shards` contiguous ranges
+// (entry-balanced at Build; default 1). Each shard owns its own entry
+// block, and every cell owns a contiguous region of its shard's block
+// described by `Region{start, cap, count}`: slots [start, start+count) are
+// live, [start+count, start+cap) are gap ("slack") slots available to
+// future inserts. By default regions carry zero slack, so a fresh shard is
+// a classical gap-free CSR block — measurably the fastest layout to
+// stream, since gaps cost query bandwidth in every cell while mutations
+// only need headroom in the few cells they actually touch (§4.3).
 //
 // Mutations never copy the index:
 //   * in-place update  — one box store at the slot given by the dense
@@ -57,19 +51,33 @@
 //   * erase            — swap-remove with the region's last live slot;
 //   * insert/migration — consumes a slack slot of the destination region.
 // A region without slack is relocated to fresh, geometrically larger
-// capacity at the array tail (amortized O(1) even for a hot cell); the
-// abandoned slots are dead space — and the block is no longer in pristine
+// capacity at its shard's tail (amortized O(1) even for a hot cell); the
+// abandoned slots are dead space — and the shard is no longer in pristine
 // rank order (Shape().layout_runs counts the streams a full scan now
-// needs). Only when relocation churn doubles the block past the footprint
-// the layout policy originally produced is the whole block re-laid-out in
-// rank order — an O(n) amortized "compaction" that reclaims dead and
-// excess slack and restores perfect streaming order. There is no
-// dual-layout Compact()/Decompact() machinery and no full-index copy on
-// the mutation path.
+// needs). Relocation churn is reclaimed per shard, never globally:
+//   * stop-the-shard re-layout — when churn doubles a shard past the
+//     footprint the layout policy produced (or its dead slots outgrow a
+//     fixed multiple of the shard's live entries — small grids must not
+//     bloat either; layout-policy slack never counts as waste), that one
+//     shard is re-laid-out in rank order. The worst-case mutation stall is
+//     O(n/shards), not O(n).
+//   * incremental compaction (`compact_regions_per_batch` > 0) — a shard
+//     whose footprint drifts past its layout budget starts copying regions
+//     — a bounded number per ApplyUpdates batch, in rank order — into a
+//     fresh packed block; regions with rank below the shard's compaction
+//     cursor are read from the fresh block, and completion is an O(1)
+//     block swap. Steady-state churn then never triggers a re-layout
+//     stall at all.
+// There is no dual-layout Compact()/Decompact() machinery and no
+// full-index copy on the mutation path.
+//
+// Shards are also the intended NUMA/parallel seam: a shard's block,
+// regions and relocation arena are touched only through its rank range,
+// so shards can be placed on (and maintained by) separate nodes.
 //
 // Element lookup is a dense vector `slots_` indexed by ElementId (ids are
-// dense in this codebase's datasets): id -> {cell, position in entries_}.
-// Erase/Update are O(1) with zero hashing.
+// dense in this codebase's datasets): id -> {cell, position in the cell's
+// shard block}. Erase/Update are O(1) with zero hashing.
 
 #ifndef SIMSPATIAL_CORE_MEMGRID_H_
 #define SIMSPATIAL_CORE_MEMGRID_H_
@@ -109,11 +117,26 @@ struct MemGridConfig {
   /// partition IS the serial loop). Every parallel path is deterministic:
   /// results are element-for-element identical across thread counts.
   std::uint32_t threads = par::kThreadsAuto;
-  /// Order of cell regions in the slack-CSR block (see the header comment):
-  /// kRowMajor streams z-columns, kMorton/kHilbert stream curve-rank runs.
-  /// Purely a storage-order knob — query/join/update RESULTS are identical
-  /// across layouts (ordering aside), verified by the determinism battery.
+  /// Order of cell regions in the slack-CSR blocks (see the header
+  /// comment): kRowMajor streams z-columns, kMorton/kHilbert stream
+  /// curve-rank runs. Purely a storage-order knob — query/join/update
+  /// RESULTS are identical across layouts (ordering aside), verified by
+  /// the determinism battery.
   CellLayout layout = CellLayout::kRowMajor;
+  /// Entry-block shards: the rank space is split into this many contiguous
+  /// ranges (entry-balanced at Build, clamped to the cell count), each
+  /// with its own block, footprint accounting and relocation arena,
+  /// re-laid-out independently — the worst-case mutation stall drops from
+  /// O(n) to O(n/shards). Default 1 reproduces the single-block layout
+  /// verbatim. Purely a storage knob: query/join/update RESULTS are
+  /// identical at every shard count.
+  std::uint32_t shards = 1;
+  /// Incremental compaction: upper bound on occupied cell regions copied
+  /// PER SHARD per ApplyUpdates batch into a drifted shard's fresh block
+  /// (0 disables; compaction then happens only through the per-shard
+  /// re-layout triggers). With a budget, steady-state churn is reclaimed a
+  /// few regions at a time and never pays a re-layout stall.
+  std::uint32_t compact_regions_per_batch = 0;
 };
 
 struct MemGridShape {
@@ -131,16 +154,25 @@ struct MemGridShape {
   /// Active cell-layout policy.
   CellLayout layout = CellLayout::kRowMajor;
   /// Number of contiguous-rank streams a full-universe range query would
-  /// scan: 1 for a pristine gap-free block, one per occupied cell for
-  /// padded profiles, and growing with relocation churn in between.
+  /// scan: one per shard for a pristine gap-free grid, one per occupied
+  /// cell for padded profiles, and growing with relocation churn in
+  /// between.
   std::size_t layout_runs = 0;
+  /// Entry-block shards (MemGridConfig::shards clamped to the cell count).
+  std::size_t shards = 1;
+  /// Shards with an incremental compaction pass in flight.
+  std::size_t compacting_shards = 0;
 };
 
 struct MemGridUpdateStats {
   std::uint64_t updates = 0;
   std::uint64_t in_place = 0;    ///< Centre stayed in its cell.
   std::uint64_t migrations = 0;  ///< Region-to-region moves.
-  std::uint64_t relayouts = 0;   ///< Full slack-CSR re-layouts (amortized).
+  std::uint64_t relayouts = 0;   ///< Stop-the-shard re-layouts (amortized).
+  /// Completed incremental compaction passes (fresh-block swaps).
+  std::uint64_t compaction_passes = 0;
+  /// Occupied regions copied by incremental compaction steps.
+  std::uint64_t compacted_regions = 0;
   double InPlaceFraction() const {
     return updates == 0
                ? 0.0
@@ -148,19 +180,21 @@ struct MemGridUpdateStats {
   }
 };
 
-/// Grid index with centre assignment, slack-CSR storage and O(1) updates.
+/// Grid index with centre assignment, rank-sharded slack-CSR storage and
+/// O(1) updates.
 class MemGrid {
  public:
   explicit MemGrid(const AABB& universe, MemGridConfig config = {});
 
-  /// O(n) rebuild (counting scatter into the slack-CSR block).
+  /// O(n) rebuild (counting scatter into the per-shard slack-CSR blocks).
   void Build(std::span<const Element> elements);
 
   void Insert(const Element& element);
   bool Erase(ElementId id);
   bool Update(ElementId id, const AABB& new_box);
   /// Batch update path: in-place writes applied immediately, migrations
-  /// grouped by destination cell, one max-half-extent reduction.
+  /// grouped by destination cell, one max-half-extent reduction, then one
+  /// budget-bounded incremental compaction step (if configured).
   std::size_t ApplyUpdates(std::span<const ElementUpdate> updates);
 
   void RangeQuery(const AABB& range, std::vector<ElementId>* out,
@@ -188,17 +222,49 @@ class MemGrid {
     AABB box;
     ElementId id;
   };
-  /// One cell's region of `entries_`: [start, start+count) live,
-  /// [start+count, start+cap) slack.
+  /// One cell's region of its shard's block: [start, start+count) live,
+  /// [start+count, start+cap) slack. `start` is an offset into the block
+  /// the region currently resides in (the shard's fresh block while an
+  /// incremental compaction pass has moved it, its main block otherwise).
   struct Region {
     std::uint32_t start = 0;
     std::uint32_t cap = 0;
     std::uint32_t count = 0;
   };
-  /// Dense per-id locator: owning cell + absolute position in `entries_`.
+  /// Dense per-id locator: owning cell + position in the cell's shard
+  /// block (same offset space as Region::start).
   struct Slot {
     std::uint32_t cell = kNoCell;
     std::uint32_t pos = 0;
+  };
+  /// One contiguous layout-rank range [rank_begin, rank_end) with its own
+  /// slack-CSR block, footprint accounting and relocation arena. While an
+  /// incremental compaction pass is in flight (`compacting`), regions with
+  /// rank < cursor have been copied — packed, in rank order — into
+  /// `fresh`; completing the pass swaps `fresh` in as the block.
+  struct Shard {
+    std::vector<Entry> block;
+    std::vector<Entry> fresh;
+    std::size_t rank_begin = 0;
+    std::size_t rank_end = 0;
+    std::size_t live = 0;        ///< Live entries across the shard's cells.
+    std::size_t dead = 0;        ///< Relocation-abandoned slots in `block`.
+    std::size_t fresh_dead = 0;  ///< Ditto already re-created in `fresh`.
+    /// `block` slots superseded by the in-flight pass's copies in `fresh`
+    /// (discarded for free at the swap). The growth trigger subtracts them
+    /// so a half-copied shard is not mistaken for a half-grown one — that
+    /// would force-finish every pass and reintroduce the stall.
+    std::size_t stale = 0;
+    /// Block size the layout policy produced at the last Build /
+    /// re-layout / completed pass; growth is measured against it.
+    std::size_t layout_budget = 0;
+    std::size_t cursor = 0;  ///< Next rank a compaction pass will copy.
+    bool compacting = false;
+    /// True while `block` is exactly in packed layout-rank order (set by
+    /// Build / re-layout / a relocation-free pass, cleared by the first
+    /// region relocation); gates the rank-order check in CheckInvariants.
+    bool pristine = true;
+    bool fresh_pristine = true;  ///< Same, for the in-flight fresh block.
   };
   static constexpr std::uint32_t kNoCell = 0xffffffffu;
   /// Slot marker for ids whose migration is staged inside ApplyUpdates;
@@ -218,21 +284,88 @@ class MemGrid {
   void EnsureSlot(ElementId id);
   void GrowMaxHalfExtent(const AABB& box);
   /// Swap-remove the live slot `pos` from `cell`'s region (the shared
-  /// erase/migrate helper); fixes the displaced entry's slot map entry.
+  /// erase/migrate helper); fixes the displaced entry's slot map entry and
+  /// the shard's live count.
   void RemoveFromCell(std::uint32_t cell, std::uint32_t pos);
-  /// Make room for `need` more entries in `cell`'s region (relocating it or
-  /// re-laying-out the whole block if dead space got too high), then return
-  /// the first free absolute position. Invalidates no indices outside the
-  /// relocated region except under full re-layout, which fixes `slots_`.
-  std::uint32_t ReserveInCell(std::uint32_t cell, std::uint32_t need);
-  /// Full O(n) re-layout in layout-rank order with fresh slack;
+  /// Make room for `need` more entries in `cell`'s region (relocating it
+  /// within its shard, or re-laying-out that one shard if its waste got
+  /// too high), then return the first free position. Invalidates no
+  /// positions outside the relocated region except under a shard
+  /// re-layout, which fixes `slots_`. The caller must re-resolve the
+  /// region's base pointer afterwards. `allow_churn=false` defers the
+  /// churn cap (not the growth trigger): ApplyUpdates' landing phase runs
+  /// while staged migrations deflate shard live counts, which would
+  /// false-trigger the live-relative cap mid-batch.
+  std::uint32_t ReserveInCell(std::uint32_t cell, std::uint32_t need,
+                              bool allow_churn = true);
+  /// Evaluate the shard's reclamation triggers (growth past 2x layout
+  /// budget, or — when `allow_churn` — relocation-abandoned dead slots
+  /// past a fixed multiple of live entries, the small-grid churn cap;
+  /// layout-policy slack never counts) and re-layout the shard when one
+  /// fires. An in-flight compaction pass is finished first — reclaiming
+  /// is then usually already done and the re-layout skipped.
+  void MaybeReclaimShard(std::size_t shard, std::uint32_t demand_cell,
+                         std::uint32_t demand, bool allow_churn = true);
+  /// Stop-the-shard O(n/shards) re-layout in rank order with fresh slack;
   /// `demand_cell` (if valid) gets `demand` extra guaranteed slots.
-  void Relayout(std::uint32_t demand_cell, std::uint32_t demand);
+  void RelayoutShard(std::size_t shard, std::uint32_t demand_cell,
+                     std::uint32_t demand);
+  /// Start an incremental compaction pass on `shard` (reserve the fresh
+  /// block, park the cursor at rank_begin).
+  void BeginCompactionPass(std::size_t shard);
+  /// Copy up to `budget` occupied regions (cursor order) into the shard's
+  /// fresh block; swaps the pass to completion at rank_end. Returns the
+  /// budget consumed.
+  std::uint32_t AdvanceCompaction(std::size_t shard, std::uint32_t budget);
+  /// Drive an in-flight pass to completion in one go (bounded by the
+  /// shard, not the grid).
+  void FinishCompactionPass(std::size_t shard);
+  /// One incremental compaction step over all shards (per-shard budget),
+  /// called per ApplyUpdates batch.
+  void CompactStep();
+  /// Split the rank space into config_.shards contiguous ranges holding
+  /// ~total/shards entries each (`counts` indexed by CELL; empty counts or
+  /// zero total fall back to an even rank split) and reset the shard
+  /// descriptors.
+  void PartitionShards(const std::vector<std::uint32_t>& counts,
+                       std::size_t total);
+  /// Walk every shard's rank range in order, computing each region's
+  /// shard-relative start and slacked cap from `counts`, then size the
+  /// shard's block and reset its accounting. The ONE definition of the
+  /// layout math both Build paths share, so the serial and parallel
+  /// layouts are bit-identical by construction. `per_rank(cell, start,
+  /// cap, count)` writes the Region plus caller-specific bookkeeping.
+  template <typename PerRank>
+  void LayoutShardRegions(const std::vector<std::uint32_t>& counts,
+                          const PerRank& per_rank);
   /// Per-cell capacity formula after a (re)layout.
   std::uint32_t SlackedCap(std::uint32_t count) const;
 
+  /// Shard owning a rank / cell. Boundaries live in shard_begin_rank_
+  /// (size shards+1); the single-shard fast path skips the search.
+  std::size_t ShardOfRank(std::size_t rank) const;
+  std::size_t ShardOfCell(std::size_t cell) const {
+    return shards_.size() == 1 ? 0 : ShardOfRank(CellRank(cell));
+  }
+  /// The block `cell`'s region currently resides in (fresh while a
+  /// compaction pass has copied it, the shard's main block otherwise).
+  const std::vector<Entry>& SpaceOf(std::size_t cell) const;
+  std::vector<Entry>& SpaceOf(std::size_t cell) {
+    return const_cast<std::vector<Entry>&>(
+        static_cast<const MemGrid*>(this)->SpaceOf(cell));
+  }
+  /// One-stop mutable resolution for the mutation paths: the base pointer
+  /// of the block `cell`'s region resides in plus the owning shard index,
+  /// so erase/insert/migrate resolve rank and shard ONCE per operation
+  /// instead of once per helper. Invalidated by anything that moves the
+  /// region (ReserveInCell, re-layout, compaction step).
+  struct CellRef {
+    Entry* data;
+    std::size_t shard;
+  };
+  CellRef ResolveCell(std::size_t cell);
   const Entry* CellEntries(std::size_t cell) const {
-    return entries_.data() + regions_[cell].start;
+    return SpaceOf(cell).data() + regions_[cell].start;
   }
   std::uint32_t CellCount(std::size_t cell) const {
     return regions_[cell].count;
@@ -260,7 +393,8 @@ class MemGrid {
 
   /// Serial counting scatter (the pre-parallel Build body, kept verbatim
   /// for threads <= 1) and its chunked parallel counterpart. Both lay
-  /// regions out in layout-rank order and are bit-identical to each other.
+  /// regions out in layout-rank order per shard and are bit-identical to
+  /// each other.
   void BuildSerial(std::span<const Element> elements);
   void BuildParallel(std::span<const Element> elements, std::size_t chunks);
 
@@ -287,21 +421,16 @@ class MemGrid {
   /// config_.threads resolved once (kThreadsAuto -> hardware concurrency).
   std::uint32_t threads_ = 1;
 
-  std::vector<Entry> entries_;   ///< The one flat slack-CSR block.
+  std::vector<Shard> shards_;    ///< The per-rank-range slack-CSR blocks.
+  /// Shard rank boundaries: shard s covers ranks
+  /// [shard_begin_rank_[s], shard_begin_rank_[s+1]).
+  std::vector<std::uint32_t> shard_begin_rank_;
   std::vector<Region> regions_;  ///< Per-cell region descriptors.
   std::vector<Slot> slots_;      ///< Dense id -> {cell, pos} map.
   /// Curve-layout rank maps (both empty under kRowMajor — identity).
   std::vector<std::uint32_t> rank_of_cell_;
   std::vector<std::uint32_t> cell_of_rank_;
-  /// True while `entries_` is still exactly in layout-rank order (set by
-  /// Build/Relayout, cleared by the first region relocation); gates the
-  /// rank-order check in CheckInvariants.
-  bool pristine_layout_ = true;
   std::size_t size_ = 0;         ///< Live elements.
-  std::size_t dead_ = 0;         ///< Slots lost to region relocations.
-  /// Block size the layout policy produced at the last Build/Relayout;
-  /// once relocation churn doubles past it, a re-layout reclaims space.
-  std::size_t layout_budget_ = 0;
 
   /// Largest half-extent ever seen; probe inflation bound.
   float max_half_extent_ = 0.0f;

@@ -259,15 +259,21 @@ class MemGridAdapter final : public SpatialIndex {
   /// differential batteries. `layout` fixes the cell-region storage order:
   /// the base profiles take it from IndexOptions, the "memgrid-morton" /
   /// "memgrid-hilbert" profiles pin their curve so every battery that
-  /// sweeps the registry exercises every rank-order code path.
+  /// sweeps the registry exercises every rank-order code path. `shards` /
+  /// `compact` split the entry block into rank-range shards with an
+  /// incremental compaction budget: the base profiles take both from
+  /// IndexOptions, the "memgrid-sharded" profile pins a multi-shard +
+  /// incremental configuration so the sharded storage and the two-block
+  /// compaction reads run through every registry battery.
   struct SlackProfile {
     std::uint32_t min_slack;
     float slack_fraction;
   };
   MemGridAdapter(std::string name, SlackProfile slack, CellLayout layout,
+                 std::uint32_t shards, std::uint32_t compact,
                  const IndexOptions& options)
       : name_(std::move(name)), slack_(slack), layout_(layout),
-        threads_(options.threads) {}
+        shards_count_(shards), compact_(compact), threads_(options.threads) {}
   std::string_view name() const override { return name_; }
   void Build(std::span<const Element> elements, const AABB& u) override {
     MemGridConfig cfg;
@@ -276,6 +282,8 @@ class MemGridAdapter final : public SpatialIndex {
     cfg.slack_fraction = slack_.slack_fraction;
     cfg.threads = threads_;
     cfg.layout = layout_;
+    cfg.shards = shards_count_;
+    cfg.compact_regions_per_batch = compact_;
     grid_ = std::make_unique<MemGrid>(u, cfg);
     grid_->Build(elements);
   }
@@ -305,6 +313,8 @@ class MemGridAdapter final : public SpatialIndex {
   std::string name_;
   SlackProfile slack_;
   CellLayout layout_;
+  std::uint32_t shards_count_;
+  std::uint32_t compact_;
   std::uint32_t threads_;
   std::unique_ptr<MemGrid> grid_;
 };
@@ -387,25 +397,36 @@ const std::vector<RegistryEntry>& Registry() {
       {"memgrid",
        [](const IndexOptions& o) {
          return std::make_unique<MemGridAdapter>(
-             "memgrid", MemGridAdapter::SlackProfile{0, 0.0f}, o.layout, o);
+             "memgrid", MemGridAdapter::SlackProfile{0, 0.0f}, o.layout,
+             o.shards, o.compact_regions_per_batch, o);
        }},
       {"memgrid-padded",
        [](const IndexOptions& o) {
          return std::make_unique<MemGridAdapter>(
              "memgrid-padded", MemGridAdapter::SlackProfile{2, 0.25f},
-             o.layout, o);
+             o.layout, o.shards, o.compact_regions_per_batch, o);
        }},
       {"memgrid-morton",
        [](const IndexOptions& o) {
          return std::make_unique<MemGridAdapter>(
              "memgrid-morton", MemGridAdapter::SlackProfile{0, 0.0f},
-             CellLayout::kMorton, o);
+             CellLayout::kMorton, o.shards, o.compact_regions_per_batch, o);
        }},
       {"memgrid-hilbert",
        [](const IndexOptions& o) {
          return std::make_unique<MemGridAdapter>(
              "memgrid-hilbert", MemGridAdapter::SlackProfile{0, 0.0f},
-             CellLayout::kHilbert, o);
+             CellLayout::kHilbert, o.shards, o.compact_regions_per_batch, o);
+       }},
+      {"memgrid-sharded",
+       [](const IndexOptions& o) {
+         // 5 shards (odd, so entry-balanced boundaries land unevenly) with
+         // a small incremental budget: mid-pass two-block reads stay live
+         // across the differential batteries instead of only in dedicated
+         // tests.
+         return std::make_unique<MemGridAdapter>(
+             "memgrid-sharded", MemGridAdapter::SlackProfile{0, 0.0f},
+             o.layout, 5, 48, o);
        }},
       {"lsh",
        [](const IndexOptions&) { return std::make_unique<LshAdapter>(); }},

@@ -84,6 +84,16 @@ struct IndexOptions {
   /// "memgrid-padded"). The dedicated "memgrid-morton"/"memgrid-hilbert"
   /// profiles pin their own curve and ignore this knob.
   CellLayout layout = CellLayout::kRowMajor;
+  /// Entry-block shards for the MemGrid profiles: contiguous layout-rank
+  /// ranges with independent storage and compaction, bounding the
+  /// worst-case mutation stall at O(n/shards). 1 (default) keeps the
+  /// single-block layout; results are identical at every shard count. The
+  /// dedicated "memgrid-sharded" profile pins its own value.
+  std::uint32_t shards = 1;
+  /// Incremental compaction budget for the MemGrid profiles: maximum cell
+  /// regions relocated per shard per ApplyUpdates batch (0 = off; churn is
+  /// then reclaimed by per-shard re-layouts only).
+  std::uint32_t compact_regions_per_batch = 0;
 };
 
 /// Construct an index by registry name (see registry.cc). Returns nullptr

@@ -91,8 +91,11 @@ Simulation::Simulation(std::vector<Element> elements, const AABB& universe,
   if (config_.policy != MaintenancePolicy::kNoIndex) {
     index_ = core::MakeIndex(
         config_.index_name,
-        core::IndexOptions{.threads = config_.index_threads,
-                           .layout = config_.index_layout});
+        core::IndexOptions{
+            .threads = config_.index_threads,
+            .layout = config_.index_layout,
+            .shards = config_.index_shards,
+            .compact_regions_per_batch = config_.index_compact_regions});
     assert(index_ != nullptr && "unknown index name");
     index_->Build(elements_, universe_);
     updates_.reserve(elements_.size());

@@ -102,6 +102,14 @@ struct SimulationConfig {
   /// structures ignore it. Purely a performance knob — step results are
   /// identical across layouts.
   core::CellLayout index_layout = core::CellLayout::kRowMajor;
+  /// Entry-block shards for the MemGrid profiles
+  /// (core::IndexOptions::shards): bounds the worst-case maintenance stall
+  /// of a step at O(n/shards). Step results are identical at every value.
+  std::uint32_t index_shards = 1;
+  /// Incremental compaction budget for the MemGrid profiles
+  /// (core::IndexOptions::compact_regions_per_batch): regions reclaimed
+  /// per maintenance step; 0 leaves compaction to the re-layout triggers.
+  std::uint32_t index_compact_regions = 0;
   MaintenancePolicy policy = MaintenancePolicy::kIncrementalUpdate;
   /// In-situ monitoring: range queries per step (0 disables).
   std::size_t monitor_range_queries = 10;

@@ -134,6 +134,67 @@ TEST(MemGridTest, KnnShellLowerBoundStaysExactOnClusteredData) {
   }
 }
 
+// Satellite audit of the kNN per-shell float-safety margin: the shell
+// lower bound (gap - max_half_extent - 1e-3*cell) must never stop the
+// expansion early on the degenerate inputs where the bound is tightest —
+// zero-half-extent points (mhe contributes nothing), exact duplicates
+// (distance ties resolved by id), query points EXACTLY on cell faces and
+// lattice corners (gap == 0 on both sides of the face), probes outside
+// the universe (CellCoords clamps into boundary cells) and k >= n (the
+// expansion must run to grid exhaustion). Differential vs the linear scan
+// across every layout and a sharded storage config.
+TEST(MemGridTest, KnnDegenerateInputsStayExactAcrossLayouts) {
+  const float cell = 4.0f;
+  Rng rng(87);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 300; ++i) {
+    Vec3 c;
+    if (i % 3 == 0) {
+      // Centres exactly on the cell lattice (faces, edges, corners).
+      c = Vec3(cell * static_cast<float>(i % 26),
+               cell * static_cast<float>((i / 5) % 26),
+               cell * static_cast<float>((i / 7) % 26));
+    } else {
+      c = rng.PointIn(kUniverse);
+    }
+    if (i % 10 == 0 && i > 0) c = elems[i - 1].Center();  // Exact duplicate.
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(c, 0.0f));  // Points.
+  }
+  std::vector<Vec3> probes;
+  // On-face / on-corner probes, including the universe boundary.
+  probes.emplace_back(0, 0, 0);
+  probes.emplace_back(cell, cell, cell);
+  probes.emplace_back(cell * 12, cell * 7, cell * 3);
+  probes.emplace_back(100, 100, 100);
+  probes.emplace_back(cell * 5, 17.3f, 42.9f);  // Face in x only.
+  // Outside the universe (clamped into boundary cells).
+  probes.emplace_back(-7, 50, 50);
+  probes.emplace_back(108, 108, -3);
+  // On top of elements (distance exactly 0).
+  probes.push_back(elems[0].Center());
+  probes.push_back(elems[30].Center());
+  for (const CellLayout layout :
+       {CellLayout::kRowMajor, CellLayout::kMorton, CellLayout::kHilbert}) {
+    for (const std::uint32_t shards : {1u, 4u}) {
+      MemGrid g(kUniverse, MemGridConfig{.cell_size = cell,
+                                         .layout = layout,
+                                         .shards = shards});
+      g.Build(elems);
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        for (const std::size_t k :
+             {std::size_t{1}, std::size_t{7}, std::size_t{299},
+              std::size_t{300}, std::size_t{350}}) {
+          std::vector<ElementId> got;
+          g.KnnQuery(probes[p], k, &got);
+          ASSERT_EQ(got, ScanKnn(elems, probes[p], k))
+              << "layout=" << ToString(layout) << " shards=" << shards
+              << " probe " << p << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
 TEST(MemGridTest, SelfJoinMatchesReference) {
   const auto elems = GenerateUniformBoxes(1500, kUniverse, 0.2f, 0.8f);
   MemGridConfig cfg;
@@ -220,6 +281,88 @@ TEST(MemGridTest, SlackExhaustionRelayoutKeepsQueriesExact) {
   std::vector<ElementId> knn;
   g.KnnQuery(hot, 9, &knn);
   EXPECT_EQ(knn, ScanKnn(mirror, hot, 9));
+}
+
+// Regression (churn cap): blocks below kMinEntriesForRelayout (4096) never
+// hit the growth trigger, so relocation churn on a SMALL hot grid used to
+// bloat the block to ~4096 slots while holding a few dozen live elements
+// (dead + stranded slack bounded only by the constant, not the data). The
+// churn cap re-layouts once relocation-abandoned dead slots outgrow a
+// fixed multiple of the live count, regardless of absolute size (stranded
+// geometric slack is itself bounded by a constant factor of dead, so
+// capping dead bounds the total).
+TEST(MemGridTest, ChurnCapBoundsSmallGridWaste) {
+  Rng rng(88);
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 5.0f});
+  // A small resident population so the bound has a live count to track.
+  std::vector<Element> resident;
+  for (ElementId i = 0; i < 16; ++i) {
+    resident.emplace_back(i, AABB::FromCenterHalfExtent(
+                                 rng.PointIn(kUniverse), 0.3f));
+  }
+  g.Build(resident);
+  // Insert/erase cycles hammering one hot cell per cycle (a different cell
+  // each cycle, so every burst churns a fresh zero-cap region through
+  // geometric relocation and strands its capacity on erase).
+  const ElementId kBurstBase = 1000;
+  std::size_t max_waste = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const Vec3 hot(2.5f + 5.0f * static_cast<float>(cycle % 19),
+                   2.5f + 5.0f * static_cast<float>((cycle / 19) % 19),
+                   2.5f);
+    for (ElementId i = 0; i < 80; ++i) {
+      g.Insert(Element(kBurstBase + i,
+                       AABB::FromCenterHalfExtent(
+                           hot + Vec3(rng.Uniform(-1.0f, 1.0f),
+                                      rng.Uniform(-1.0f, 1.0f),
+                                      rng.Uniform(-1.0f, 1.0f)),
+                           0.2f)));
+    }
+    for (ElementId i = 0; i < 80; ++i) g.Erase(kBurstBase + i);
+    const MemGridShape s = g.Shape();
+    max_waste = std::max(max_waste, s.slack_slots + s.dead_slots);
+  }
+  // Pre-fix the waste marched to ~4096 slots (256x the live population);
+  // the churn cap holds it to a small multiple of live + burst peak.
+  EXPECT_LT(max_waste, 2048u);
+  EXPECT_GT(g.update_stats().relayouts, 0u);
+  std::string err;
+  ASSERT_TRUE(g.CheckInvariants(&err)) << err;
+  // The grid still answers exactly after all that churn.
+  for (int q = 0; q < 10; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                  rng.Uniform(2.0f, 15.0f));
+    std::vector<ElementId> got;
+    g.RangeQuery(query, &got);
+    EXPECT_EQ(Sorted(got), ScanRange(resident, query)) << "q" << q;
+  }
+}
+
+// Regression for the churn cap's counter side: layout-policy slack
+// (min_slack / slack_fraction) must NOT count as reclaimable waste. A
+// padded config with min_slack=8 and ~1 element per cell carries 8x live
+// in slack by design; a trigger that counted it would re-layout on every
+// reservation forever (each re-layout recreates the identical slack) and
+// collapse update throughput to O(n/shards) per migration.
+TEST(MemGridTest, PaddedLayoutSlackIsNotChurnWaste) {
+  Rng rng(89);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 2000; ++i) {
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                     0.2f));
+  }
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 4.0f, .min_slack = 8});
+  g.Build(elems);
+  for (int i = 0; i < 1000; ++i) {
+    const ElementId id = rng.NextBelow(2000);
+    ASSERT_TRUE(g.Update(id, AABB::FromCenterHalfExtent(
+                                 rng.PointIn(kUniverse), 0.2f)));
+  }
+  // 1000 scattered migrations into 8-slot-slack regions abandon almost no
+  // dead space — nowhere near the dead-slot churn cap.
+  EXPECT_EQ(g.update_stats().relayouts, 0u);
+  std::string err;
+  ASSERT_TRUE(g.CheckInvariants(&err)) << err;
 }
 
 TEST(MemGridTest, SelfJoinWidensReachWhenCellsAreTooSmall) {
@@ -487,8 +630,9 @@ INSTANTIATE_TEST_SUITE_P(AllIndexes, RegistryDifferentialTest,
 // transitively cross-checks the profiles against each other.
 TEST(RegistryTest, SeededMixedWorkloadDifferentialFuzz) {
   const std::vector<std::string> profiles = {
-      "memgrid",        "memgrid-padded", "memgrid-morton",
-      "memgrid-hilbert", "rtree",         "linear-scan"};
+      "memgrid",         "memgrid-padded", "memgrid-morton",
+      "memgrid-hilbert", "memgrid-sharded", "rtree",
+      "linear-scan"};
   std::vector<std::unique_ptr<SpatialIndex>> indexes;
   for (const std::string& p : profiles) {
     auto index = MakeIndex(p);

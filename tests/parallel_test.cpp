@@ -70,12 +70,19 @@ std::vector<NamedDataset> BatteryDatasets() {
   return ds;
 }
 
+// Shard counts the battery crosses with layouts and thread counts; 1 is
+// the single-block reference.
+const std::uint32_t kShardCounts[] = {1, 2, 3, 8};
+
 MemGrid MakeGrid(const std::vector<Element>& elements, std::uint32_t threads,
                  float cell_size = 4.0f,
-                 CellLayout layout = CellLayout::kRowMajor) {
+                 CellLayout layout = CellLayout::kRowMajor,
+                 std::uint32_t shards = 1, std::uint32_t compact = 0) {
   MemGrid g(kUniverse, MemGridConfig{.cell_size = cell_size,
                                      .threads = threads,
-                                     .layout = layout});
+                                     .layout = layout,
+                                     .shards = shards,
+                                     .compact_regions_per_batch = compact});
   g.Build(elements);
   return g;
 }
@@ -502,6 +509,206 @@ TEST(ParallelDeterminismTest, ApplyUpdatesIdenticalAcrossThreadCounts) {
           << "layout=" << ToString(layout) << " q" << q;
     }
   }
+}
+
+// --- Shard determinism ----------------------------------------------------
+// The rank-sharded entry blocks are a pure storage knob: every observable
+// result (full-scan emission order, range/knn outputs, self-join pairs AND
+// counters, ApplyUpdates stats) must be identical across shard counts,
+// thread counts and layouts. The single-block serial grid is the reference.
+
+TEST(ShardDeterminismTest, BuildAndQueriesIdenticalAcrossShardCounts) {
+  for (const NamedDataset& ds : BatteryDatasets()) {
+    for (const CellLayout layout : kLayouts) {
+      const MemGrid reference = MakeGrid(ds.elements, 0, 4.0f, layout);
+      const std::vector<ElementId> want = LayoutOrder(reference);
+      for (const std::uint32_t shards : kShardCounts) {
+        for (const std::uint32_t t : {0u, 2u, 8u}) {
+          const MemGrid g = MakeGrid(ds.elements, t, 4.0f, layout, shards);
+          std::string err;
+          ASSERT_TRUE(g.CheckInvariants(&err))
+              << ds.name << " layout=" << ToString(layout)
+              << " shards=" << shards << " t=" << t << ": " << err;
+          EXPECT_EQ(g.Shape().shards, shards);
+          // A fresh gap-free multi-shard build streams as one run per
+          // occupied shard (blocks are separate allocations).
+          EXPECT_LE(g.Shape().layout_runs, shards);
+          // Emission order of a full scan is the rank order — independent
+          // of where shard boundaries fall.
+          ASSERT_EQ(LayoutOrder(g), want)
+              << ds.name << " layout=" << ToString(layout)
+              << " shards=" << shards << " t=" << t;
+          Rng rng(58);
+          for (int q = 0; q < 12; ++q) {
+            const AABB query = AABB::FromCenterHalfExtent(
+                rng.PointIn(kUniverse), rng.Uniform(0.5f, 12.0f));
+            std::vector<ElementId> got, ref;
+            g.RangeQuery(query, &got);
+            reference.RangeQuery(query, &ref);
+            ASSERT_EQ(got, ref)
+                << ds.name << " layout=" << ToString(layout)
+                << " shards=" << shards << " t=" << t << " q" << q;
+          }
+          for (int q = 0; q < 6; ++q) {
+            const Vec3 p = rng.PointIn(kUniverse);
+            std::vector<ElementId> got, ref;
+            g.KnnQuery(p, 9, &got);
+            reference.KnnQuery(p, 9, &ref);
+            ASSERT_EQ(got, ref)
+                << ds.name << " layout=" << ToString(layout)
+                << " shards=" << shards << " t=" << t << " q" << q;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, SelfJoinIdenticalAcrossShardCounts) {
+  for (const NamedDataset& ds : BatteryDatasets()) {
+    for (const float eps : {0.0f, 0.5f}) {
+      for (const CellLayout layout : kLayouts) {
+        std::vector<std::pair<ElementId, ElementId>> want;
+        QueryCounters want_c;
+        MakeGrid(ds.elements, 0, 4.0f, layout).SelfJoin(eps, &want, &want_c);
+        for (const std::uint32_t shards : kShardCounts) {
+          for (const std::uint32_t t : {0u, 8u}) {
+            const MemGrid g = MakeGrid(ds.elements, t, 4.0f, layout, shards);
+            std::vector<std::pair<ElementId, ElementId>> got;
+            QueryCounters got_c;
+            g.SelfJoin(eps, &got, &got_c);
+            // Element-for-element: sweeping origin cells in rank order
+            // makes the emission independent of the shard partition.
+            ASSERT_EQ(got, want)
+                << ds.name << " layout=" << ToString(layout)
+                << " shards=" << shards << " t=" << t << " eps=" << eps;
+            EXPECT_EQ(got_c.element_tests, want_c.element_tests);
+            EXPECT_EQ(got_c.nodes_visited, want_c.nodes_visited);
+            EXPECT_EQ(got_c.results, want_c.results);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, ApplyUpdatesIdenticalAcrossShardsAndCompaction) {
+  const auto elems = GenerateUniformBoxes(4096, kUniverse, 0.1f, 0.8f);
+  struct Config {
+    std::uint32_t shards;
+    std::uint32_t compact;
+    std::uint32_t threads;
+  };
+  // Shards x incremental-compaction x threads, against the single-block
+  // serial reference. A tiny budget (4) keeps passes IN FLIGHT across
+  // rounds, so the two-block reads (fresh below the cursor, block above)
+  // are exercised by every query and invariant check below.
+  const Config kConfigs[] = {{1, 0, 8},  {2, 0, 0}, {8, 0, 8},
+                             {2, 4, 0},  {8, 4, 8}, {8, 256, 0},
+                             {1, 16, 0}};
+  for (const CellLayout layout : kLayouts) {
+    MemGrid reference = MakeGrid(elems, 0, 4.0f, layout);
+    std::vector<MemGrid> grids;
+    for (const Config& c : kConfigs) {
+      grids.push_back(
+          MakeGrid(elems, c.threads, 4.0f, layout, c.shards, c.compact));
+    }
+    std::vector<Element> mirror = elems;
+    Rng rng(99);
+    bool saw_compacting = false;
+    for (int round = 0; round < 4; ++round) {
+      const auto batch = SeededUpdateBatch(&mirror, &rng);
+      const std::size_t want_applied = reference.ApplyUpdates(batch);
+      const std::vector<ElementId> want_layout = LayoutOrder(reference);
+      const MemGridUpdateStats& ws = reference.update_stats();
+      for (std::size_t gi = 0; gi < grids.size(); ++gi) {
+        MemGrid& g = grids[gi];
+        const auto label = [&] {
+          return std::string("layout=") + ToString(layout) + " shards=" +
+                 std::to_string(kConfigs[gi].shards) + " compact=" +
+                 std::to_string(kConfigs[gi].compact) + " t=" +
+                 std::to_string(kConfigs[gi].threads) + " round " +
+                 std::to_string(round);
+        };
+        EXPECT_EQ(g.ApplyUpdates(batch), want_applied) << label();
+        std::string err;
+        ASSERT_TRUE(g.CheckInvariants(&err)) << label() << ": " << err;
+        // The full-scan emission order is invariant under sharding AND
+        // under a mid-flight compaction pass (copies preserve region
+        // content order; emission follows rank order).
+        ASSERT_EQ(LayoutOrder(g), want_layout) << label();
+        const MemGridUpdateStats& s = g.update_stats();
+        // Classification is storage-independent; only relayout/compaction
+        // counters may differ across shard counts and budgets.
+        EXPECT_EQ(s.updates, ws.updates) << label();
+        EXPECT_EQ(s.in_place, ws.in_place) << label();
+        EXPECT_EQ(s.migrations, ws.migrations) << label();
+        saw_compacting |= g.Shape().compacting_shards > 0;
+      }
+    }
+    // The tiny-budget configs must actually have been caught mid-pass at
+    // least once, or the two-block read path went untested.
+    EXPECT_TRUE(saw_compacting) << ToString(layout);
+    // End state agrees with brute force, not merely with itself.
+    Rng qrng(100);
+    for (int q = 0; q < 12; ++q) {
+      const AABB query = AABB::FromCenterHalfExtent(
+          qrng.PointIn(kUniverse), qrng.Uniform(1.0f, 10.0f));
+      std::vector<ElementId> got;
+      grids.back().RangeQuery(query, &got);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, ScanRange(mirror, query))
+          << "layout=" << ToString(layout) << " q" << q;
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, IncrementalCompactionReclaimsChurnWithoutRelayout) {
+  // Teleport-heavy churn on a sharded grid with a healthy budget: passes
+  // must complete (compaction_passes > 0), no stop-the-shard re-layout may
+  // ever fire, waste must stay bounded, and queries must stay exact
+  // throughout — including while shards are mid-pass.
+  const std::size_t n = 20000;
+  auto mirror = GenerateUniformBoxes(n, kUniverse, 0.05f, 0.4f);
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 2.0f,
+                                     .threads = 0,
+                                     .shards = 4,
+                                     .compact_regions_per_batch = 512});
+  g.Build(mirror);
+  Rng rng(71);
+  std::vector<ElementUpdate> batch;
+  for (int round = 0; round < 60; ++round) {
+    batch.clear();
+    for (Element& e : mirror) {
+      if (rng.NextFloat() < 0.05f) {
+        e.box = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                           rng.Uniform(0.05f, 0.4f));
+      } else {
+        e.box = e.box.Translated(Vec3(rng.Normal(0, 0.02f),
+                                      rng.Normal(0, 0.02f),
+                                      rng.Normal(0, 0.02f)));
+      }
+      batch.emplace_back(e.id, e.box);
+    }
+    ASSERT_EQ(g.ApplyUpdates(batch), batch.size()) << "round " << round;
+    if (round % 10 == 9) {
+      std::string err;
+      ASSERT_TRUE(g.CheckInvariants(&err)) << "round " << round << ": "
+                                           << err;
+      const AABB query = AABB::FromCenterHalfExtent(
+          rng.PointIn(kUniverse), rng.Uniform(2.0f, 10.0f));
+      std::vector<ElementId> got;
+      g.RangeQuery(query, &got);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, ScanRange(mirror, query)) << "round " << round;
+    }
+  }
+  EXPECT_GT(g.update_stats().compaction_passes, 0u);
+  EXPECT_EQ(g.update_stats().relayouts, 0u);
+  const MemGridShape shape = g.Shape();
+  // Incremental reclamation keeps dead+slack waste proportional to the
+  // population instead of letting churn grow the blocks unboundedly.
+  EXPECT_LT(shape.dead_slots + shape.slack_slots, 5 * n);
 }
 
 }  // namespace
