@@ -43,6 +43,13 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const auto shards = static_cast<std::uint32_t>(flags.GetSize("shards", 1));
+  core::RangeDecomp decomp = core::RangeDecomp::kRuns;
+  const std::string decomp_name = flags.GetString("decomp", "runs");
+  if (!core::ParseRangeDecomp(decomp_name, &decomp)) {
+    std::fprintf(stderr, "unknown --decomp=%s (expected sort|runs)\n",
+                 decomp_name.c_str());
+    return 2;
+  }
   bench::JsonWriter json(flags.GetString("json", ""));
 
   bench::PrintHeader(
@@ -95,6 +102,7 @@ int Main(int argc, char** argv) {
     json.Field("eps", static_cast<double>(eps));
     json.Field("layout", core::ToString(layout));
     json.Field("shards", static_cast<double>(shards));
+    json.Field("decomp", core::ToString(decomp));
     json.Field("total_ms", ms);
     json.Field("comparisons", static_cast<double>(c.element_tests));
     json.Field("pairs", static_cast<double>(pairs.size()));
@@ -133,8 +141,11 @@ int Main(int argc, char** argv) {
   mg_cfg.threads = threads;
   mg_cfg.layout = layout;
   mg_cfg.shards = shards;
-  std::printf("memgrid threads: %u, memgrid layout: %s, memgrid shards: %u\n",
-              par::ResolveThreads(threads), core::ToString(layout), shards);
+  mg_cfg.decomp = decomp;
+  std::printf("memgrid threads: %u, memgrid layout: %s, memgrid shards: %u, "
+              "memgrid decomp: %s\n",
+              par::ResolveThreads(threads), core::ToString(layout), shards,
+              core::ToString(decomp));
   const std::size_t p_memgrid =
       run("memgrid build+self-join (parallel)", [&](QueryCounters* c) {
         core::MemGrid memgrid(ds.universe, mg_cfg);

@@ -20,6 +20,13 @@
 //   --compact=<r>         MemGrid incremental-compaction budget: regions
 //                         reclaimed per ApplyUpdates batch (default 0 =
 //                         off).
+//   --decomp=<d>          MemGrid large-probe traversal on the curve
+//                         layouts: runs (default; BIGMIN curve-range
+//                         decomposition) or sort (legacy radix-sorted rank
+//                         gather). Results are identical; ns/op is the
+//                         point — compare on range-skewed (fine grid,
+//                         thousands of runs/query) with
+//                         --layout=morton|hilbert.
 
 #include <algorithm>
 #include <cmath>
@@ -88,6 +95,13 @@ int Main(int argc, char** argv) {
   }
   const auto shards = static_cast<std::uint32_t>(flags.GetSize("shards", 1));
   const auto compact = static_cast<std::uint32_t>(flags.GetSize("compact", 0));
+  core::RangeDecomp decomp = core::RangeDecomp::kRuns;
+  const std::string decomp_name = flags.GetString("decomp", "runs");
+  if (!core::ParseRangeDecomp(decomp_name, &decomp)) {
+    std::fprintf(stderr, "unknown --decomp=%s (expected sort|runs)\n",
+                 decomp_name.c_str());
+    return 2;
+  }
   JsonWriter json(flags.GetString("json", ""));
 
   bench::PrintHeader("Microbenchmarks: build/range/knn/update/self-join",
@@ -107,10 +121,10 @@ int Main(int argc, char** argv) {
   }
   std::printf("dataset: %zu %s elements, universe side %.0f, reps %zu, "
               "memgrid threads %u, memgrid layout %s, memgrid shards %u, "
-              "memgrid compact %u\n",
+              "memgrid compact %u, memgrid decomp %s\n",
               n, dataset_name.c_str(), universe.Extent().x, reps,
               par::ResolveThreads(threads), core::ToString(layout), shards,
-              compact);
+              compact, core::ToString(decomp));
 
   const auto stats = grid::DatasetStats::Compute(elems, universe);
   const float grid_cell = std::max(
@@ -122,6 +136,7 @@ int Main(int argc, char** argv) {
   mg_cfg.layout = layout;
   mg_cfg.shards = shards;
   mg_cfg.compact_regions_per_batch = compact;
+  mg_cfg.decomp = decomp;
 
   datagen::RangeWorkloadConfig wl_cfg;
   wl_cfg.num_queries = 64;
@@ -239,6 +254,74 @@ int Main(int argc, char** argv) {
            static_cast<double>(cubic_queries.size()));
   }
 
+  // --- Skewed range probes on a fine grid (the high-run-count regime) -------
+  // Thin slabs spanning much of two axes, probed against a join-style
+  // fine-celled grid (cell = max element extent, the §4.3 self-join
+  // sizing): the probe box cuts across the space-filling curve instead of
+  // riding along it and spans tens of thousands of cells, so the curve
+  // layouts see thousands of rank runs per query — the regime where the
+  // per-query radix-sorted rank gather (--decomp=sort) pays an O(cells)
+  // scratch fill plus sort passes that the BIGMIN orthant walk
+  // (--decomp=runs, the default) eliminates. The default-grid kernels
+  // above keep covering the query-tuned coarse grid, where both
+  // traversals are noise-level equal.
+  {
+    core::MemGridConfig fine_cfg = mg_cfg;
+    fine_cfg.cell_size = static_cast<float>(stats.max_extent) * 1.01f;
+    core::MemGrid memgrid_fine(universe, fine_cfg);
+    memgrid_fine.Build(elems);
+    Rng skew_rng(29);
+    std::vector<AABB> skew_queries;
+    const Vec3 ext = universe.Extent();
+    const Vec3 half(ext.x * 0.01f, ext.y * 0.35f, ext.z * 0.35f);
+    for (int i = 0; i < 32; ++i) {
+      skew_queries.push_back(
+          AABB::FromCenterHalfExtents(skew_rng.PointIn(universe), half));
+    }
+    std::vector<ElementId> out;
+    record("range-skewed", "memgrid", MedianNs(reps, [&] {
+             for (const AABB& q : skew_queries) {
+               memgrid_fine.RangeQuery(q, &out);
+             }
+           }),
+           static_cast<double>(skew_queries.size()));
+    // Decomposition shape, for the record: how many fused rank runs the
+    // active layout yields per probe (untimed; CurveRangeRankRuns is
+    // exactly what the kRuns traversal enumerates). Lattice geometry comes
+    // from the grid itself — re-deriving it from cell_size could land one
+    // cell off the lattice actually timed.
+    const core::MemGridShape shape = memgrid_fine.Shape();
+    const float cell = memgrid_fine.cell_size();
+    const core::CellVec dims{static_cast<std::uint32_t>(shape.nx),
+                             static_cast<std::uint32_t>(shape.ny),
+                             static_cast<std::uint32_t>(shape.nz)};
+    const int bits = std::max(shape.curve_bits, 1);
+    const float mhe = shape.max_half_extent;
+    std::vector<core::CurveRun> runs;
+    double total_runs = 0;
+    for (const AABB& q : skew_queries) {
+      const AABB probe = q.Inflated(mhe);
+      core::CellVec lo, hi;
+      for (int a = 0; a < 3; ++a) {
+        const auto at = [&](const Vec3& p) {
+          return static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+              static_cast<std::int64_t>((p[a] - universe.min[a]) / cell), 0,
+              static_cast<std::int64_t>(dims[a]) - 1));
+        };
+        lo[a] = at(probe.min);
+        hi[a] = at(probe.max);
+      }
+      if (core::CurveRangeRankRuns(layout, lo, hi, dims, bits, &runs)) {
+        total_runs += static_cast<double>(runs.size());
+      }
+    }
+    std::printf("decomposition (%s/%s): fine grid %ux%ux%u, %.0f rank "
+                "runs/query on skewed slabs\n",
+                core::ToString(layout), core::ToString(decomp), dims[0],
+                dims[1], dims[2],
+                total_runs / static_cast<double>(skew_queries.size()));
+  }
+
   // --- kNN ------------------------------------------------------------------
   {
     rtree::RTree tree;
@@ -311,6 +394,7 @@ int Main(int argc, char** argv) {
     json.Field("layout", core::ToString(layout));
     json.Field("shards", static_cast<double>(shards));
     json.Field("compact_regions", static_cast<double>(compact));
+    json.Field("decomp", core::ToString(decomp));
     json.Field("ns_per_op", r.ns_per_op);
     json.Field("ops_per_rep", r.ops);
   }

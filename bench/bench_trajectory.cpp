@@ -182,6 +182,7 @@ int Main(int argc, char** argv) {
   const std::string layout = Get(baseline.front(), "layout");
   const std::string shards = Get(baseline.front(), "shards");
   const std::string compact = Get(baseline.front(), "compact_regions");
+  const std::string decomp = Get(baseline.front(), "decomp");
   if (n.empty() || dataset.empty()) {
     std::fprintf(stderr, "trajectory: baseline lacks n/dataset fields\n");
     return 2;
@@ -191,7 +192,8 @@ int Main(int argc, char** argv) {
       " --reps=" + std::to_string(reps) + " --threads=1" +
       (layout.empty() ? "" : " --layout=" + layout) +
       (shards.empty() ? "" : " --shards=" + shards) +
-      (compact.empty() ? "" : " --compact=" + compact) + " --json=\"" +
+      (compact.empty() ? "" : " --compact=" + compact) +
+      (decomp.empty() ? "" : " --decomp=" + decomp) + " --json=\"" +
       out_path + "\"";
   std::printf("trajectory: %s\n", cmd.c_str());
   std::fflush(stdout);

@@ -237,6 +237,17 @@ std::uint64_t SpreadBits21(std::uint64_t x) {
   return x;
 }
 
+// Inverse of SpreadBits21: gather every third bit back into the low 21.
+std::uint32_t CompactBits21(std::uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x | (x >> 8)) & 0x1f0000ff0000ffULL;
+  x = (x | (x >> 16)) & 0x1f00000000ffffULL;
+  x = (x | (x >> 32)) & 0x1fffffULL;
+  return static_cast<std::uint32_t>(x);
+}
+
 }  // namespace
 
 namespace {
@@ -263,6 +274,13 @@ void Quantize21(const Vec3& p, const AABB& universe, std::uint32_t* qx,
 std::uint64_t MortonEncodeCell(std::uint32_t x, std::uint32_t y,
                                std::uint32_t z) {
   return SpreadBits21(x) | (SpreadBits21(y) << 1) | (SpreadBits21(z) << 2);
+}
+
+void MortonDecodeCell(std::uint64_t key, std::uint32_t* x, std::uint32_t* y,
+                      std::uint32_t* z) {
+  *x = CompactBits21(key);
+  *y = CompactBits21(key >> 1);
+  *z = CompactBits21(key >> 2);
 }
 
 std::uint64_t HilbertEncodeCell(std::uint32_t x, std::uint32_t y,
@@ -303,6 +321,42 @@ std::uint64_t HilbertEncodeCell(std::uint32_t x, std::uint32_t y,
     }
   }
   return key;
+}
+
+void HilbertDecodeCell(std::uint64_t key, int bits, std::uint32_t* x,
+                       std::uint32_t* y, std::uint32_t* z) {
+  constexpr int kDims = 3;
+  // De-interleave the key back into the transposed representation: bit
+  // (b*3 + (2-i)) of the key is bit b of coords[i] (the exact inverse of
+  // the interleave in HilbertEncodeCell).
+  std::uint32_t coords[kDims] = {0, 0, 0};
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      coords[i] |= static_cast<std::uint32_t>(
+                       (key >> (b * kDims + (kDims - 1 - i))) & 1u)
+                   << b;
+    }
+  }
+  // Skilling's TransposetoAxes: Gray decode, then redo the excess work the
+  // encoder undid.
+  std::uint32_t t = coords[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) coords[i] ^= coords[i - 1];
+  coords[0] ^= t;
+  for (std::uint32_t q = 2; q != (1u << bits); q <<= 1) {
+    const std::uint32_t mask = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (coords[i] & q) {
+        coords[0] ^= mask;
+      } else {
+        const std::uint32_t swap = (coords[i] ^ coords[0]) & mask;
+        coords[0] ^= swap;
+        coords[i] ^= swap;
+      }
+    }
+  }
+  *x = coords[0];
+  *y = coords[1];
+  *z = coords[2];
 }
 
 std::uint64_t MortonEncode(const Vec3& p, const AABB& universe) {

@@ -336,6 +336,12 @@ bool TetIntersectsAABB(const Tetrahedron& tet, const AABB& box);
 std::uint64_t MortonEncodeCell(std::uint32_t x, std::uint32_t y,
                                std::uint32_t z);
 
+/// Inverse of MortonEncodeCell: recover the lattice coordinates from a
+/// Morton key. The curve-range decomposition (core::CurveRangeRuns) uses it
+/// to locate the entry cell of each enumerated key run.
+void MortonDecodeCell(std::uint64_t key, std::uint32_t* x, std::uint32_t* y,
+                      std::uint32_t* z);
+
 /// Hilbert-curve index of integer lattice coordinates (`bits` bits per
 /// axis, Skilling's transpose algorithm). A bijection [0, 2^bits)^3 ->
 /// [0, 2^(3*bits)) with the Hilbert adjacency property: consecutive keys
@@ -344,6 +350,15 @@ std::uint64_t MortonEncodeCell(std::uint32_t x, std::uint32_t y,
 /// magnitude both scale with it.
 std::uint64_t HilbertEncodeCell(std::uint32_t x, std::uint32_t y,
                                 std::uint32_t z, int bits = 21);
+
+/// Inverse of HilbertEncodeCell (same `bits`): recover the lattice
+/// coordinates from a Hilbert key (de-interleave into Skilling's transpose,
+/// then the published TransposetoAxes pass). Both curve codecs are
+/// *hierarchical*: the cells whose keys share a 3*l-bit prefix form an
+/// axis-aligned subcube of side 2^(bits-l) — the property the BIGMIN-style
+/// range decomposition (core::CurveRangeRuns) is built on.
+void HilbertDecodeCell(std::uint64_t key, int bits, std::uint32_t* x,
+                       std::uint32_t* y, std::uint32_t* z);
 
 /// Morton (Z-order) code interleaving 21 bits per axis from a position
 /// normalised to [0,1)^3. Used by bulk loaders and space-filling-curve

@@ -43,6 +43,11 @@ constexpr std::size_t kParallelGrain = 1024;
 /// (slots, i.e. 4 bytes each): threads are shed before the counting pass
 /// would allocate more than ~64 MB across workers.
 constexpr std::size_t kMaxCountSlots = std::size_t{1} << 24;
+/// Probe boxes below this many cells take the zero-bookkeeping
+/// coordinate-order scan; only larger probes pay for a maximal-fusion
+/// traversal (radix-sorted rank gather or the BIGMIN run decomposition —
+/// the run-count a big probe produces is what either one amortises).
+constexpr std::size_t kRankSortMinCells = 64;
 /// The 13 lexicographically-forward neighbour offsets of the §4.3 sweep.
 constexpr int kForward[13][3] = {
     {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},   {1, -1, 0},
@@ -65,6 +70,22 @@ struct PairPredicate {
 /// more in branch misses than the counting passes; both rank-sort call
 /// sites (BuildCurveRanks, RangeQuery) share this. The sorted data ends in
 /// `*a`; `*scratch` is resized to match.
+/// Per-thread query scratch, hoisted out of the RangeScan template: its
+/// two Sink instantiations (RangeQuery, RangeQueryCount) would otherwise
+/// each get their own thread_local copies, doubling the retained
+/// span-sized buffers per thread. RangeQuery is const and may serve
+/// concurrent readers, so per-instance scratch is off limits; per-thread
+/// reuse keeps the steady state allocation-free.
+struct RangeScanScratch {
+  std::vector<CurveRun> runs;
+  std::vector<std::uint32_t> ranks;
+  std::vector<std::uint32_t> radix_scratch;
+};
+RangeScanScratch& GetRangeScanScratch() {
+  static thread_local RangeScanScratch scratch;
+  return scratch;
+}
+
 template <typename T>
 void RadixSortDigits(std::vector<T>* a, std::vector<T>* scratch,
                      int base_shift, std::uint64_t bound) {
@@ -117,6 +138,7 @@ void MemGrid::BuildCurveRanks() {
   // deterministic.
   int bits = 1;
   while ((std::size_t{1} << bits) < std::max({nx_, ny_, nz_})) ++bits;
+  curve_bits_ = bits;
   const std::size_t cells = regions_.size();
   std::vector<std::uint64_t> packed(cells);
   for (std::size_t x = 0; x < nx_; ++x) {
@@ -799,25 +821,31 @@ std::size_t MemGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
   return applied;
 }
 
-void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
-                         QueryCounters* counters) const {
-  out->clear();
-  QueryCounters local;
-  QueryCounters& c = counters != nullptr ? *counters : local;
-
+template <typename Sink>
+void MemGrid::RangeScan(const AABB& range, const Sink& sink,
+                        QueryCounters& c) const {
   // Completeness: a box intersecting `range` has its centre within
   // max_half_extent_ of the range, so inflate the probed cell span.
   const AABB probe = range.Inflated(max_half_extent_);
   std::int32_t x0, y0, z0, x1, y1, z1;
   CellCoords(probe.min, &x0, &y0, &z0);
   CellCoords(probe.max, &x1, &y1, &z1);
+  // Degenerate probes, normalised in this ONE place. Zero-volume boxes are
+  // legitimate plane/line/point queries and flow through unchanged. An
+  // INVERTED box (min > max on some axis) can still match under the
+  // pairwise closed-box Intersects semantics — but only an element
+  // spanning the whole inversion gap, which forces max_half_extent_ >=
+  // gap/2, which in turn de-inverts the inflated probe above. An inverted
+  // CELL SPAN therefore proves no element can match (and must not reach
+  // the traversals below, whose span math assumes x0 <= x1).
+  if (x1 < x0 || y1 < y0 || z1 < z0) return;
   const auto scan_run = [&](const Entry* base, std::uint32_t begin,
                             std::uint32_t len) {
     if (len == 0) return;
     c.element_tests += len;
     c.bytes_read += len * sizeof(Entry);
     for (std::uint32_t e = begin; e < begin + len; ++e) {
-      if (base[e].box.Intersects(range)) out->push_back(base[e].id);
+      if (base[e].box.Intersects(range)) sink(base[e]);
     }
   };
   // Scan the probed cells as fused contiguous-rank runs: in a pristine
@@ -828,17 +856,24 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
   // boundaries (and a mid-compaction fresh/old split) break a run and the
   // scan falls back to per-cell granularity there — the emission ORDER
   // stays the rank order regardless, which is what keeps results
-  // bit-identical across shard counts and compaction states.
+  // bit-identical across shard counts, compaction states AND the two
+  // large-probe traversals below.
   //
-  // Two iteration orders produce those runs:
+  // Three iteration orders produce those runs:
   //   * coordinate order — zero bookkeeping. Under kRowMajor cell index
   //     order IS rank order, so fusion is maximal; under the curve
   //     layouts fusion is opportunistic (the curve's locality still makes
-  //     many coordinate-adjacent probe cells rank-adjacent).
-  //   * rank-sorted order — gather the probed cells' ranks and sort, so
-  //     fusion is maximal for ANY layout. The sort only pays for itself
-  //     once the probe cube is big enough to contain long runs, so small
-  //     probes (the common monitoring query) keep the zero-overhead path.
+  //     many coordinate-adjacent probe cells rank-adjacent). Small probes
+  //     (the common monitoring query) always take this path.
+  //   * rank-sorted order (RangeDecomp::kSort) — gather the probed cells'
+  //     ranks and radix-sort, so fusion is maximal for ANY layout, at
+  //     O(cells) scratch plus the sort passes per query.
+  //   * curve-range decomposition (RangeDecomp::kRuns, the default) — the
+  //     BIGMIN recursion in CurveRangeRankRuns enumerates the maximal
+  //     RANK runs straight from the curve's orthant walk, in ascending
+  //     order. Same rank sequence as the sort — bit-identical emission —
+  //     with no per-query sort, no O(cells) gather, and no rank-map
+  //     lookups outside the per-rank region walk both paths share.
   const bool single = shards_.size() == 1 && !shards_[0].compacting;
   const Entry* const single_base = shards_[0].block.data();
   constexpr std::size_t kNoRank = ~std::size_t{0};
@@ -877,7 +912,6 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
   const std::size_t span_cells = static_cast<std::size_t>(x1 - x0 + 1) *
                                  static_cast<std::size_t>(y1 - y0 + 1) *
                                  static_cast<std::size_t>(z1 - z0 + 1);
-  constexpr std::size_t kRankSortMinCells = 64;
   if (cell_of_rank_.empty() || span_cells < kRankSortMinCells) {
     for (std::int32_t x = x0; x <= x1; ++x) {
       for (std::int32_t y = y0; y <= y1; ++y) {
@@ -888,28 +922,68 @@ void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
       }
     }
   } else {
-    // thread_local scratch: RangeQuery is const and may serve concurrent
-    // readers, so per-instance scratch is off limits; per-thread reuse
-    // keeps the steady state allocation-free.
-    static thread_local std::vector<std::uint32_t> ranks;
-    static thread_local std::vector<std::uint32_t> radix_scratch;
-    ranks.clear();
-    ranks.reserve(span_cells);
-    for (std::int32_t x = x0; x <= x1; ++x) {
-      for (std::int32_t y = y0; y <= y1; ++y) {
-        const std::size_t base = CellIndex(x, y, z0);
-        for (std::int32_t z = z0; z <= z1; ++z) {
-          ranks.push_back(static_cast<std::uint32_t>(
-              CellRank(base + static_cast<std::size_t>(z - z0))));
+    bool decomposed = false;
+    if (config_.decomp == RangeDecomp::kRuns) {
+      std::vector<CurveRun>& runs = GetRangeScanScratch().runs;
+      const CellVec lo{static_cast<std::uint32_t>(x0),
+                       static_cast<std::uint32_t>(y0),
+                       static_cast<std::uint32_t>(z0)};
+      const CellVec hi{static_cast<std::uint32_t>(x1),
+                       static_cast<std::uint32_t>(y1),
+                       static_cast<std::uint32_t>(z1)};
+      const CellVec dims{static_cast<std::uint32_t>(nx_),
+                         static_cast<std::uint32_t>(ny_),
+                         static_cast<std::uint32_t>(nz_)};
+      if (CurveRangeRankRuns(config_.layout, lo, hi, dims, curve_bits_,
+                             &runs)) {
+        decomposed = true;
+        for (const CurveRun& rr : runs) {
+          for (std::size_t rank = rr.begin; rank < rr.end; ++rank) {
+            fuse_cell(cell_of_rank_[rank], rank);
+          }
         }
       }
     }
-    RadixSortDigits(&ranks, &radix_scratch, /*base_shift=*/0,
-                    /*bound=*/regions_.size() - 1);
-    for (const std::uint32_t rank : ranks) fuse_cell(RankCell(rank), rank);
+    if (!decomposed) {
+      std::vector<std::uint32_t>& ranks = GetRangeScanScratch().ranks;
+      std::vector<std::uint32_t>& radix_scratch =
+          GetRangeScanScratch().radix_scratch;
+      ranks.clear();
+      ranks.reserve(span_cells);
+      for (std::int32_t x = x0; x <= x1; ++x) {
+        for (std::int32_t y = y0; y <= y1; ++y) {
+          const std::size_t base = CellIndex(x, y, z0);
+          for (std::int32_t z = z0; z <= z1; ++z) {
+            ranks.push_back(static_cast<std::uint32_t>(
+                CellRank(base + static_cast<std::size_t>(z - z0))));
+          }
+        }
+      }
+      RadixSortDigits(&ranks, &radix_scratch, /*base_shift=*/0,
+                      /*bound=*/regions_.size() - 1);
+      for (const std::uint32_t rank : ranks) fuse_cell(RankCell(rank), rank);
+    }
   }
   scan_run(run_base, run_begin, run_len);
+}
+
+void MemGrid::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                         QueryCounters* counters) const {
+  out->clear();
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+  RangeScan(range, [&](const Entry& e) { out->push_back(e.id); }, c);
   c.results += out->size();
+}
+
+std::size_t MemGrid::RangeQueryCount(const AABB& range,
+                                     QueryCounters* counters) const {
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+  std::size_t n = 0;
+  RangeScan(range, [&](const Entry&) { ++n; }, c);
+  c.results += n;
+  return n;
 }
 
 void MemGrid::KnnQuery(const Vec3& p, std::size_t k,
@@ -1190,12 +1264,73 @@ void MemGrid::SweepRanks(std::size_t rank_begin, std::size_t rank_end, int rx,
     if (fast13) {
       for (const auto& d : kForward) visit(d[0], d[1], d[2]);
     } else {
-      // All lexicographically-forward offsets within the widened
-      // reach; each unordered cell pair is visited exactly once.
-      for (int dx = 0; dx <= rx; ++dx) {
-        for (int dy = dx == 0 ? 0 : -ry; dy <= ry; ++dy) {
-          for (int dz = (dx == 0 && dy == 0) ? 1 : -rz; dz <= rz; ++dz) {
-            visit(dx, dy, dz);
+      // All lexicographically-forward offsets within the widened reach;
+      // each unordered cell pair is visited exactly once. The forward
+      // neighbourhood splits into the same-column cap {0}x{0}x[1,rz], the
+      // same-plane strip {0}x[1,ry]x[-rz,rz] and the bulk box
+      // [1,rx]x[-ry,ry]x[-rz,rz]. The two thin slices stay coordinate
+      // loops; under a curve layout with the run decomposition enabled,
+      // the bulk box — the dominant cost at widened reach — reuses
+      // CurveRangeRuns so its neighbour regions are probed in rank order
+      // (storage-sequential streams instead of a scatter per offset).
+      // Pair totals and counters are identical either way; only the
+      // emission ORDER inside the bulk box follows the rank order, which
+      // is thread- and shard-count invariant (the decomposition is a pure
+      // function of the probe box and the codec).
+      for (int dz = 1; dz <= rz; ++dz) visit(0, 0, dz);
+      for (int dy = 1; dy <= ry; ++dy) {
+        for (int dz = -rz; dz <= rz; ++dz) visit(0, dy, dz);
+      }
+      const std::size_t bx0 = xi + 1;
+      if (bx0 < nx_) {
+        const std::size_t bx1 = std::min(xi + static_cast<std::size_t>(rx),
+                                         nx_ - 1);
+        const std::size_t by0 = yi >= static_cast<std::size_t>(ry)
+                                    ? yi - static_cast<std::size_t>(ry)
+                                    : 0;
+        const std::size_t by1 = std::min(yi + static_cast<std::size_t>(ry),
+                                         ny_ - 1);
+        const std::size_t bz0 = zi >= static_cast<std::size_t>(rz)
+                                    ? zi - static_cast<std::size_t>(rz)
+                                    : 0;
+        const std::size_t bz1 = std::min(zi + static_cast<std::size_t>(rz),
+                                         nz_ - 1);
+        const std::size_t box_cells =
+            (bx1 - bx0 + 1) * (by1 - by0 + 1) * (bz1 - bz0 + 1);
+        static thread_local std::vector<CurveRun> fwd_runs;
+        bool decomposed = false;
+        if (!cell_of_rank_.empty() &&
+            config_.decomp == RangeDecomp::kRuns &&
+            box_cells >= kRankSortMinCells) {
+          const CellVec lo{static_cast<std::uint32_t>(bx0),
+                           static_cast<std::uint32_t>(by0),
+                           static_cast<std::uint32_t>(bz0)};
+          const CellVec hi{static_cast<std::uint32_t>(bx1),
+                           static_cast<std::uint32_t>(by1),
+                           static_cast<std::uint32_t>(bz1)};
+          const CellVec dims{static_cast<std::uint32_t>(nx_),
+                             static_cast<std::uint32_t>(ny_),
+                             static_cast<std::uint32_t>(nz_)};
+          decomposed = CurveRangeRankRuns(config_.layout, lo, hi, dims,
+                                          curve_bits_, &fwd_runs);
+        }
+        if (decomposed) {
+          for (const CurveRun& rr : fwd_runs) {
+            for (std::size_t r = rr.begin; r < rr.end; ++r) {
+              const std::size_t other_cell = cell_of_rank_[r];
+              const std::uint32_t other_n = CellCount(other_cell);
+              if (other_n == 0) continue;
+              EmitMatches(bucket, bucket_n, CellEntries(other_cell), other_n,
+                          /*same_run=*/false, matches, out, &c);
+            }
+          }
+        } else {
+          for (int dx = 1; dx <= rx; ++dx) {
+            for (int dy = -ry; dy <= ry; ++dy) {
+              for (int dz = -rz; dz <= rz; ++dz) {
+                visit(dx, dy, dz);
+              }
+            }
           }
         }
       }
@@ -1207,6 +1342,10 @@ MemGridShape MemGrid::Shape() const {
   MemGridShape s;
   s.elements = size_;
   s.cells = regions_.size();
+  s.nx = nx_;
+  s.ny = ny_;
+  s.nz = nz_;
+  s.curve_bits = curve_bits_;
   s.cell_size = cell_;
   s.max_half_extent = max_half_extent_;
   s.layout = config_.layout;

@@ -137,11 +137,35 @@ struct MemGridConfig {
   /// re-layout triggers). With a budget, steady-state churn is reclaimed a
   /// few regions at a time and never pays a re-layout stall.
   std::uint32_t compact_regions_per_batch = 0;
+  /// How large range probes on the curve layouts enumerate their fused
+  /// contiguous-rank runs: kRuns (default) decomposes the probe box
+  /// directly from the curve's orthant walk (BIGMIN-style,
+  /// CurveRangeRankRuns — no per-query sort, no O(cells) scratch), kSort
+  /// keeps the legacy radix-sorted rank gather. Purely a traversal knob:
+  /// RangeQuery/RangeQueryCount results, emission order and query
+  /// counters are bit-identical between the two, and SelfJoin emits the
+  /// identical pair SET and counters — though inside a widened-reach
+  /// sweep's bulk forward box the pair ORDER follows the rank order under
+  /// kRuns rather than the coordinate order (all pinned by the
+  /// decomposition-vs-sort differential battery). kRowMajor (whose
+  /// coordinate scan already visits ranks in order) ignores it. Small
+  /// probes fall back to the coordinate-order scan either way.
+  RangeDecomp decomp = RangeDecomp::kRuns;
 };
 
 struct MemGridShape {
   std::size_t elements = 0;
   std::size_t cells = 0;
+  /// Lattice dimensions (cells per axis) — the authoritative values for
+  /// callers reasoning about the cell lattice (e.g. feeding
+  /// CurveRangeRankRuns); re-deriving them from cell_size risks an
+  /// off-by-one at float boundaries.
+  std::size_t nx = 1;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+  /// Bits per axis of the curve codec, sized to the lattice (the `bits`
+  /// the rank maps and CurveRangeRankRuns use). 0 under kRowMajor.
+  int curve_bits = 0;
   std::size_t occupied_cells = 0;
   double mean_occupancy = 0;
   float cell_size = 0;
@@ -199,6 +223,11 @@ class MemGrid {
 
   void RangeQuery(const AABB& range, std::vector<ElementId>* out,
                   QueryCounters* counters = nullptr) const;
+  /// Number of elements a RangeQuery would return, without materialising
+  /// the ids — same traversal (and counters) as RangeQuery, zero output
+  /// allocation. The monitoring path for density/occupancy probes.
+  std::size_t RangeQueryCount(const AABB& range,
+                              QueryCounters* counters = nullptr) const;
   void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
                 QueryCounters* counters = nullptr) const;
 
@@ -380,6 +409,20 @@ class MemGrid {
                           std::vector<std::pair<ElementId, ElementId>>* out,
                           QueryCounters* c);
 
+  /// The shared RangeQuery/RangeQueryCount traversal: stream the probed
+  /// cells' regions as fused contiguous-rank runs and hand every entry
+  /// whose box intersects `range` to `sink(const Entry&)`, in rank order.
+  /// Three traversals produce the same emission (bit-identical ids, order
+  /// and counters): the coordinate-order scan (small probes, and all
+  /// kRowMajor probes — cell order IS rank order there), the radix-sorted
+  /// rank gather (RangeDecomp::kSort) and the BIGMIN curve-range
+  /// decomposition (RangeDecomp::kRuns), which enumerates the fused rank
+  /// intervals straight from the curve's orthant walk via
+  /// CurveRangeRankRuns.
+  template <typename Sink>
+  void RangeScan(const AABB& range, const Sink& sink,
+                 QueryCounters& c) const;
+
   /// Forward-neighbour sweep over origin cells with layout rank in
   /// [rank_begin, rank_end). Neighbour cells may lie outside the range
   /// (read-only), but every pair is emitted by exactly one origin cell, so
@@ -399,8 +442,8 @@ class MemGrid {
   void BuildParallel(std::span<const Element> elements, std::size_t chunks);
 
   /// Populate the cell<->rank maps for the curve layouts (sort the cell
-  /// lattice by curve key once per grid). kRowMajor keeps both maps empty:
-  /// rank IS the cell index.
+  /// lattice by curve key once per grid; also fixes curve_bits_). kRowMajor
+  /// keeps both maps empty: rank IS the cell index.
   void BuildCurveRanks();
   /// Layout rank of a cell / cell at a layout rank (identity under
   /// kRowMajor).
@@ -430,6 +473,9 @@ class MemGrid {
   /// Curve-layout rank maps (both empty under kRowMajor — identity).
   std::vector<std::uint32_t> rank_of_cell_;
   std::vector<std::uint32_t> cell_of_rank_;
+  /// Bits per axis of the curve codec, sized to the lattice (the `bits`
+  /// CurveRangeRankRuns and the key sort share). 0 under kRowMajor.
+  int curve_bits_ = 0;
   std::size_t size_ = 0;         ///< Live elements.
 
   /// Largest half-extent ever seen; probe inflation bound.

@@ -36,6 +36,16 @@ class SpatialIndex {
   virtual void RangeQuery(const AABB& range, std::vector<ElementId>* out,
                           QueryCounters* counters = nullptr) const = 0;
 
+  /// Number of elements a RangeQuery would return. The default materialises
+  /// the ids and counts them; structures with a native counting traversal
+  /// (MemGrid) override it to skip the output allocation.
+  virtual std::size_t RangeQueryCount(const AABB& range,
+                                      QueryCounters* counters = nullptr) const {
+    std::vector<ElementId> scratch;
+    RangeQuery(range, &scratch, counters);
+    return scratch.size();
+  }
+
   /// Up to k ids by increasing box distance (ties by id). Approximate
   /// implementations (see KnnIsExact) may miss true neighbours.
   virtual void KnnQuery(const Vec3& p, std::size_t k,
@@ -94,6 +104,12 @@ struct IndexOptions {
   /// regions relocated per shard per ApplyUpdates batch (0 = off; churn is
   /// then reclaimed by per-shard re-layouts only).
   std::uint32_t compact_regions_per_batch = 0;
+  /// Large-probe traversal for the MemGrid profiles' curve layouts: kRuns
+  /// (default) enumerates the fused rank runs via the BIGMIN curve-range
+  /// decomposition, kSort keeps the legacy radix-sorted rank gather.
+  /// Results are bit-identical; the dedicated "memgrid-sortscan" profile
+  /// pins kSort so the legacy path stays covered by every battery.
+  RangeDecomp decomp = RangeDecomp::kRuns;
 };
 
 /// Construct an index by registry name (see registry.cc). Returns nullptr

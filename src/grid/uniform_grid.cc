@@ -44,8 +44,17 @@ CellCoord UniformGrid::ClampedCoord(const Vec3& p) const {
 
 void UniformGrid::CoordRange(const AABB& box, CellCoord* lo,
                              CellCoord* hi) const {
-  *lo = ClampedCoord(box.min);
-  *hi = ClampedCoord(box.max);
+  // Normalise inverted boxes (min > max on some axis) so the cell loops
+  // always get an ordered span. The span is only a CANDIDATE filter — the
+  // exact per-element Intersects test downstream keeps the closed-box
+  // semantics, under which an inverted probe still matches elements that
+  // span its whole inversion gap (and nothing else). Without the
+  // normalisation those candidates are silently skipped once cells are
+  // finer than the gap (a divergence the registry-wide degenerate-box
+  // battery pins; MultiGrid's fine levels hit it first). Element boxes are
+  // never inverted, so the mutation-path callers are unaffected.
+  *lo = ClampedCoord(Vec3::Min(box.min, box.max));
+  *hi = ClampedCoord(Vec3::Max(box.min, box.max));
 }
 
 void UniformGrid::AddToCells(ElementId id, const CellCoord& lo,

@@ -110,6 +110,11 @@ struct SimulationConfig {
   /// (core::IndexOptions::compact_regions_per_batch): regions reclaimed
   /// per maintenance step; 0 leaves compaction to the re-layout triggers.
   std::uint32_t index_compact_regions = 0;
+  /// Large-probe traversal for the MemGrid profiles' curve layouts
+  /// (core::IndexOptions::decomp): kRuns decomposes probes via the BIGMIN
+  /// curve recursion, kSort keeps the radix-sorted rank gather. Step
+  /// results are identical either way.
+  core::RangeDecomp index_decomp = core::RangeDecomp::kRuns;
   MaintenancePolicy policy = MaintenancePolicy::kIncrementalUpdate;
   /// In-situ monitoring: range queries per step (0 disables).
   std::size_t monitor_range_queries = 10;

@@ -395,6 +395,157 @@ TEST(MemGridTest, SelfJoinWidensReachWhenCellsAreTooSmall) {
   }
 }
 
+// Decomposition-vs-sort differential battery: RangeQuery / RangeQueryCount
+// must be BIT-IDENTICAL (ids, emission order, counters) between the BIGMIN
+// curve-range decomposition (RangeDecomp::kRuns) and the legacy
+// radix-sorted rank gather (kSort) across layouts x shards x threads, on a
+// pristine build, after relocation churn, and with an incremental
+// compaction pass caught mid-flight — plus the degenerate probes (empty /
+// inverted boxes, single cell, zero-volume planes, full universe, boxes
+// clipped at the universe faces). Runs under the "determinism" ctest label,
+// so it is also TSan workload.
+TEST(MemGridTest, DecompositionMatchesSortBitIdentical) {
+  const auto elems =
+      GenerateClusteredBoxes(6000, kUniverse, 8, 6.0f, 0.05f, 0.6f);
+  Rng rng(95);
+  std::vector<AABB> probes;
+  for (int q = 0; q < 10; ++q) {
+    probes.push_back(AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                rng.Uniform(2.0f, 35.0f)));
+  }
+  probes.push_back(kUniverse);                                // Everything.
+  probes.push_back(AABB(Vec3(20, 20, 20), Vec3(20, 20, 20))); // Point box.
+  probes.push_back(AABB(Vec3(0, 0, 40), Vec3(100, 100, 40))); // z plane.
+  probes.push_back(AABB(Vec3(55, 0, 0), Vec3(55, 100, 100))); // x plane.
+  probes.push_back(AABB(Vec3(-50, -50, -50), Vec3(5, 150, 5)));  // Clipped.
+  probes.push_back(AABB(Vec3(90, 90, 90), Vec3(160, 160, 160)));
+  probes.push_back(AABB(Vec3(60, 10, 10), Vec3(40, 90, 90)));  // Inverted x.
+  probes.push_back(AABB(Vec3(7, 7, 7), Vec3(3, 3, 3)));  // Fully inverted.
+  probes.push_back(AABB());                              // Default empty.
+
+  const auto compare = [&](const MemGrid& runs_grid, const MemGrid& sort_grid,
+                           const std::vector<Element>& mirror,
+                           const char* when) {
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      std::vector<ElementId> got_runs, got_sort;
+      QueryCounters c_runs, c_sort;
+      runs_grid.RangeQuery(probes[p], &got_runs, &c_runs);
+      sort_grid.RangeQuery(probes[p], &got_sort, &c_sort);
+      // Unsorted: the emission ORDER itself must match.
+      ASSERT_EQ(got_runs, got_sort) << when << " probe " << p;
+      ASSERT_EQ(c_runs.nodes_visited, c_sort.nodes_visited)
+          << when << " probe " << p;
+      ASSERT_EQ(c_runs.element_tests, c_sort.element_tests)
+          << when << " probe " << p;
+      ASSERT_EQ(c_runs.bytes_read, c_sort.bytes_read)
+          << when << " probe " << p;
+      ASSERT_EQ(Sorted(got_runs), Sorted(ScanRange(mirror, probes[p])))
+          << when << " probe " << p;
+      ASSERT_EQ(runs_grid.RangeQueryCount(probes[p]), got_runs.size())
+          << when << " probe " << p;
+      ASSERT_EQ(sort_grid.RangeQueryCount(probes[p]), got_sort.size())
+          << when << " probe " << p;
+    }
+  };
+
+  for (const CellLayout layout :
+       {CellLayout::kRowMajor, CellLayout::kMorton, CellLayout::kHilbert}) {
+    for (const std::uint32_t shards : {1u, 5u}) {
+      for (const std::uint32_t threads : {0u, 2u}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "layout=" << ToString(layout) << " shards=" << shards
+                     << " threads=" << threads);
+        MemGridConfig cfg;
+        cfg.cell_size = 3.0f;
+        cfg.layout = layout;
+        cfg.shards = shards;
+        cfg.threads = threads;
+        cfg.compact_regions_per_batch = 2;  // Slow passes: easy to catch.
+        cfg.decomp = RangeDecomp::kRuns;
+        MemGrid runs_grid(kUniverse, cfg);
+        cfg.decomp = RangeDecomp::kSort;
+        MemGrid sort_grid(kUniverse, cfg);
+        auto mirror = elems;
+        runs_grid.Build(mirror);
+        sort_grid.Build(mirror);
+        compare(runs_grid, sort_grid, mirror, "pristine");
+
+        // Drive identical churn into both grids until an incremental
+        // compaction pass is caught in flight (decomp does not touch the
+        // mutation paths, so the two storage states stay identical and
+        // the comparison above stays exact — now straddling the fresh/old
+        // block split).
+        Rng churn(96);
+        std::vector<ElementUpdate> batch;
+        bool caught_mid_pass = false;
+        for (int round = 0; round < 120 && !caught_mid_pass; ++round) {
+          batch.clear();
+          for (Element& e : mirror) {
+            if (churn.NextFloat() < 0.3f) {
+              e.box = AABB::FromCenterHalfExtent(churn.PointIn(kUniverse),
+                                                 churn.Uniform(0.05f, 0.6f));
+              batch.emplace_back(e.id, e.box);
+            }
+          }
+          ASSERT_EQ(runs_grid.ApplyUpdates(batch), batch.size());
+          ASSERT_EQ(sort_grid.ApplyUpdates(batch), batch.size());
+          caught_mid_pass = runs_grid.Shape().compacting_shards > 0;
+        }
+        // The churn above reliably leaves a pass in flight within a couple
+        // of rounds; assert it so the mid-compaction coverage cannot
+        // silently erode.
+        ASSERT_TRUE(caught_mid_pass);
+        ASSERT_GT(sort_grid.Shape().compacting_shards, 0u);
+        compare(runs_grid, sort_grid, mirror, "mid-compaction");
+        std::string err;
+        ASSERT_TRUE(runs_grid.CheckInvariants(&err)) << err;
+        ASSERT_TRUE(sort_grid.CheckInvariants(&err)) << err;
+      }
+    }
+  }
+}
+
+// SelfJoin's widened-reach sweep reuses the decomposition for the bulk
+// forward box on the curve layouts: pair SETS and comparison counts must
+// match the sort-mode sweep and brute force (emission order inside the
+// bulk box legitimately differs — rank order vs coordinate order — so the
+// comparison is on sorted pairs).
+TEST(MemGridTest, SelfJoinDecompositionMatchesSortOnWidenedReach) {
+  Rng rng(97);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 2500; ++i) {
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(
+                              rng.PointIn(kUniverse),
+                              rng.Uniform(0.5f, 3.0f)));
+  }
+  for (const CellLayout layout :
+       {CellLayout::kRowMajor, CellLayout::kMorton, CellLayout::kHilbert}) {
+    MemGridConfig cfg;
+    cfg.cell_size = 2.0f;  // << 2*max_half_extent: the widened sweep runs.
+    cfg.layout = layout;
+    cfg.decomp = RangeDecomp::kRuns;
+    MemGrid runs_grid(kUniverse, cfg);
+    cfg.decomp = RangeDecomp::kSort;
+    MemGrid sort_grid(kUniverse, cfg);
+    runs_grid.Build(elems);
+    sort_grid.Build(elems);
+    for (const float eps : {0.0f, 0.8f}) {
+      std::vector<std::pair<ElementId, ElementId>> got_runs, got_sort;
+      QueryCounters c_runs, c_sort;
+      runs_grid.SelfJoin(eps, &got_runs, &c_runs);
+      sort_grid.SelfJoin(eps, &got_sort, &c_sort);
+      EXPECT_EQ(c_runs.element_tests, c_sort.element_tests)
+          << ToString(layout) << " eps=" << eps;
+      SortPairs(&got_runs);
+      SortPairs(&got_sort);
+      ASSERT_EQ(got_runs, got_sort) << ToString(layout) << " eps=" << eps;
+      auto want = NestedLoopSelfJoin(elems, eps);
+      SortPairs(&want);
+      ASSERT_EQ(got_runs, want) << ToString(layout) << " eps=" << eps;
+    }
+  }
+}
+
 // Mixed-workload differential battery: interleaved bulk-build / insert /
 // erase / update / query phases with CheckInvariants after every phase —
 // exactly the regime the slack-CSR layout must survive, run under both the
@@ -630,9 +781,9 @@ INSTANTIATE_TEST_SUITE_P(AllIndexes, RegistryDifferentialTest,
 // transitively cross-checks the profiles against each other.
 TEST(RegistryTest, SeededMixedWorkloadDifferentialFuzz) {
   const std::vector<std::string> profiles = {
-      "memgrid",         "memgrid-padded", "memgrid-morton",
-      "memgrid-hilbert", "memgrid-sharded", "rtree",
-      "linear-scan"};
+      "memgrid",         "memgrid-padded",  "memgrid-morton",
+      "memgrid-hilbert", "memgrid-sharded", "memgrid-sortscan",
+      "rtree",           "linear-scan"};
   std::vector<std::unique_ptr<SpatialIndex>> indexes;
   for (const std::string& p : profiles) {
     auto index = MakeIndex(p);

@@ -137,6 +137,87 @@ TEST_P(EdgeCaseTest, PointQuery) {
                      "boundary point");
 }
 
+// Degenerate query boxes: zero-volume boxes (lo == hi on one or more axes)
+// are legitimate plane/line/point probes under the library's closed-box
+// semantics — elements touching the plane must be reported. Inverted boxes
+// (min > max on some axis) usually intersect nothing — but the pairwise
+// closed-box Intersects can still accept an element that SPANS the whole
+// inversion gap (e.min <= q.max && q.min <= e.max holds per axis), so
+// "inverted" does not simply mean "empty result" (second test below).
+// The brute-force ScanRange IS the normative behaviour throughout; every
+// profile must agree with it (no crash, no clamped re-interpretation),
+// and RangeQueryCount must agree with RangeQuery.
+TEST_P(EdgeCaseTest, ZeroVolumeAndInvertedQueryBoxes) {
+  auto index = MakeIndex(GetParam());
+  Rng rng(57);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 200; ++i) {
+    // Half the elements sit exactly ON the z=5 / x=5 planes the probes use.
+    Vec3 c = rng.PointIn(kUniverse);
+    if (i % 4 == 0) c.z = 5.0f;
+    if (i % 4 == 1) c.x = 5.0f;
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(c, i % 2 == 0 ? 0.0f
+                                                                   : 0.4f));
+  }
+  index->Build(elems, kUniverse);
+
+  const AABB degenerate[] = {
+      AABB(Vec3(0, 0, 5), Vec3(10, 10, 5)),    // z plane (zero volume).
+      AABB(Vec3(5, 0, 0), Vec3(5, 10, 10)),    // x plane.
+      AABB(Vec3(5, 5, 0), Vec3(5, 5, 10)),     // Line.
+      AABB(Vec3(5, 5, 5), Vec3(5, 5, 5)),      // Point.
+      AABB(Vec3(0, 0, -3), Vec3(10, 10, -3)),  // Plane outside the universe.
+      AABB(Vec3(7, 1, 1), Vec3(3, 9, 9)),      // Inverted on x.
+      AABB(Vec3(1, 1, 9), Vec3(9, 9, 1)),      // Inverted on z.
+      AABB(Vec3(8, 8, 8), Vec3(2, 2, 2)),      // Inverted on all axes.
+      AABB(),                                  // Default-constructed empty.
+  };
+  const char* const what[] = {"z plane", "x plane",    "line",
+                              "point",   "outside",    "inverted x",
+                              "inverted z", "inverted all", "empty"};
+  for (std::size_t i = 0; i < std::size(degenerate); ++i) {
+    ExpectRangeMatches(index.get(), elems, degenerate[i], what[i]);
+    if (index->SupportsRangeQueries()) {
+      std::vector<ElementId> got;
+      index->RangeQuery(degenerate[i], &got);
+      EXPECT_EQ(index->RangeQueryCount(degenerate[i]), got.size())
+          << index->name() << ": " << what[i];
+    }
+  }
+}
+
+// The inverted-box subtlety above, pinned: an element spanning the
+// inversion gap DOES intersect an inverted box under the closed-box
+// pairwise semantics, and every profile must report it exactly like the
+// brute-force oracle (a regression here once hid behind small test
+// elements — the early-out that proves emptiness must come from the gap
+// exceeding twice the largest half-extent, not from the inversion alone).
+TEST_P(EdgeCaseTest, InvertedBoxStillMatchesGapSpanningElements) {
+  auto index = MakeIndex(GetParam());
+  std::vector<Element> elems;
+  // One element covering the whole universe (spans any inversion gap
+  // inside it), plus small ones that must never match inverted probes.
+  elems.emplace_back(0, AABB(Vec3(0, 0, 0), Vec3(10, 10, 10)));
+  elems.emplace_back(1, AABB::FromCenterHalfExtent(Vec3(2, 2, 2), 0.3f));
+  elems.emplace_back(2, AABB::FromCenterHalfExtent(Vec3(8, 5, 3), 0.3f));
+  index->Build(elems, kUniverse);
+  const AABB inverted[] = {
+      AABB(Vec3(6, 1, 1), Vec3(4, 9, 9)),  // Inverted on x: gap spanned.
+      AABB(Vec3(1, 1, 9), Vec3(9, 9, 1)),  // Inverted on z.
+      AABB(Vec3(7, 7, 7), Vec3(3, 3, 3)),  // Inverted on all axes.
+  };
+  for (std::size_t i = 0; i < std::size(inverted); ++i) {
+    // The oracle reports the spanning element (and only it).
+    ASSERT_EQ(ScanRange(elems, inverted[i]),
+              (std::vector<ElementId>{0}));
+    ExpectRangeMatches(index.get(), elems, inverted[i], "gap-spanning");
+    if (index->SupportsRangeQueries()) {
+      EXPECT_EQ(index->RangeQueryCount(inverted[i]), 1u)
+          << index->name() << ": probe " << i;
+    }
+  }
+}
+
 TEST_P(EdgeCaseTest, DuplicateHeavyKnn) {
   auto index = MakeIndex(GetParam());
   if (!index->KnnIsExact()) GTEST_SKIP();
