@@ -27,6 +27,12 @@
 //                         point — compare on range-skewed (fine grid,
 //                         thousands of runs/query) with
 //                         --layout=morton|hilbert.
+//   --failpoints=<spec>   arm failpoints (name[:prob[:seed[:action]]],
+//                         comma-separated; see common/failpoint.h) before
+//                         the kernels run — e.g. to measure retry-path
+//                         overhead. Requires -DSIMSPATIAL_FAILPOINTS=ON;
+//                         the JSON records failpoints=1 for such builds
+//                         and bench_trajectory refuses to gate them.
 
 #include <algorithm>
 #include <cmath>
@@ -36,6 +42,7 @@
 
 #include "bench_util.h"
 #include "common/bruteforce.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "core/memgrid.h"
@@ -102,6 +109,21 @@ int Main(int argc, char** argv) {
                  decomp_name.c_str());
     return 2;
   }
+  const std::string failpoints_spec = flags.GetString("failpoints", "");
+  if (!failpoints_spec.empty()) {
+    if (!fail::kCompiledIn) {
+      std::fprintf(stderr,
+                   "--failpoints given but this binary was built without "
+                   "-DSIMSPATIAL_FAILPOINTS=ON\n");
+      return 2;
+    }
+    if (!fail::Registry::Global().ConfigureFromSpec(failpoints_spec)) {
+      std::fprintf(stderr, "malformed --failpoints spec: %s\n",
+                   failpoints_spec.c_str());
+      return 2;
+    }
+  }
+  fail::Registry::Global().ConfigureFromEnv();
   JsonWriter json(flags.GetString("json", ""));
 
   bench::PrintHeader("Microbenchmarks: build/range/knn/update/self-join",
@@ -395,6 +417,9 @@ int Main(int argc, char** argv) {
     json.Field("shards", static_cast<double>(shards));
     json.Field("compact_regions", static_cast<double>(compact));
     json.Field("decomp", core::ToString(decomp));
+    // Failpoint-instrumented builds carry extra branches on the hot paths;
+    // bench_trajectory refuses to gate numbers from (or against) them.
+    json.Field("failpoints", fail::kCompiledIn ? 1.0 : 0.0);
     json.Field("ns_per_op", r.ns_per_op);
     json.Field("ops_per_rep", r.ops);
   }

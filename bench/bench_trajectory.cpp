@@ -187,6 +187,17 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "trajectory: baseline lacks n/dataset fields\n");
     return 2;
   }
+  // A baseline measured by a failpoint-instrumented binary carries hot-path
+  // branches the production build lacks: gating against it would hide real
+  // regressions (or invent phantom wins). Refuse outright.
+  if (Get(baseline.front(), "failpoints") == "1") {
+    std::fprintf(stderr,
+                 "trajectory: baseline %s was measured with "
+                 "SIMSPATIAL_FAILPOINTS=ON — regenerate it with a "
+                 "production (failpoints-OFF) build\n",
+                 baseline_path.c_str());
+    return 2;
+  }
   const std::string cmd =
       "\"" + bench + "\" --n=" + n + " --dataset=" + dataset +
       " --reps=" + std::to_string(reps) + " --threads=1" +
@@ -204,6 +215,13 @@ int Main(int argc, char** argv) {
   const auto fresh = LoadRecords(out_path, &ok);
   if (!ok || fresh.empty()) {
     std::fprintf(stderr, "trajectory: fresh run produced no records\n");
+    return 2;
+  }
+  if (Get(fresh.front(), "failpoints") == "1") {
+    std::fprintf(stderr,
+                 "trajectory: %s is a failpoint-instrumented build — its "
+                 "numbers are not comparable to the production baseline\n",
+                 bench.c_str());
     return 2;
   }
 

@@ -45,6 +45,9 @@ struct QueryCounters {
   std::uint64_t pages_read = 0;
   /// Pages served from the buffer pool without disk access.
   std::uint64_t buffer_hits = 0;
+  /// Page reads retried after a transient I/O fault or checksum mismatch
+  /// (each retry also charges its exponential backoff into io_virtual_ns).
+  std::uint64_t io_retries = 0;
   /// Virtual nanoseconds charged by the simulated disk cost model.
   std::uint64_t io_virtual_ns = 0;
   /// Result tuples produced.
@@ -62,6 +65,7 @@ struct QueryCounters {
     io_bytes += o.io_bytes;
     pages_read += o.pages_read;
     buffer_hits += o.buffer_hits;
+    io_retries += o.io_retries;
     io_virtual_ns += o.io_virtual_ns;
     results += o.results;
     return *this;

@@ -1,0 +1,175 @@
+// SimSpatial — failpoint registry implementation. See failpoint.h.
+
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace simspatial::fail {
+namespace {
+
+/// splitmix64: tiny, high-quality 64-bit mixer. Deterministic trip
+/// sequences need nothing heavier, and keeping the generator local avoids
+/// dragging <random> state into the registry entries.
+std::uint64_t NextRand(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from one 64-bit draw.
+double NextUnit(std::uint64_t& state) {
+  return static_cast<double>(NextRand(state) >> 11) * 0x1.0p-53;
+}
+
+bool ParseAction(const std::string& token, Action* out) {
+  if (token == "throw") { *out = Action::kThrow; return true; }
+  if (token == "error") { *out = Action::kError; return true; }
+  if (token == "delay") { *out = Action::kDelay; return true; }
+  return false;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::Arm(const std::string& name, FailpointConfig config) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = points_[name];
+  e.config = config;
+  e.stats = FailpointStats{};
+  e.rng_state = config.seed;
+  e.exhausted = false;
+  armed_count_.store(static_cast<int>(points_.size()),
+                     std::memory_order_relaxed);
+}
+
+void Registry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  points_.erase(name);
+  armed_count_.store(static_cast<int>(points_.size()),
+                     std::memory_order_relaxed);
+}
+
+void Registry::DisarmAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool Registry::ConfigureFromSpec(const std::string& spec) {
+  bool armed_any = false;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (entry.empty()) continue;
+
+    // Split on ':' — name[:prob[:seed[:action[:extra]]]].
+    std::vector<std::string> fields;
+    std::size_t fpos = 0;
+    while (true) {
+      const std::size_t colon = entry.find(':', fpos);
+      fields.push_back(entry.substr(
+          fpos, colon == std::string::npos ? std::string::npos
+                                           : colon - fpos));
+      if (colon == std::string::npos) break;
+      fpos = colon + 1;
+    }
+    if (fields[0].empty()) return false;
+
+    FailpointConfig cfg;
+    try {
+      if (fields.size() > 1 && !fields[1].empty()) {
+        cfg.probability = std::stod(fields[1]);
+        if (cfg.probability < 0.0 || cfg.probability > 1.0) return false;
+      }
+      if (fields.size() > 2 && !fields[2].empty()) {
+        cfg.seed = std::stoull(fields[2]);
+      }
+      if (fields.size() > 3 && !fields[3].empty()) {
+        if (!ParseAction(fields[3], &cfg.action)) return false;
+      }
+      if (fields.size() > 4 && !fields[4].empty()) {
+        cfg.delay_ns = std::stoull(fields[4]);
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+    Arm(fields[0], cfg);
+    armed_any = true;
+  }
+  // A spec that arms nothing ("", ",,") is an operator mistake, not a
+  // no-op: the caller believed they enabled fault injection.
+  return armed_any;
+}
+
+void Registry::ConfigureFromEnv() {
+  const char* spec = std::getenv("SIMSPATIAL_FAILPOINTS");
+  if (spec != nullptr && spec[0] != '\0') ConfigureFromSpec(spec);
+}
+
+bool Registry::Trip(const std::string& name) {
+  Action action;
+  std::uint64_t delay_ns = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return false;
+    Entry& e = it->second;
+    // hits counts every evaluation while armed — including after max_trips
+    // exhausts the point — so tests can assert a site was reached.
+    e.stats.hits += 1;
+    if (e.exhausted) return false;
+    if (e.config.skip > 0 && e.stats.hits <= e.config.skip) return false;
+    if (e.config.probability < 1.0 &&
+        NextUnit(e.rng_state) >= e.config.probability) {
+      return false;
+    }
+    e.stats.trips += 1;
+    if (e.config.max_trips > 0 && e.stats.trips >= e.config.max_trips) {
+      e.exhausted = true;
+    }
+    action = e.config.action;
+    delay_ns = e.config.delay_ns;
+  }
+  // Act outside the lock: throwing or sleeping while holding mu_ would
+  // serialize unrelated failpoints behind a delay.
+  switch (action) {
+    case Action::kThrow:
+      throw FaultInjected(name);
+    case Action::kError:
+      return true;
+    case Action::kDelay:
+      if (delay_ns > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+      }
+      return false;
+  }
+  return false;
+}
+
+FailpointStats Registry::Stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? FailpointStats{} : it->second.stats;
+}
+
+std::vector<std::string> Registry::ArmedNames() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, entry] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace simspatial::fail

@@ -1,0 +1,165 @@
+// SimSpatial — named, deterministically seeded failpoints.
+//
+// A failpoint is a named hook compiled into failure-sensitive code paths
+// (allocation edges, worker bodies, I/O completion). Tests arm a failpoint
+// by name with a probability, a seed, and an action (throw / report /
+// delay); the code under test then fails at that site exactly as real
+// resource exhaustion or hardware trouble would, but reproducibly: the
+// per-failpoint RNG is seeded explicitly, so a failing run replays from
+// its logged spec string.
+//
+// Usage at a site:
+//
+//   SIMSPATIAL_FAILPOINT("memgrid.apply.alloc");          // may throw
+//   if (SIMSPATIAL_FAILPOINT_HIT("pagestore.read.transient")) { ...retry... }
+//
+// Arming (tests or CLI):
+//
+//   fail::Registry::Global().ConfigureFromSpec(
+//       "memgrid.apply.alloc:0.5:1234,pagestore.read.transient:1:7");
+//
+// The whole mechanism compiles to nothing unless the build sets
+// -DSIMSPATIAL_FAILPOINTS=1 (CMake option SIMSPATIAL_FAILPOINTS, default
+// OFF): the macros expand to `((void)0)` / `false` and failpoint.cc's
+// registry is never referenced, so the production hot path carries no
+// branch, no atomic load, nothing.
+//
+// Naming scheme: `<component>.<operation>.<site>`, lower-case, dot
+// separated — e.g. `memgrid.apply.land`, `pagestore.write.torn`.
+
+#ifndef SIMSPATIAL_COMMON_FAILPOINT_H_
+#define SIMSPATIAL_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace simspatial::fail {
+
+#if defined(SIMSPATIAL_FAILPOINTS) && SIMSPATIAL_FAILPOINTS
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// Thrown by a failpoint armed with Action::kThrow. Deliberately a distinct
+/// type so tests can tell an injected fault from a genuine bug.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at failpoint '" + site + "'"),
+        site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// What an armed failpoint does when its RNG trips.
+enum class Action : std::uint8_t {
+  kThrow,  ///< Throw FaultInjected (default; models alloc/worker failure).
+  kError,  ///< Report the trip to the caller (SIMSPATIAL_FAILPOINT_HIT).
+  kDelay,  ///< Busy-wait `delay_ns` virtual-ish nanoseconds, then continue.
+};
+
+/// Per-failpoint arming parameters.
+struct FailpointConfig {
+  double probability = 1.0;  ///< Trip chance per evaluation, in [0, 1].
+  std::uint64_t seed = 0;    ///< RNG seed; same seed => same trip pattern.
+  Action action = Action::kThrow;
+  std::uint64_t delay_ns = 0;   ///< For kDelay.
+  std::uint64_t skip = 0;       ///< Pass through this many hits untripped.
+  std::uint64_t max_trips = 0;  ///< 0 = unlimited; else disarm after N trips.
+};
+
+/// Observed activity of one failpoint (for assertions and logging).
+struct FailpointStats {
+  std::uint64_t hits = 0;   ///< Times the site was evaluated while armed.
+  std::uint64_t trips = 0;  ///< Times the action actually fired.
+};
+
+/// Process-wide registry of armed failpoints. All methods are thread-safe;
+/// the `armed_count()` fast path is a single relaxed atomic load so that
+/// even in failpoint-enabled builds an un-armed site costs one branch.
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Arm `name` with `config`. Re-arming replaces the previous config and
+  /// resets the failpoint's RNG and stats.
+  void Arm(const std::string& name, FailpointConfig config);
+
+  /// Disarm `name`; a no-op if it was not armed.
+  void Disarm(const std::string& name);
+
+  /// Disarm everything (test teardown).
+  void DisarmAll();
+
+  /// Parse and arm a comma-separated spec list:
+  ///   name[:probability[:seed[:action[:extra]]]]
+  /// where action is one of throw|error|delay and extra is delay_ns for
+  /// delay. Examples: "memgrid.apply.alloc",
+  /// "memgrid.apply.land:0.25:42", "pagestore.read.transient:1:7:error".
+  /// Returns false (and arms nothing from the bad entry) on a malformed
+  /// entry; earlier well-formed entries stay armed.
+  bool ConfigureFromSpec(const std::string& spec);
+
+  /// Arm from the SIMSPATIAL_FAILPOINTS environment variable if set.
+  void ConfigureFromEnv();
+
+  /// Evaluate failpoint `name`. Returns true when an armed kError
+  /// failpoint trips; throws FaultInjected when an armed kThrow failpoint
+  /// trips; sleeps for kDelay. Returns false for unarmed names.
+  bool Trip(const std::string& name);
+
+  /// True when at least one failpoint is armed (fast-path pre-check:
+  /// a single relaxed atomic load, no lock).
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  FailpointStats Stats(const std::string& name) const;
+
+  /// Names currently armed (diagnostics).
+  std::vector<std::string> ArmedNames() const;
+
+ private:
+  struct Entry {
+    FailpointConfig config;
+    FailpointStats stats;
+    std::uint64_t rng_state = 0;
+    bool exhausted = false;  ///< max_trips reached.
+  };
+
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> points_;
+  std::atomic<int> armed_count_{0};
+};
+
+}  // namespace simspatial::fail
+
+#if defined(SIMSPATIAL_FAILPOINTS) && SIMSPATIAL_FAILPOINTS
+/// Evaluate a throw/delay failpoint site. May throw fail::FaultInjected.
+#define SIMSPATIAL_FAILPOINT(name)                                    \
+  do {                                                                \
+    if (::simspatial::fail::Registry::Global().AnyArmed()) {          \
+      (void)::simspatial::fail::Registry::Global().Trip(name);        \
+    }                                                                 \
+  } while (false)
+/// Evaluate an error-reporting failpoint site; true when it trips.
+#define SIMSPATIAL_FAILPOINT_HIT(name)                                \
+  (::simspatial::fail::Registry::Global().AnyArmed()                  \
+       ? ::simspatial::fail::Registry::Global().Trip(name)            \
+       : false)
+#else
+#define SIMSPATIAL_FAILPOINT(name) ((void)0)
+#define SIMSPATIAL_FAILPOINT_HIT(name) false
+#endif
+
+#endif  // SIMSPATIAL_COMMON_FAILPOINT_H_

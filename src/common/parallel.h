@@ -23,6 +23,7 @@
 #ifndef SIMSPATIAL_COMMON_PARALLEL_H_
 #define SIMSPATIAL_COMMON_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -79,16 +80,28 @@ class ThreadPool {
   /// thread, slots 1..slots-1 on pool workers. Blocks until all return —
   /// including when a slot throws: the first exception (from any slot) is
   /// rethrown here only after every worker has finished, so caller-owned
-  /// state referenced by fn never outlives its users.
+  /// state referenced by fn never outlives its users. Exceptions beyond
+  /// the first are counted (total_suppressed_errors()) rather than lost.
+  ///
+  /// Graceful degradation: after kSerialFallbackThreshold consecutive
+  /// failed dispatches the pool stops fanning out and runs every slot on
+  /// the calling thread (same first-error/suppression semantics) until a
+  /// dispatch completes cleanly, which re-arms parallel execution. A
+  /// worker stuck in a broken state (e.g. a bad TLS allocator) thereby
+  /// degrades throughput instead of failing every whole-structure op.
   void Run(std::size_t slots, const std::function<void(std::size_t)>& fn) {
     if (slots <= 1 || InDispatch()) {
-      // Serial fallback: trivially for <= 1 slot, and for nested dispatch
+      // Serial fast path: trivially for <= 1 slot, and for nested dispatch
       // (this thread is already executing a slot) where taking run_m_
       // would deadlock against the outer fan-out.
       for (std::size_t s = 0; s < slots; ++s) fn(s);
       return;
     }
     std::lock_guard<std::mutex> serialize(run_m_);
+    if (consecutive_failed_runs_ >= kSerialFallbackThreshold) {
+      RunSerialDegraded(slots, fn);
+      return;
+    }
     EnsureWorkers(slots - 1);
     {
       std::lock_guard<std::mutex> lk(done_m_);
@@ -119,10 +132,29 @@ class ThreadPool {
       error = error_;
       error_ = nullptr;
     }
-    if (error != nullptr) std::rethrow_exception(error);
+    if (error != nullptr) {
+      ++consecutive_failed_runs_;
+      std::rethrow_exception(error);
+    }
+    consecutive_failed_runs_ = 0;
   }
 
   std::size_t worker_count() const { return workers_.size(); }
+
+  /// Total slot exceptions swallowed because another slot of the same
+  /// dispatch had already failed (process lifetime; monotonic).
+  std::uint64_t total_suppressed_errors() const {
+    return suppressed_errors_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the pool is degraded to serial execution after repeated
+  /// dispatch failures; heals itself on the next clean dispatch.
+  bool serial_fallback_active() const {
+    return consecutive_failed_runs_ >= kSerialFallbackThreshold;
+  }
+
+  /// Consecutive failed dispatches before degrading to serial execution.
+  static constexpr std::size_t kSerialFallbackThreshold = 3;
 
  private:
   struct Worker {
@@ -191,7 +223,39 @@ class ThreadPool {
 
   void RecordError(std::exception_ptr e) {
     std::lock_guard<std::mutex> lk(done_m_);
-    if (error_ == nullptr) error_ = std::move(e);
+    if (error_ == nullptr) {
+      error_ = std::move(e);
+    } else {
+      suppressed_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Degraded-mode dispatch: every slot on the calling thread, but with
+  /// the pool's error semantics (all slots run, first failure rethrown at
+  /// the end, later failures counted as suppressed). A clean pass heals
+  /// the pool back to parallel dispatch.
+  void RunSerialDegraded(std::size_t slots,
+                         const std::function<void(std::size_t)>& fn) {
+    std::exception_ptr first;
+    for (std::size_t s = 0; s < slots; ++s) {
+      try {
+        InDispatch() = true;
+        fn(s);
+        InDispatch() = false;
+      } catch (...) {
+        InDispatch() = false;
+        if (first == nullptr) {
+          first = std::current_exception();
+        } else {
+          suppressed_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (first != nullptr) {
+      ++consecutive_failed_runs_;
+      std::rethrow_exception(first);
+    }
+    consecutive_failed_runs_ = 0;
   }
 
   std::mutex run_m_;  ///< Serializes whole dispatches.
@@ -200,6 +264,10 @@ class ThreadPool {
   std::size_t pending_ = 0;              ///< Guarded by done_m_.
   std::exception_ptr error_ = nullptr;   ///< First slot failure; ditto.
   std::condition_variable done_cv_;
+  std::atomic<std::uint64_t> suppressed_errors_{0};
+  /// Dispatches that ended in a rethrow since the last clean one. Written
+  /// under run_m_; atomic so serial_fallback_active() can read lock-free.
+  std::atomic<std::size_t> consecutive_failed_runs_{0};
 };
 
 /// Number of contiguous chunks for `n` items at `grain` items per chunk,

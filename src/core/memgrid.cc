@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/failpoint.h"
 #include "common/geometry.h"
 #include "common/parallel.h"
 
@@ -290,19 +291,45 @@ void MemGrid::GrowMaxHalfExtent(const AABB& box) {
 }
 
 void MemGrid::Build(std::span<const Element> elements) {
-  update_stats_ = MemGridUpdateStats{};
-  max_half_extent_ = 0.0f;
-  size_ = elements.size();
+  // Strong guarantee: stash the current index by O(1) moves and construct
+  // into fresh state; ANY failure below — an allocation, a failpoint, a
+  // worker exception rethrown by ThreadPool::Run — restores the stash, so
+  // a failed rebuild leaves the previous index intact. (The scratch
+  // members are not stashed: they carry no index state.)
+  auto stash_shards = std::move(shards_);
+  auto stash_begin_rank = std::move(shard_begin_rank_);
+  auto stash_regions = std::move(regions_);
+  auto stash_slots = std::move(slots_);
+  const std::size_t stash_size = size_;
+  const float stash_mhe = max_half_extent_;
+  const MemGridUpdateStats stash_stats = update_stats_;
+  try {
+    regions_.assign(stash_regions.size(), Region{});
+    slots_.clear();
+    update_stats_ = MemGridUpdateStats{};
+    max_half_extent_ = 0.0f;
+    size_ = elements.size();
+    SIMSPATIAL_FAILPOINT("memgrid.build.alloc");
 
-  // Chunk count: bounded by the thread knob, the per-chunk grain, and the
-  // footprint of the per-thread count arrays (chunks * cells slots).
-  std::size_t chunks =
-      par::ChunkCount(threads_, elements.size(), kParallelGrain);
-  while (chunks > 1 && chunks * regions_.size() > kMaxCountSlots) --chunks;
-  if (chunks > 1) {
-    BuildParallel(elements, chunks);
-  } else {
-    BuildSerial(elements);
+    // Chunk count: bounded by the thread knob, the per-chunk grain, and
+    // the footprint of the per-thread count arrays (chunks * cells slots).
+    std::size_t chunks =
+        par::ChunkCount(threads_, elements.size(), kParallelGrain);
+    while (chunks > 1 && chunks * regions_.size() > kMaxCountSlots) --chunks;
+    if (chunks > 1) {
+      BuildParallel(elements, chunks);
+    } else {
+      BuildSerial(elements);
+    }
+  } catch (...) {
+    shards_ = std::move(stash_shards);
+    shard_begin_rank_ = std::move(stash_begin_rank);
+    regions_ = std::move(stash_regions);
+    slots_ = std::move(stash_slots);
+    size_ = stash_size;
+    max_half_extent_ = stash_mhe;
+    update_stats_ = stash_stats;
+    throw;
   }
 }
 
@@ -369,6 +396,9 @@ void MemGrid::BuildParallel(std::span<const Element> elements,
   std::vector<float> chunk_mhe(chunks, 0.0f);
   par::ParallelChunks(chunks, n, [&](std::size_t w, std::size_t begin,
                                      std::size_t end) {
+    // A worker-slot failure here surfaces through ThreadPool::Run and is
+    // absorbed by Build's stash/restore.
+    SIMSPATIAL_FAILPOINT("memgrid.build.worker");
     std::vector<std::uint32_t>& c = counts[w];
     c.assign(regions_.size(), 0);
     ElementId max_id = 0;
@@ -445,10 +475,12 @@ void MemGrid::RemoveFromCell(std::uint32_t cell, std::uint32_t pos) {
 void MemGrid::RelayoutShard(std::size_t shard, std::uint32_t demand_cell,
                             std::uint32_t demand) {
   Shard& sh = shards_[shard];
-  if (sh.compacting) FinishCompactionPass(shard);
+  SIMSPATIAL_FAILPOINT("memgrid.relayout.alloc");
   const std::size_t ranks = sh.rank_end - sh.rank_begin;
   // First sweep (rank order): new start/cap per cell (old starts still
-  // needed, so stash the new offsets separately).
+  // needed, so stash the new offsets separately). Both sweeps allocate
+  // before the first in-place mutation, so a failure leaves the shard
+  // exactly as it was (strong guarantee).
   std::vector<std::uint32_t> new_start(ranks);
   std::size_t total = 0;
   for (std::size_t i = 0; i < ranks; ++i) {
@@ -460,12 +492,18 @@ void MemGrid::RelayoutShard(std::size_t shard, std::uint32_t demand_cell,
   }
   std::vector<Entry> fresh(total, Entry{});
   // Second sweep in rank order too: destination writes stream the fresh
-  // block sequentially.
+  // block sequentially. Each region is read from whichever block it
+  // currently resides in — an in-flight compaction pass holds ranks below
+  // the cursor in sh.fresh — so re-layout needs no FinishCompactionPass
+  // first and doubles as the pass's ABORT path (CompactStep falls back
+  // here when an incremental copy fails mid-pass).
   for (std::size_t i = 0; i < ranks; ++i) {
-    const std::size_t c = RankCell(sh.rank_begin + i);
+    const std::size_t rank = sh.rank_begin + i;
+    const std::size_t c = RankCell(rank);
     Region& r = regions_[c];
     const std::uint32_t want = r.count + (c == demand_cell ? demand : 0);
-    const Entry* src = sh.block.data() + r.start;
+    const bool in_fresh = sh.compacting && rank < sh.cursor;
+    const Entry* src = (in_fresh ? sh.fresh : sh.block).data() + r.start;
     Entry* dst = fresh.data() + new_start[i];
     for (std::uint32_t k = 0; k < r.count; ++k) {
       dst[k] = src[k];
@@ -475,7 +513,14 @@ void MemGrid::RelayoutShard(std::size_t shard, std::uint32_t demand_cell,
     r.cap = SlackedCap(want);
   }
   sh.block = std::move(fresh);
+  sh.fresh.clear();
+  sh.fresh.shrink_to_fit();
+  sh.compacting = false;
+  sh.cursor = sh.rank_begin;
+  sh.stale = 0;
   sh.dead = 0;
+  sh.fresh_dead = 0;
+  sh.fresh_pristine = true;
   sh.layout_budget = sh.block.size();
   sh.pristine = true;
   ++update_stats_.relayouts;
@@ -552,24 +597,29 @@ std::uint32_t MemGrid::ReserveInCell(std::uint32_t cell, std::uint32_t need,
 void MemGrid::BeginCompactionPass(std::size_t shard) {
   Shard& sh = shards_[shard];
   assert(!sh.compacting);
+  SIMSPATIAL_FAILPOINT("memgrid.compact.begin");
+  // Reserve generously so the pass appends without reallocating (a
+  // realloc's copy would be a stall of its own). Padded profiles add
+  // per-cell slack on top of live entries; churn during the pass can grow
+  // the target further — an overflow just falls back to vector growth.
+  // The reservation happens into a local BEFORE any pass state flips: the
+  // allocation is the only throwing step here, so a failure leaves the
+  // shard idle and untouched.
+  const std::size_t ranks = sh.rank_end - sh.rank_begin;
+  std::vector<Entry> fresh;
+  fresh.reserve(
+      sh.live + sh.live / 2 +
+      static_cast<std::size_t>(static_cast<double>(sh.live) *
+                               config_.slack_fraction) +
+      static_cast<std::size_t>(config_.min_slack) * std::min(sh.live, ranks) +
+      kChurnWasteFloor);
+  sh.fresh = std::move(fresh);
   sh.compacting = true;
   sh.cursor = sh.rank_begin;
   sh.stale = 0;
   sh.fresh_dead = 0;
   sh.fresh_pristine = true;
   sh.pristine = false;  // The block no longer covers the whole shard.
-  sh.fresh.clear();
-  // Reserve generously so the pass appends without reallocating (a
-  // realloc's copy would be a stall of its own). Padded profiles add
-  // per-cell slack on top of live entries; churn during the pass can grow
-  // the target further — an overflow just falls back to vector growth.
-  const std::size_t ranks = sh.rank_end - sh.rank_begin;
-  sh.fresh.reserve(
-      sh.live + sh.live / 2 +
-      static_cast<std::size_t>(static_cast<double>(sh.live) *
-                               config_.slack_fraction) +
-      static_cast<std::size_t>(config_.min_slack) * std::min(sh.live, ranks) +
-      kChurnWasteFloor);
 }
 
 std::uint32_t MemGrid::AdvanceCompaction(std::size_t shard,
@@ -591,6 +641,10 @@ std::uint32_t MemGrid::AdvanceCompaction(std::size_t shard,
     // (count == 0, stale cap) reclaim their cap for free, and the visit
     // cap above bounds the walk either way.
     if (r.count != 0) {
+      // A throw here (the resize, or the failpoint modelling it) leaves a
+      // VALID mid-pass state: this region's descriptor and the cursor are
+      // untouched, so reads keep resolving every region correctly.
+      SIMSPATIAL_FAILPOINT("memgrid.compact.advance");
       sh.fresh.resize(sh.fresh.size() + cap);
       const Entry* src = sh.block.data() + r.start;
       Entry* dst = sh.fresh.data() + new_start;
@@ -640,14 +694,34 @@ void MemGrid::CompactStep() {
   // bounded by budget * shards regions either way.
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     Shard& sh = shards_[si];
-    if (!sh.compacting) {
-      const std::size_t headroom =
-          sh.layout_budget + std::max<std::size_t>(sh.layout_budget / 2,
-                                                   kCompactHeadroomFloor);
-      if (sh.block.size() < headroom) continue;
-      BeginCompactionPass(si);
+    try {
+      if (!sh.compacting) {
+        const std::size_t headroom =
+            sh.layout_budget + std::max<std::size_t>(sh.layout_budget / 2,
+                                                     kCompactHeadroomFloor);
+        if (sh.block.size() < headroom) continue;
+        BeginCompactionPass(si);
+      }
+      AdvanceCompaction(si, budget);
+    } catch (...) {
+      // Graceful degradation: the batch itself has already committed, so
+      // a failed compaction step is absorbed, never rethrown. A pass that
+      // aborted MID-COPY cannot be discarded (descriptors already point
+      // into the fresh block), so the shard falls back to the full
+      // re-layout, which reclaims the same churn in one strong-guarantee
+      // step; a failure to even BEGIN a pass left the shard untouched and
+      // needs no repair.
+      ++update_stats_.compaction_aborts;
+      if (sh.compacting) {
+        try {
+          RelayoutShard(si, kNoCell, 0);
+        } catch (...) {
+          // Even the fallback failed (sustained allocation failure). The
+          // mid-pass state is still valid, so park the pass; the next
+          // batch retries.
+        }
+      }
     }
-    AdvanceCompaction(si, budget);
   }
 }
 
@@ -686,8 +760,14 @@ bool MemGrid::Update(ElementId id, const AABB& new_box) {
     ++update_stats_.in_place;
     return true;
   }
-  RemoveFromCell(s.cell, s.pos);
+  // Reserve BEFORE removing: the reservation is the only throwing step of
+  // a migration, so ordering it first gives the strong guarantee — a
+  // failure leaves the element in its old cell with its old box. The
+  // reservation may re-layout the shard holding the old cell, so the
+  // slot is re-read afterwards; everything past it is plain stores.
   const std::uint32_t pos = ReserveInCell(new_cell, 1);
+  const Slot cur = slots_[id];
+  RemoveFromCell(cur.cell, cur.pos);
   const CellRef ref = ResolveCell(new_cell);
   ref.data[pos] = Entry{new_box, id};
   ++regions_[new_cell].count;
@@ -703,122 +783,227 @@ std::size_t MemGrid::ApplyUpdates(std::span<const ElementUpdate> updates) {
     AABB box;
     std::uint32_t cell;
   };
+  // Transactional batch: every logical mutation below is journaled, and a
+  // failure ANYWHERE — classification worker, staging, landing-phase
+  // reservation — rolls the journal back and rethrows, leaving the grid
+  // in its pre-batch state. The pre-batch counters are an O(1) snapshot;
+  // all scratch is reserved up front so the mutation loops themselves
+  // never allocate through push_back.
+  const MemGridUpdateStats pre_stats = update_stats_;
+  const float pre_mhe = max_half_extent_;
   std::vector<Migration> staged;
   std::size_t applied = 0;
-  // Classification (destination cell + half-extent of every update) reads
-  // only the boxes, so it fans out across the pool; the structural phase
-  // below stays serial and is order-identical to the all-serial path — the
-  // parallel path is therefore deterministic by construction.
-  const std::size_t chunks =
-      par::ChunkCount(threads_, updates.size(), kParallelGrain);
-  if (chunks > 1) {
-    // Member scratch, not locals: a simulation calls this every step with
-    // a same-sized batch, so after the first step this path allocates
-    // nothing.
-    scratch_cells_.resize(updates.size());
-    scratch_mhe_.resize(updates.size());
-    par::ParallelChunks(chunks, updates.size(),
-                        [&](std::size_t, std::size_t begin, std::size_t end) {
-                          for (std::size_t i = begin; i < end; ++i) {
-                            const AABB& box = updates[i].new_box;
-                            scratch_cells_[i] = static_cast<std::uint32_t>(
-                                CellOf(box.Center()));
-                            const Vec3 ext = box.Extent();
-                            scratch_mhe_[i] = std::max(
-                                {ext.x, ext.y, ext.z}) * 0.5f;
-                          }
-                        });
-  }
-  // One serial pass: in-place writes land immediately; migrations are
-  // staged so they can be grouped by destination cell. The max-half-extent
-  // bound is reduced once over the whole batch instead of per element.
-  // In-place stores are the §4.3 hot path, so the single-shard/idle case
-  // keeps a hoisted block pointer (nothing below resizes a block until the
-  // landing phase).
-  Entry* const fast_base = shards_.size() == 1 && !shards_[0].compacting
-                               ? shards_[0].block.data()
-                               : nullptr;
-  float batch_mhe = max_half_extent_;
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    const ElementUpdate& u = updates[i];
-    if (u.id >= slots_.size()) continue;
-    const Slot s = slots_[u.id];
-    if (s.cell == kNoCell) continue;
+  try {
+    // Scratch allocation is part of the transaction: a bad_alloc here
+    // takes the (trivial) rollback path so update_stats_.rollbacks counts
+    // it like any other aborted batch.
+    SIMSPATIAL_FAILPOINT("memgrid.apply.alloc");
+    journal_.clear();
+    journal_.reserve(updates.size());
+    staged.reserve(updates.size());
+    // Classification (destination cell + half-extent of every update)
+    // reads only the boxes, so it fans out across the pool; the
+    // structural phase below stays serial and is order-identical to the
+    // all-serial path — the parallel path is therefore deterministic by
+    // construction.
+    const std::size_t chunks =
+        par::ChunkCount(threads_, updates.size(), kParallelGrain);
     if (chunks > 1) {
-      batch_mhe = std::max(batch_mhe, scratch_mhe_[i]);
-    } else {
-      const Vec3 ext = u.new_box.Extent();
-      batch_mhe = std::max({batch_mhe, ext.x * 0.5f, ext.y * 0.5f,
-                            ext.z * 0.5f});
+      // Member scratch, not locals: a simulation calls this every step
+      // with a same-sized batch, so after the first step this path
+      // allocates nothing.
+      scratch_cells_.resize(updates.size());
+      scratch_mhe_.resize(updates.size());
+      par::ParallelChunks(
+          chunks, updates.size(),
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            SIMSPATIAL_FAILPOINT("memgrid.apply.classify.worker");
+            for (std::size_t i = begin; i < end; ++i) {
+              const AABB& box = updates[i].new_box;
+              scratch_cells_[i] =
+                  static_cast<std::uint32_t>(CellOf(box.Center()));
+              const Vec3 ext = box.Extent();
+              scratch_mhe_[i] = std::max({ext.x, ext.y, ext.z}) * 0.5f;
+            }
+          });
     }
-    ++applied;
-    ++update_stats_.updates;
-    const auto new_cell =
-        chunks > 1 ? scratch_cells_[i]
-                   : static_cast<std::uint32_t>(CellOf(u.new_box.Center()));
-    if (s.cell == kPendingCell) {
-      // Same id updated twice in one batch: overwrite the staged move.
-      staged[s.pos].box = u.new_box;
-      staged[s.pos].cell = new_cell;
-      continue;
-    }
-    if (new_cell == s.cell) {
+    // One serial pass: in-place writes land immediately; migrations are
+    // staged so they can be grouped by destination cell. The
+    // max-half-extent bound is reduced once over the whole batch instead
+    // of per element. In-place stores are the §4.3 hot path, so the
+    // single-shard/idle case keeps a hoisted block pointer (nothing below
+    // resizes a block until the landing phase).
+    Entry* const fast_base = shards_.size() == 1 && !shards_[0].compacting
+                                 ? shards_[0].block.data()
+                                 : nullptr;
+    float batch_mhe = max_half_extent_;
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      const ElementUpdate& u = updates[i];
+      if (u.id >= slots_.size()) continue;
+      const Slot s = slots_[u.id];
+      if (s.cell == kNoCell) continue;
+      if (chunks > 1) {
+        batch_mhe = std::max(batch_mhe, scratch_mhe_[i]);
+      } else {
+        const Vec3 ext = u.new_box.Extent();
+        batch_mhe = std::max({batch_mhe, ext.x * 0.5f, ext.y * 0.5f,
+                              ext.z * 0.5f});
+      }
+      ++applied;
+      ++update_stats_.updates;
+      const auto new_cell =
+          chunks > 1 ? scratch_cells_[i]
+                     : static_cast<std::uint32_t>(CellOf(u.new_box.Center()));
+      if (s.cell == kPendingCell) {
+        // Same id updated twice in one batch: overwrite the staged move.
+        // No journal record — the id's earlier kMigrateOut record already
+        // holds its pre-batch box.
+        staged[s.pos].box = u.new_box;
+        staged[s.pos].cell = new_cell;
+        continue;
+      }
       Entry* e = fast_base != nullptr ? fast_base + s.pos
                                       : SpaceOf(s.cell).data() + s.pos;
-      e->box = u.new_box;
-      ++update_stats_.in_place;
-      continue;
-    }
-    RemoveFromCell(s.cell, s.pos);
-    slots_[u.id] =
-        Slot{kPendingCell, static_cast<std::uint32_t>(staged.size())};
-    staged.push_back(Migration{u.id, u.new_box, new_cell});
-    ++update_stats_.migrations;
-  }
-  max_half_extent_ = batch_mhe;
-
-  if (!staged.empty()) {
-    // Group migrations by destination: one capacity check and one tight
-    // write loop per destination cell.
-    std::sort(staged.begin(), staged.end(),
-              [](const Migration& a, const Migration& b) {
-                return a.cell < b.cell;
-              });
-    std::size_t i = 0;
-    while (i < staged.size()) {
-      std::size_t j = i + 1;
-      while (j < staged.size() && staged[j].cell == staged[i].cell) ++j;
-      const std::uint32_t cell = staged[i].cell;
-      const auto run = static_cast<std::uint32_t>(j - i);
-      // Churn cap deferred: shard live counts are deflated by the still-
-      // staged migrations here, and a live-relative trigger would pay a
-      // spurious stop-the-shard re-layout mid-batch. The growth trigger
-      // (absolute footprint) stays armed.
-      std::uint32_t pos = ReserveInCell(cell, run, /*allow_churn=*/false);
-      // Re-resolve after ReserveInCell: it may have relocated the region,
-      // re-laid-out the shard, or finished a compaction pass.
-      const CellRef ref = ResolveCell(cell);
-      Region& r = regions_[cell];
-      for (std::size_t k = i; k < j; ++k, ++pos) {
-        ref.data[pos] = Entry{staged[k].box, staged[k].id};
-        slots_[staged[k].id] = Slot{cell, pos};
+      if (new_cell == s.cell) {
+        journal_.push_back(
+            UndoRecord{u.id, e->box, UndoKind::kInPlaceWrite});
+        e->box = u.new_box;
+        ++update_stats_.in_place;
+        continue;
       }
-      r.count += run;
-      shards_[ref.shard].live += run;
-      i = j;
+      SIMSPATIAL_FAILPOINT("memgrid.apply.stage");
+      journal_.push_back(UndoRecord{u.id, e->box, UndoKind::kMigrateOut});
+      RemoveFromCell(s.cell, s.pos);
+      slots_[u.id] =
+          Slot{kPendingCell, static_cast<std::uint32_t>(staged.size())};
+      staged.push_back(Migration{u.id, u.new_box, new_cell});
+      ++update_stats_.migrations;
     }
-    // Re-run the deferred churn cap now that every migration has landed
-    // and the live counts are settled — one cheap sweep per batch.
-    for (std::size_t si = 0; si < shards_.size(); ++si) {
-      MaybeReclaimShard(si, kNoCell, 0);
+    max_half_extent_ = batch_mhe;
+
+    if (!staged.empty()) {
+      // Group migrations by destination: one capacity check and one tight
+      // write loop per destination cell.
+      std::sort(staged.begin(), staged.end(),
+                [](const Migration& a, const Migration& b) {
+                  return a.cell < b.cell;
+                });
+      std::size_t i = 0;
+      while (i < staged.size()) {
+        std::size_t j = i + 1;
+        while (j < staged.size() && staged[j].cell == staged[i].cell) ++j;
+        const std::uint32_t cell = staged[i].cell;
+        const auto run = static_cast<std::uint32_t>(j - i);
+        // Churn cap deferred: shard live counts are deflated by the still-
+        // staged migrations here, and a live-relative trigger would pay a
+        // spurious stop-the-shard re-layout mid-batch. The growth trigger
+        // (absolute footprint) stays armed.
+        SIMSPATIAL_FAILPOINT("memgrid.apply.land");
+        std::uint32_t pos = ReserveInCell(cell, run, /*allow_churn=*/false);
+        // Re-resolve after ReserveInCell: it may have relocated the
+        // region, re-laid-out the shard, or finished a compaction pass.
+        // Past the reservation this group's landing is plain stores —
+        // groups land atomically, so the rollback sees each id either
+        // still pending or fully landed.
+        const CellRef ref = ResolveCell(cell);
+        Region& r = regions_[cell];
+        for (std::size_t k = i; k < j; ++k, ++pos) {
+          ref.data[pos] = Entry{staged[k].box, staged[k].id};
+          slots_[staged[k].id] = Slot{cell, pos};
+        }
+        r.count += run;
+        shards_[ref.shard].live += run;
+        i = j;
+      }
+      // Re-run the deferred churn cap now that every migration has landed
+      // and the live counts are settled — one cheap sweep per batch.
+      for (std::size_t si = 0; si < shards_.size(); ++si) {
+        MaybeReclaimShard(si, kNoCell, 0);
+      }
     }
+  } catch (...) {
+    RollbackBatch(pre_stats, pre_mhe);
+    journal_.clear();
+    throw;
   }
+  journal_.clear();
   // Budget-bounded incremental compaction: reclaim a few regions of
   // relocation churn per batch so steady-state mutation never triggers a
   // stop-the-shard re-layout. Runs after the structural phase, serially —
-  // deterministic at every thread count.
+  // deterministic at every thread count. Outside the transaction: the
+  // batch is committed by now, and CompactStep absorbs its own failures
+  // (re-layout fallback) instead of throwing.
   CompactStep();
   return applied;
+}
+
+void MemGrid::RollbackBatch(const MemGridUpdateStats& pre_stats,
+                            float pre_mhe) {
+  try {
+    // Reverse-order undo. Per id the journal holds zero or more
+    // kInPlaceWrite records followed by at most one kMigrateOut, so by
+    // the time an in-place record is undone, the id is guaranteed live in
+    // its original cell (its migration — if any — was undone first).
+    for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+      const UndoRecord& u = *it;
+      const Slot s = slots_[u.id];
+      if (u.kind == UndoKind::kInPlaceWrite) {
+        SpaceOf(s.cell)[s.pos].box = u.box;
+        continue;
+      }
+      // kMigrateOut: take the element out of wherever the batch left it
+      // (landed in its destination cell, or still pending — i.e. not in
+      // the grid at all) and re-insert it with its pre-batch box. The box
+      // centre maps back to the source cell by construction.
+      if (s.cell < kPendingCell) RemoveFromCell(s.cell, s.pos);
+      const auto cell = static_cast<std::uint32_t>(CellOf(u.box.Center()));
+      const std::uint32_t pos = ReserveInCell(cell, 1);
+      const CellRef ref = ResolveCell(cell);
+      ref.data[pos] = Entry{u.box, u.id};
+      ++regions_[cell].count;
+      ++shards_[ref.shard].live;
+      slots_[u.id] = Slot{cell, pos};
+    }
+    update_stats_ = pre_stats;
+    max_half_extent_ = pre_mhe;
+    ++update_stats_.rollbacks;
+  } catch (...) {
+    // The undo itself failed (a rollback-path reservation could not
+    // allocate — e.g. a mid-batch re-layout shrank the source cell's
+    // capacity below what the return trip needs). Escalate to the
+    // rebuild-from-scratch fallback.
+    RebuildFromJournal(pre_stats, pre_mhe);
+  }
+}
+
+void MemGrid::RebuildFromJournal(const MemGridUpdateStats& pre_stats,
+                                 float pre_mhe) {
+  // Last resort: reconstruct the pre-batch element set and Build it. The
+  // journal's FIRST record per id holds that id's pre-batch box; every
+  // other live id is unchanged (ids the batch left pending are journaled
+  // by construction, so nothing is lost). Build gives the strong
+  // guarantee a second time; if even IT fails — sustained allocation
+  // failure — the exception propagates and the grid is unusable, as
+  // documented in the header.
+  std::vector<std::uint8_t> seen(slots_.size(), 0);
+  std::vector<Element> survivors;
+  survivors.reserve(size_);
+  for (const UndoRecord& u : journal_) {
+    if (seen[u.id]) continue;
+    seen[u.id] = 1;
+    survivors.push_back(Element{u.id, u.box});
+  }
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (seen[id]) continue;
+    const Slot s = slots_[id];
+    if (s.cell >= kPendingCell) continue;
+    survivors.push_back(
+        Element{static_cast<ElementId>(id), SpaceOf(s.cell)[s.pos].box});
+  }
+  Build(survivors);
+  update_stats_ = pre_stats;
+  max_half_extent_ = pre_mhe;
+  ++update_stats_.rollbacks;
 }
 
 template <typename Sink>
@@ -1338,6 +1523,18 @@ void MemGrid::SweepRanks(std::size_t rank_begin, std::size_t rank_end, int rx,
   }
 }
 
+std::vector<Element> MemGrid::SnapshotElements() const {
+  std::vector<Element> out;
+  out.reserve(size_);
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    const Slot& s = slots_[id];
+    if (s.cell >= kPendingCell) continue;
+    out.push_back(Element{static_cast<ElementId>(id),
+                          SpaceOf(s.cell)[s.pos].box});
+  }
+  return out;
+}
+
 MemGridShape MemGrid::Shape() const {
   MemGridShape s;
   s.elements = size_;
@@ -1350,6 +1547,7 @@ MemGridShape MemGrid::Shape() const {
   s.max_half_extent = max_half_extent_;
   s.layout = config_.layout;
   s.shards = shards_.size();
+  s.pool_suppressed_errors = par::ThreadPool::Global().total_suppressed_errors();
   for (const Region& r : regions_) {
     s.occupied_cells += r.count == 0 ? 0 : 1;
     s.slack_slots += r.cap - r.count;

@@ -186,6 +186,11 @@ struct MemGridShape {
   std::size_t shards = 1;
   /// Shards with an incremental compaction pass in flight.
   std::size_t compacting_shards = 0;
+  /// Worker-slot exceptions the global thread pool swallowed because
+  /// another slot of the same dispatch had already failed (process-wide,
+  /// monotonic). Fault-injection runs assert nothing was silently lost:
+  /// every suppressed error is at least counted here.
+  std::uint64_t pool_suppressed_errors = 0;
 };
 
 struct MemGridUpdateStats {
@@ -197,6 +202,12 @@ struct MemGridUpdateStats {
   std::uint64_t compaction_passes = 0;
   /// Occupied regions copied by incremental compaction steps.
   std::uint64_t compacted_regions = 0;
+  /// ApplyUpdates batches undone back to the pre-batch state after a
+  /// failure (the exception is rethrown to the caller either way).
+  std::uint64_t rollbacks = 0;
+  /// Incremental compaction passes that aborted mid-copy; the shard then
+  /// falls back to a full re-layout (graceful degradation, not an error).
+  std::uint64_t compaction_aborts = 0;
   double InPlaceFraction() const {
     return updates == 0
                ? 0.0
@@ -210,7 +221,21 @@ class MemGrid {
  public:
   explicit MemGrid(const AABB& universe, MemGridConfig config = {});
 
+  // Failure contract (see ROADMAP.md "Failure contract"): Build, Insert,
+  // Update and ApplyUpdates give the STRONG guarantee — on throw the grid
+  // is unchanged (same live elements, same boxes, CheckInvariants passes),
+  // except that max_half_extent_ may have widened (conservative: probes
+  // only get more complete) for the single-element ops. ApplyUpdates
+  // restores even that. The one documented exception: if the undo itself
+  // hits a second failure, ApplyUpdates falls back to a full rebuild of
+  // the pre-batch element set; if THAT also fails (sustained allocation
+  // failure), the exception propagates and the grid is unusable. Erase
+  // allocates nothing and cannot fail.
+
   /// O(n) rebuild (counting scatter into the per-shard slack-CSR blocks).
+  /// Strong guarantee: builds into fresh state and swaps, so a failure —
+  /// allocation or a worker exception rethrown by ThreadPool::Run —
+  /// leaves the previous index intact.
   void Build(std::span<const Element> elements);
 
   void Insert(const Element& element);
@@ -219,6 +244,12 @@ class MemGrid {
   /// Batch update path: in-place writes applied immediately, migrations
   /// grouped by destination cell, one max-half-extent reduction, then one
   /// budget-bounded incremental compaction step (if configured).
+  /// Transactional: every structural mutation is journaled, and a failure
+  /// at any point — classification worker, staging, landing-phase
+  /// reservation — undoes the batch and rethrows (update_stats().rollbacks
+  /// counts these). A failed incremental compaction step after the batch
+  /// commits is absorbed: the shard falls back to a full re-layout
+  /// (update_stats().compaction_aborts).
   std::size_t ApplyUpdates(std::span<const ElementUpdate> updates);
 
   void RangeQuery(const AABB& range, std::vector<ElementId>* out,
@@ -245,6 +276,11 @@ class MemGrid {
   const MemGridUpdateStats& update_stats() const { return update_stats_; }
   MemGridShape Shape() const;
   bool CheckInvariants(std::string* error) const;
+
+  /// All live elements (id + current box), in ascending id order — the
+  /// logical-content oracle the fault-injection battery diffs against
+  /// (layout bytes may differ after a rollback; the element SET must not).
+  std::vector<Element> SnapshotElements() const;
 
  private:
   struct Entry {
@@ -441,6 +477,27 @@ class MemGrid {
   void BuildSerial(std::span<const Element> elements);
   void BuildParallel(std::span<const Element> elements, std::size_t chunks);
 
+  /// ApplyUpdates undo journal: one record per logical mutation, in batch
+  /// order. An element's pre-batch box is its FIRST record's box; reverse
+  /// iteration undoes the batch step by step. The box alone locates the
+  /// source cell of a migration (centre assignment is a pure function of
+  /// the box), so no cell/pos needs recording — positions would be stale
+  /// after a mid-batch re-layout anyway.
+  enum class UndoKind : std::uint8_t { kInPlaceWrite, kMigrateOut };
+  struct UndoRecord {
+    ElementId id;
+    AABB box;  ///< The element's box BEFORE the mutation.
+    UndoKind kind;
+  };
+  /// Undo the journaled batch in reverse (restoring `pre_stats` /
+  /// `pre_mhe`); falls back to RebuildFromJournal if the undo itself
+  /// fails. Never throws on its own — a double failure escapes from the
+  /// rebuild's Build call only.
+  void RollbackBatch(const MemGridUpdateStats& pre_stats, float pre_mhe);
+  /// Last-resort rollback: reconstruct the pre-batch element set (journal
+  /// first-records override the current grid content) and Build it.
+  void RebuildFromJournal(const MemGridUpdateStats& pre_stats, float pre_mhe);
+
   /// Populate the cell<->rank maps for the curve layouts (sort the cell
   /// lattice by curve key once per grid; also fixes curve_bits_). kRowMajor
   /// keeps both maps empty: rank IS the cell index.
@@ -487,6 +544,9 @@ class MemGrid {
   /// the per-step update path stays allocation-free.
   std::vector<std::uint32_t> scratch_cells_;
   std::vector<float> scratch_mhe_;
+  /// ApplyUpdates undo journal (member scratch: reserved once per batch
+  /// up front, so journal pushes never throw mid-mutation).
+  std::vector<UndoRecord> journal_;
   /// Reused scratch for BuildParallel (per-element cell ids, per-chunk
   /// count/cursor arrays) — a rebuild-every-step policy calls Build per
   /// step, so its scratch is kept across calls too.

@@ -351,6 +351,9 @@ class LshAdapter final : public SpatialIndex {
   bool KnnIsExact() const override { return false; }
   std::size_t size() const override { return index_.size(); }
   std::size_t MemoryBytes() const override { return index_.Shape().bytes; }
+  bool CheckInvariants(std::string* error) const override {
+    return index_.CheckInvariants(error);
+  }
 
  private:
   lsh::LshKnn index_;

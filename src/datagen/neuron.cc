@@ -15,17 +15,23 @@ struct Tip {
 };
 
 // Keep p inside the universe by reflecting the direction at walls.
+// Bounds are copied into named locals: the const Vec3::operator[] returns
+// by value, and binding those prvalues to std::clamp's reference
+// parameters left a per-iteration temporary ASan flags as out-of-scope.
 void ReflectIntoUniverse(const AABB& u, Vec3* p, Vec3* dir) {
   for (int axis = 0; axis < 3; ++axis) {
-    if ((*p)[axis] < u.min[axis]) {
-      (*p)[axis] = u.min[axis] + (u.min[axis] - (*p)[axis]);
+    const float lo = u.min[axis];
+    const float hi = u.max[axis];
+    if ((*p)[axis] < lo) {
+      (*p)[axis] = lo + (lo - (*p)[axis]);
       (*dir)[axis] = -(*dir)[axis];
     }
-    if ((*p)[axis] > u.max[axis]) {
-      (*p)[axis] = u.max[axis] - ((*p)[axis] - u.max[axis]);
+    if ((*p)[axis] > hi) {
+      (*p)[axis] = hi - ((*p)[axis] - hi);
       (*dir)[axis] = -(*dir)[axis];
     }
-    (*p)[axis] = std::clamp((*p)[axis], u.min[axis], u.max[axis]);
+    const float v = (*p)[axis];
+    (*p)[axis] = v < lo ? lo : (v > hi ? hi : v);
   }
 }
 

@@ -1,8 +1,8 @@
 #include "lsh/lsh_knn.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <string>
 
 #include "common/rng.h"
 
@@ -77,20 +77,24 @@ void LshKnn::InsertIntoTables(ElementId id, const Vec3& centre) {
 void LshKnn::RemoveFromTables(ElementId id, const Vec3& centre) {
   for (std::uint32_t t = 0; t < options_.tables; ++t) {
     auto it = tables_[t].find(KeyFor(t, centre));
-    assert(it != tables_[t].end());
+    // A missing bucket / id means the caller's centre is out of sync with
+    // the tables. Tolerate it here (the id simply is not where it should
+    // be) and let CheckInvariants report the desync with context instead
+    // of aborting the process.
+    if (it == tables_[t].end()) continue;
     auto& vec = it->second;
     const auto pos = std::find(vec.begin(), vec.end(), id);
-    assert(pos != vec.end());
+    if (pos == vec.end()) continue;
     *pos = vec.back();
     vec.pop_back();
     if (vec.empty()) tables_[t].erase(it);
   }
 }
 
-void LshKnn::Insert(const Element& element) {
-  assert(elements_.find(element.id) == elements_.end());
-  elements_.emplace(element.id, element.box);
+bool LshKnn::Insert(const Element& element) {
+  if (!elements_.emplace(element.id, element.box).second) return false;
   InsertIntoTables(element.id, element.box.Center());
+  return true;
 }
 
 bool LshKnn::Erase(ElementId id) {
@@ -182,6 +186,42 @@ void LshKnn::KnnQuery(const Vec3& p, std::size_t k,
   out->reserve(take);
   for (std::size_t i = 0; i < take; ++i) out->push_back(ranked[i].second);
   c.results += out->size();
+}
+
+bool LshKnn::CheckInvariants(std::string* error) const {
+  const auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  for (std::uint32_t t = 0; t < options_.tables; ++t) {
+    std::size_t slots = 0;
+    for (const auto& [key, vec] : tables_[t]) {
+      if (vec.empty()) {
+        return fail("lsh: empty bucket retained in table " +
+                    std::to_string(t));
+      }
+      slots += vec.size();
+      for (const ElementId id : vec) {
+        const auto it = elements_.find(id);
+        if (it == elements_.end()) {
+          return fail("lsh: table " + std::to_string(t) +
+                      " holds unknown id " + std::to_string(id));
+        }
+        if (KeyFor(t, it->second.Center()) != key) {
+          return fail("lsh: id " + std::to_string(id) +
+                      " sits in a bucket its centre does not hash to in "
+                      "table " +
+                      std::to_string(t));
+        }
+      }
+    }
+    if (slots != elements_.size()) {
+      return fail("lsh: table " + std::to_string(t) + " holds " +
+                  std::to_string(slots) + " entries for " +
+                  std::to_string(elements_.size()) + " elements");
+    }
+  }
+  return true;
 }
 
 LshShape LshKnn::Shape() const {

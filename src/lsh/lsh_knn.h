@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,7 +61,11 @@ class LshKnn {
 
   void Build(std::span<const Element> elements, const AABB& universe);
 
-  void Insert(const Element& element);
+  /// Insert a new element. Returns false (and changes nothing) when the id
+  /// is already present — use Update to move an existing element.
+  bool Insert(const Element& element);
+  /// Remove an element. Returns false when the id is unknown; the tables
+  /// are untouched either way.
   bool Erase(ElementId id);
   bool Update(ElementId id, const AABB& new_box);
   std::size_t ApplyUpdates(std::span<const ElementUpdate> updates);
@@ -72,6 +77,11 @@ class LshKnn {
 
   std::size_t size() const { return elements_.size(); }
   LshShape Shape() const;
+
+  /// Structural audit: every table holds each live element exactly once, in
+  /// the bucket its stored centre hashes to, and no empty bucket lingers.
+  /// Returns false and fills `error` on the first violation.
+  bool CheckInvariants(std::string* error) const;
 
  private:
   struct HashFunc {

@@ -94,6 +94,7 @@ DiskRTree::DiskRTree(storage::PageStore* store,
     root_ = pg;
     height_ = 1;
     pages_used_ = 1;
+    store_->SealAll();
     return;
   }
 
@@ -155,6 +156,8 @@ DiskRTree::DiskRTree(storage::PageStore* store,
     if (next.size() == 1) {
       root_ = next[0].value;
       height_ = level + 1;
+      // Bulk load complete: checksum every page so queries verify reads.
+      store_->SealAll();
       return;
     }
     entries = std::move(next);

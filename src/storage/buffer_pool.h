@@ -41,6 +41,7 @@ class BufferPool {
         : pool_(pool), frame_(frame), data_(data) {}
     PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
     PageGuard& operator=(PageGuard&& o) noexcept {
+      if (this == &o) return *this;
       Release();
       pool_ = o.pool_;
       frame_ = o.frame_;
@@ -68,8 +69,12 @@ class BufferPool {
   };
 
   /// Fetch a page, reading it from the store on a miss. Charges I/O into
-  /// `counters` on misses and counts hits. Returns an invalid guard only if
-  /// every frame is pinned (caller bug; asserts in debug builds).
+  /// `counters` on misses and counts hits. Returns an invalid guard if
+  /// every frame is pinned (caller can release pins and retry). A read
+  /// failure (TransientIoError / CorruptPageError) propagates to the
+  /// caller — corruption is never served as page data — and leaves the
+  /// pool unchanged: the frame is returned to the free list, nothing is
+  /// pinned, and the bad page is not cached.
   PageGuard Fetch(PageId id, simspatial::QueryCounters* counters) {
     auto it = page_table_.find(id);
     if (it != page_table_.end()) {
@@ -80,16 +85,22 @@ class BufferPool {
       return PageGuard(this, it->second, FrameData(it->second));
     }
     const std::size_t frame = AcquireFrame();
-    if (frame == kNoFrame) {
-      assert(false && "buffer pool exhausted: all frames pinned");
-      return PageGuard();
-    }
+    if (frame == kNoFrame) return PageGuard();
     Frame& f = frames_[frame];
     f.page = id;
     f.pins = 1;
-    store_->Read(id, MutableFrameData(frame), counters);
-    page_table_.emplace(id, frame);
-    Touch(frame);
+    try {
+      store_->Read(id, MutableFrameData(frame), counters);
+      page_table_.emplace(id, frame);
+      Touch(frame);
+    } catch (...) {
+      f.page = kInvalidPage;
+      f.pins = 0;
+      page_table_.erase(id);
+      lru_.remove(frame);
+      free_frames_.push_back(frame);
+      throw;
+    }
     return PageGuard(this, frame, FrameData(frame));
   }
 

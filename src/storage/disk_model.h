@@ -32,6 +32,14 @@ struct DiskModel {
   double transfer_mb_per_s = 600.0;
   /// Page size in bytes; the paper sets R-Tree page/node size to 4 KB.
   std::uint32_t page_size = 4096;
+  /// Bounded retry against transient read faults and checksum mismatches:
+  /// a failed page read is retried up to this many times before
+  /// PageStore::Read gives up and throws.
+  std::uint32_t max_read_retries = 4;
+  /// Base of the exponential retry backoff, in microseconds of VIRTUAL
+  /// time (charged to io_virtual_ns, never slept): retry k waits
+  /// retry_backoff_us * 2^(k-1).
+  double retry_backoff_us = 100.0;
 
   /// Virtual cost of reading one page. `sequential` reads (physically
   /// adjacent to the previous access) skip the seek and rotation phases.

@@ -3,20 +3,61 @@
 // Pages live in host memory; reads charge the DiskModel's virtual time into
 // the caller's QueryCounters. Write traffic is not modelled (the paper's
 // disk experiment is read-only: bulk-loaded index, cold-cache queries).
+//
+// Corruption detection: every SEALED page carries an XXH64 checksum of its
+// content, verified on Read. Write() seals the page it writes; direct
+// construction through the mutable PagePtr() UNSEALS the page (the builder
+// is mid-flight), and Seal()/SealAll() re-seal when construction is done —
+// disk_rtree's Build does exactly that. A verification or injected
+// transient failure is retried with exponential (virtual) backoff up to
+// DiskModel::max_read_retries times, then surfaces as TransientIoError /
+// CorruptPageError: storage failures are never silently absorbed.
 
 #ifndef SIMSPATIAL_STORAGE_PAGE_STORE_H_
 #define SIMSPATIAL_STORAGE_PAGE_STORE_H_
 
+#include <algorithm>
 #include <cstring>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/counters.h"
+#include "common/failpoint.h"
 #include "storage/disk_model.h"
 
 namespace simspatial::storage {
 
-/// An append-allocated array of fixed-size pages with virtual read costs.
+/// A read kept failing transiently after exhausting its retry budget.
+class TransientIoError : public std::runtime_error {
+ public:
+  explicit TransientIoError(PageId id)
+      : std::runtime_error("transient I/O failure persisted on page " +
+                           std::to_string(id)),
+        page_(id) {}
+  PageId page() const { return page_; }
+
+ private:
+  PageId page_;
+};
+
+/// A sealed page's content no longer matches its checksum (torn write,
+/// bit rot) and re-reads did not clear it.
+class CorruptPageError : public std::runtime_error {
+ public:
+  explicit CorruptPageError(PageId id)
+      : std::runtime_error("checksum mismatch on page " + std::to_string(id)),
+        page_(id) {}
+  PageId page() const { return page_; }
+
+ private:
+  PageId page_;
+};
+
+/// An append-allocated array of fixed-size pages with virtual read costs,
+/// per-page checksums and a bounded-retry read path.
 class PageStore {
  public:
   explicit PageStore(DiskModel model = DiskModel()) : model_(model) {}
@@ -25,27 +66,69 @@ class PageStore {
   std::uint32_t page_size() const { return model_.page_size; }
   std::size_t page_count() const { return pages_.size() / model_.page_size; }
 
-  /// Allocate a zeroed page and return its id.
+  /// Allocate a zeroed page and return its id. The fresh page is sealed
+  /// (all-zero content is valid, verifiable content).
   PageId Allocate() {
     const PageId id = static_cast<PageId>(page_count());
     pages_.resize(pages_.size() + model_.page_size, std::byte{0});
+    checksums_.push_back(Hash64(PagePtrConst(id), model_.page_size));
+    sealed_.push_back(1);
     return id;
   }
 
-  /// Write `data` (at most one page) to page `id` at offset 0.
+  /// Write `data` (at most one page) to page `id` at offset 0 and seal it.
   void Write(PageId id, std::span<const std::byte> data) {
-    std::memcpy(PagePtr(id), data.data(),
-                std::min<std::size_t>(data.size(), model_.page_size));
+    std::byte* dst = MutablePageData(id);
+    const std::size_t n =
+        std::min<std::size_t>(data.size(), model_.page_size);
+    std::memcpy(dst, data.data(), n);
+    checksums_[id] = Hash64(dst, model_.page_size);
+    sealed_[id] = 1;
+    if (SIMSPATIAL_FAILPOINT_HIT("pagestore.write.torn")) {
+      // Torn write: the checksum of the INTENDED content was recorded,
+      // but the tail half of the payload never reached the medium —
+      // exactly the inconsistency a power cut mid-sector leaves behind.
+      // Read detects it by checksum.
+      std::memset(dst + n / 2, 0, n - n / 2);
+    }
   }
 
-  /// Read page `id` into `out` (page_size bytes), charging virtual I/O time
-  /// and read counters. Sequentiality is judged against the previously read
-  /// page id, mimicking disk head position.
+  /// Read page `id` into `out` (page_size bytes), charging virtual I/O
+  /// time and read counters. Sequentiality is judged against the
+  /// previously read page id, mimicking disk head position. Sealed pages
+  /// are checksum-verified; a transient fault or mismatch retries with
+  /// exponential virtual backoff (charged to io_virtual_ns, counted in
+  /// io_retries), then throws TransientIoError / CorruptPageError.
   void Read(PageId id, std::byte* out, simspatial::QueryCounters* counters) {
     const bool sequential =
         last_read_ != kInvalidPage && id == last_read_ + 1;
     last_read_ = id;
-    std::memcpy(out, PagePtr(id), model_.page_size);
+    std::uint32_t attempt = 0;
+    for (;;) {
+      const bool transient =
+          SIMSPATIAL_FAILPOINT_HIT("pagestore.read.transient");
+      if (!transient) {
+        std::memcpy(out, PagePtrConst(id), model_.page_size);
+        if (sealed_[id] == 0 ||
+            Hash64(out, model_.page_size) == checksums_[id]) {
+          break;
+        }
+      }
+      if (attempt >= model_.max_read_retries) {
+        if (transient) throw TransientIoError(id);
+        throw CorruptPageError(id);
+      }
+      ++attempt;
+      if (counters != nullptr) {
+        counters->io_retries += 1;
+        // Exponential backoff in virtual time: retry k waits
+        // retry_backoff_us * 2^(k-1), like a real driver would before
+        // re-issuing the command.
+        counters->io_virtual_ns += static_cast<std::uint64_t>(
+            model_.retry_backoff_us * 1e3 *
+            static_cast<double>(std::uint64_t{1} << (attempt - 1)));
+      }
+    }
     if (counters != nullptr) {
       counters->pages_read += 1;
       counters->bytes_read += model_.page_size;
@@ -56,20 +139,42 @@ class PageStore {
   }
 
   /// Direct pointer for page construction during bulk load (no cost; the
-  /// builder is not the measured query path).
+  /// builder is not the measured query path). UNSEALS the page — call
+  /// Seal()/SealAll() once construction is done, or reads of it skip
+  /// verification.
   std::byte* PagePtr(PageId id) {
-    return pages_.data() + static_cast<std::size_t>(id) * model_.page_size;
+    sealed_[id] = 0;
+    return MutablePageData(id);
   }
-  const std::byte* PagePtr(PageId id) const {
-    return pages_.data() + static_cast<std::size_t>(id) * model_.page_size;
+  const std::byte* PagePtr(PageId id) const { return PagePtrConst(id); }
+
+  /// Record `id`'s current content as authoritative: subsequent reads
+  /// verify against it.
+  void Seal(PageId id) {
+    checksums_[id] = Hash64(PagePtrConst(id), model_.page_size);
+    sealed_[id] = 1;
   }
+  /// Seal every page (bulk-load epilogue).
+  void SealAll() {
+    for (PageId id = 0; id < page_count(); ++id) Seal(id);
+  }
+  bool IsSealed(PageId id) const { return sealed_[id] != 0; }
 
   /// Forget head position (e.g. after the OS would have reordered I/O).
   void ResetHead() { last_read_ = kInvalidPage; }
 
  private:
+  const std::byte* PagePtrConst(PageId id) const {
+    return pages_.data() + static_cast<std::size_t>(id) * model_.page_size;
+  }
+  std::byte* MutablePageData(PageId id) {
+    return pages_.data() + static_cast<std::size_t>(id) * model_.page_size;
+  }
+
   DiskModel model_;
   std::vector<std::byte> pages_;
+  std::vector<std::uint64_t> checksums_;  ///< Per page, valid when sealed.
+  std::vector<std::uint8_t> sealed_;      ///< Per page: verify on read?
   PageId last_read_ = kInvalidPage;
 };
 

@@ -8,12 +8,38 @@
 
 #include "common/arena.h"
 #include "common/bruteforce.h"
+#include "common/checksum.h"
 #include "common/counters.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
 namespace simspatial {
 namespace {
+
+TEST(ChecksumTest, MatchesReferenceXxh64Vectors) {
+  // Published XXH64 reference digests; a drifting implementation would
+  // silently accept corrupted pages.
+  EXPECT_EQ(Hash64("", 0), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(Hash64("abc", 3), 0x44BC2CF5AD770999ull);
+  const char* long_input =
+      "xxHash is an extremely fast non-cryptographic hash algorithm";
+  // Self-consistency across the 32-byte lane loop and every tail length.
+  for (std::size_t len = 0; len <= 60; ++len) {
+    EXPECT_EQ(Hash64(long_input, len), Hash64(long_input, len));
+    if (len > 0) {
+      EXPECT_NE(Hash64(long_input, len), Hash64(long_input, len - 1));
+    }
+  }
+}
+
+TEST(ChecksumTest, SeedAndContentChangeDigest) {
+  const char data[] = "0123456789abcdef0123456789abcdef0123456789abcdef";
+  EXPECT_NE(Hash64(data, sizeof(data)), Hash64(data, sizeof(data), 1));
+  char flipped[sizeof(data)];
+  std::memcpy(flipped, data, sizeof(data));
+  flipped[17] ^= 0x01;  // Single-bit corruption mid-lane.
+  EXPECT_NE(Hash64(data, sizeof(data)), Hash64(flipped, sizeof(data)));
+}
 
 TEST(RngTest, DeterministicAcrossInstances) {
   Rng a(123);

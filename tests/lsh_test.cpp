@@ -144,6 +144,53 @@ TEST(LshTest, EraseRemovesFromAllTables) {
   EXPECT_EQ(s.buckets, 0u);
 }
 
+// Regression: erasing an id the index never held used to trip a raw
+// assert deep in the bucket removal (aborting release builds' contract
+// entirely); it must be an ordinary `false` that leaves the structure
+// untouched and auditable.
+TEST(LshTest, EraseOfUnknownIdIsRejectedWithoutDamage) {
+  auto elems = GenerateUniformBoxes(500, kUniverse, 0.05f, 0.2f);
+  LshKnn index;
+  index.Build(elems, kUniverse);
+  std::string err;
+  ASSERT_TRUE(index.CheckInvariants(&err)) << err;
+
+  EXPECT_FALSE(index.Erase(999999));  // Never inserted.
+  EXPECT_EQ(index.size(), elems.size());
+  EXPECT_TRUE(index.CheckInvariants(&err)) << err;
+
+  ASSERT_TRUE(index.Erase(42));
+  EXPECT_FALSE(index.Erase(42));  // Double-erase: second one refused.
+  EXPECT_EQ(index.size(), elems.size() - 1);
+  EXPECT_TRUE(index.CheckInvariants(&err)) << err;
+
+  // Re-inserting after the erase is legal; inserting a live id is not.
+  EXPECT_TRUE(index.Insert(elems[42]));
+  EXPECT_FALSE(index.Insert(elems[42]));
+  EXPECT_EQ(index.size(), elems.size());
+  EXPECT_TRUE(index.CheckInvariants(&err)) << err;
+}
+
+TEST(LshTest, InvariantsHoldThroughMixedChurn) {
+  auto elems = GenerateUniformBoxes(2000, kUniverse, 0.05f, 0.2f);
+  LshKnn index;
+  index.Build(elems, kUniverse);
+  Rng rng(57);
+  std::string err;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<ElementUpdate> updates;
+    for (Element& e : elems) {
+      if (e.id % 3 == static_cast<ElementId>(round % 3)) {
+        e.box = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse), 0.1f);
+        updates.emplace_back(e.id, e.box);
+      }
+    }
+    EXPECT_EQ(index.ApplyUpdates(updates), updates.size());
+    ASSERT_TRUE(index.CheckInvariants(&err)) << "round " << round << ": "
+                                             << err;
+  }
+}
+
 TEST(LshTest, ShapeReportsBucketStatistics) {
   const auto elems = GenerateUniformBoxes(8000, kUniverse, 0.05f, 0.2f);
   LshKnn index;

@@ -151,6 +151,47 @@ TEST(ThreadPoolTest, SlotExceptionPropagatesAfterAllSlotsFinish) {
   EXPECT_EQ(after.load(), 4);
 }
 
+TEST(ThreadPoolTest, LaterSlotFailuresAreCountedNotLost) {
+  // A local pool, so the process-wide counter of the Global pool (exposed
+  // through MemGridShape::pool_suppressed_errors) stays untouched.
+  par::ThreadPool pool;
+  EXPECT_EQ(pool.total_suppressed_errors(), 0u);
+  EXPECT_THROW(pool.Run(6,
+                        [&](std::size_t) {
+                          throw std::runtime_error("every slot fails");
+                        }),
+               std::runtime_error);
+  // One failure rethrown, the other five at least counted.
+  EXPECT_EQ(pool.total_suppressed_errors(), 5u);
+}
+
+TEST(ThreadPoolTest, SerialFallbackEngagesAfterRepeatedFailuresAndHeals) {
+  par::ThreadPool pool;
+  for (std::size_t i = 0; i < par::ThreadPool::kSerialFallbackThreshold;
+       ++i) {
+    EXPECT_FALSE(pool.serial_fallback_active());
+    EXPECT_THROW(pool.Run(4,
+                          [&](std::size_t s) {
+                            if (s == 0) throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+  }
+  EXPECT_TRUE(pool.serial_fallback_active());
+  // Degraded dispatch still runs every slot (on the calling thread) with
+  // the same error semantics...
+  const auto self = std::this_thread::get_id();
+  std::vector<int> hits(4, 0);
+  bool all_on_caller = true;
+  pool.Run(4, [&](std::size_t s) {
+    hits[s] += 1;
+    all_on_caller = all_on_caller && std::this_thread::get_id() == self;
+  });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_TRUE(all_on_caller);
+  // ...and one clean dispatch heals the pool back to parallel fan-out.
+  EXPECT_FALSE(pool.serial_fallback_active());
+}
+
 TEST(ThreadPoolTest, ChunkCountRespectsGrainAndBounds) {
   EXPECT_EQ(par::ChunkCount(0, 10000, 100), 1u);
   EXPECT_EQ(par::ChunkCount(1, 10000, 100), 1u);
