@@ -32,10 +32,12 @@ struct LoopResult {
 
 LoopResult RunLoop(const std::vector<Element>& elems, const AABB& universe,
                    const std::string& index, MaintenancePolicy policy,
-                   std::size_t steps, std::size_t queries_per_step) {
+                   std::size_t steps, std::size_t queries_per_step,
+                   bool batch) {
   sim::SimulationConfig cfg;
   cfg.index_name = index;
   cfg.policy = policy;
+  cfg.index_batch = batch;
   cfg.monitor_range_queries = queries_per_step;
   cfg.monitor_query_fraction = 0.03f;
   datagen::PlasticityConfig pcfg;
@@ -61,6 +63,9 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t n = flags.GetSize("n", 200000);
   const std::size_t steps = flags.GetSize("steps", 8);
+  // --batch=1 routes the monitoring probes through RangeQueryBatch (same
+  // probes, same results — see SimulationConfig::index_batch).
+  const bool batch = flags.GetSize("batch", 0) != 0;
 
   bench::PrintHeader(
       "End-to-end simulation loop: maintenance + monitoring per step",
@@ -97,7 +102,7 @@ int Main(int argc, char** argv) {
     for (const Combo& c : combos) {
       const LoopResult r =
           RunLoop(ds.elements, ds.universe, c.index, c.policy, steps,
-                  queries);
+                  queries, batch);
       const double total = r.maintenance_ms + r.monitoring_ms;
       t.AddRow({c.label, TablePrinter::Num(r.maintenance_ms, 2),
                 TablePrinter::Num(r.monitoring_ms, 2),

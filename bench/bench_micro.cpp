@@ -27,6 +27,14 @@
 //                         point — compare on range-skewed (fine grid,
 //                         thousands of runs/query) with
 //                         --layout=morton|hilbert.
+//   --batch=<p>           probe count for the range-batch / count-batch /
+//                         knn-batch kernels (default 256): the same probes
+//                         are served once through the batch engine
+//                         (RangeQueryBatch / RangeQueryCountBatch /
+//                         KnnQueryBatch rank-ordered scheduling) and once
+//                         through the plain per-probe loop (the matching
+//                         *-batch-loop kernels), so the JSON carries both
+//                         sides of the batching claim.
 //   --failpoints=<spec>   arm failpoints (name[:prob[:seed[:action]]],
 //                         comma-separated; see common/failpoint.h) before
 //                         the kernels run — e.g. to measure retry-path
@@ -109,6 +117,8 @@ int Main(int argc, char** argv) {
                  decomp_name.c_str());
     return 2;
   }
+  const std::size_t batch = std::max<std::size_t>(
+      1, flags.GetSize("batch", 256));
   const std::string failpoints_spec = flags.GetString("failpoints", "");
   if (!failpoints_spec.empty()) {
     if (!fail::kCompiledIn) {
@@ -359,6 +369,52 @@ int Main(int argc, char** argv) {
            static_cast<double>(knn_points.size()));
   }
 
+  // --- Batched probes (the serving regime) ----------------------------------
+  // The same probe set served through the batch engine (rank-ordered
+  // scheduling + duplicate-probe reuse) and through the plain per-probe
+  // loop. Results are bit-identical by contract; the ns/op gap is the
+  // batching win the serving harness (bench_serving) measures at scale.
+  {
+    datagen::RangeWorkloadConfig bw_cfg;
+    bw_cfg.num_queries = batch;
+    bw_cfg.selectivity = 1e-4;
+    const auto batch_queries =
+        datagen::MakeRangeWorkload(elems, universe, bw_cfg).queries;
+    std::vector<std::vector<ElementId>> slots;
+    record("range-batch", "memgrid", MedianNs(reps, [&] {
+             memgrid.RangeQueryBatch(batch_queries, &slots);
+           }),
+           static_cast<double>(batch_queries.size()));
+    std::vector<ElementId> out;
+    record("range-batch-loop", "memgrid", MedianNs(reps, [&] {
+             for (const AABB& q : batch_queries) memgrid.RangeQuery(q, &out);
+           }),
+           static_cast<double>(batch_queries.size()));
+    std::vector<std::size_t> counts;
+    record("count-batch", "memgrid", MedianNs(reps, [&] {
+             memgrid.RangeQueryCountBatch(batch_queries, &counts);
+           }),
+           static_cast<double>(batch_queries.size()));
+    record("count-batch-loop", "memgrid", MedianNs(reps, [&] {
+             for (const AABB& q : batch_queries) memgrid.RangeQueryCount(q);
+           }),
+           static_cast<double>(batch_queries.size()));
+    Rng batch_rng(43);
+    std::vector<Vec3> batch_points;
+    batch_points.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      batch_points.push_back(batch_rng.PointIn(universe));
+    }
+    record("knn-batch", "memgrid", MedianNs(reps, [&] {
+             memgrid.KnnQueryBatch(batch_points, 10, &slots);
+           }),
+           static_cast<double>(batch_points.size()));
+    record("knn-batch-loop", "memgrid", MedianNs(reps, [&] {
+             for (const Vec3& p : batch_points) memgrid.KnnQuery(p, 10, &out);
+           }),
+           static_cast<double>(batch_points.size()));
+  }
+
   // --- Updates (the §4 kernel) ---------------------------------------------
   {
     datagen::PlasticityConfig pcfg;
@@ -417,6 +473,7 @@ int Main(int argc, char** argv) {
     json.Field("shards", static_cast<double>(shards));
     json.Field("compact_regions", static_cast<double>(compact));
     json.Field("decomp", core::ToString(decomp));
+    json.Field("batch", static_cast<double>(batch));
     // Failpoint-instrumented builds carry extra branches on the hot paths;
     // bench_trajectory refuses to gate numbers from (or against) them.
     json.Field("failpoints", fail::kCompiledIn ? 1.0 : 0.0);

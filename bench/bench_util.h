@@ -9,10 +9,14 @@
 #ifndef SIMSPATIAL_BENCH_BENCH_UTIL_H_
 #define SIMSPATIAL_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -159,6 +163,160 @@ class JsonWriter {
   std::string path_;
   std::vector<std::vector<std::pair<std::string, std::string>>> records_;
 };
+
+/// Latency-tail accumulator shared by the serving harness and the test
+/// suite's stall reporting: collect samples, read p50/p95/p99/max off the
+/// sorted pool. Percentile is nearest-rank on the sorted samples
+/// (index = q * (count - 1)).
+/// Units are the caller's (the serving bench records nanoseconds, the
+/// latency test milliseconds); EmitJson emits the serving-schema ns
+/// fields and is only meant for ns-valued recorders.
+class PercentileRecorder {
+ public:
+  void Add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  double Percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    Sort();
+    return samples_[static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1))];
+  }
+  double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
+  double Max() const {
+    if (samples_.empty()) return 0.0;
+    Sort();
+    return samples_.back();
+  }
+  /// The standard JSON tail fields (p50_ns/p95_ns/p99_ns/max_ns) for a
+  /// recorder holding nanosecond samples.
+  void EmitJson(JsonWriter* json) const {
+    json->Field("p50_ns", P50());
+    json->Field("p95_ns", P95());
+    json->Field("p99_ns", P99());
+    json->Field("max_ns", Max());
+  }
+
+ private:
+  void Sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// One flat record of a BENCH_*.json file (all values kept as strings;
+/// numeric fields are parsed at the point of use).
+using Record = std::map<std::string, std::string>;
+
+/// Minimal parser for the flat array-of-objects JSON that JsonWriter
+/// emits ({string|number} fields only, no nesting). Shared by the
+/// trajectory gate and bench_serving's --selfcheck.
+inline std::vector<Record> ParseRecords(const std::string& text, bool* ok) {
+  std::vector<Record> records;
+  *ok = true;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n' ||
+                               text[i] == '\t' || text[i] == '\r' ||
+                               text[i] == ',')) {
+      ++i;
+    }
+  };
+  const auto parse_string = [&](std::string* out) {
+    ++i;  // Opening quote.
+    out->clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      out->push_back(text[i++]);
+    }
+    if (i >= text.size()) {
+      *ok = false;
+      return;
+    }
+    ++i;  // Closing quote.
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '[') {
+    *ok = false;
+    return records;
+  }
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i >= text.size()) {
+      *ok = false;
+      return records;
+    }
+    if (text[i] == ']') return records;
+    if (text[i] != '{') {
+      *ok = false;
+      return records;
+    }
+    ++i;
+    Record rec;
+    for (;;) {
+      skip_ws();
+      if (i >= text.size()) {
+        *ok = false;
+        return records;
+      }
+      if (text[i] == '}') {
+        ++i;
+        break;
+      }
+      if (text[i] != '"') {
+        *ok = false;
+        return records;
+      }
+      std::string key, value;
+      parse_string(&key);
+      skip_ws();
+      if (!*ok || i >= text.size() || text[i] != ':') {
+        *ok = false;
+        return records;
+      }
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == '"') {
+        parse_string(&value);
+      } else {
+        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+               text[i] != '\n') {
+          value.push_back(text[i++]);
+        }
+        while (!value.empty() && value.back() == ' ') value.pop_back();
+      }
+      if (!*ok) return records;
+      rec[key] = value;
+    }
+    records.push_back(std::move(rec));
+  }
+}
+
+inline std::vector<Record> LoadRecords(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "records: cannot read %s\n", path.c_str());
+    *ok = false;
+    return {};
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseRecords(buf.str(), ok);
+}
+
+inline std::string Get(const Record& r, const std::string& key) {
+  const auto it = r.find(key);
+  return it == r.end() ? std::string() : it->second;
+}
 
 inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("\n==========================================================\n");

@@ -75,6 +75,11 @@ struct QueryCounters {
   std::uint64_t TotalIntersectionTests() const {
     return structure_tests + element_tests;
   }
+
+  /// Counter totals are part of the determinism contract (identical across
+  /// threads/layout/shards/decomp/batch), so the batteries compare whole
+  /// counter sets at once.
+  bool operator==(const QueryCounters&) const = default;
 };
 
 /// Per-operation unit costs in nanoseconds, measured on this machine by

@@ -8,8 +8,10 @@
 #ifndef SIMSPATIAL_COMMON_RNG_H_
 #define SIMSPATIAL_COMMON_RNG_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "common/geometry.h"
 
@@ -97,6 +99,44 @@ class Rng {
   }
 
   std::uint64_t state_[4];
+};
+
+/// Exact Zipf(s) sampler over ranks [0, n): P(i) proportional to
+/// 1/(i+1)^s, drawn by inverse CDF over the precomputed cumulative
+/// harmonic weights (one binary search per sample). s = 0 degenerates to
+/// uniform; larger s concentrates mass on the low ranks — the skewed
+/// popularity the serving benchmarks model (hot spatial regions probed
+/// far more often than the tail). n is expected to be modest (workload
+/// hotspot sets, thousands), so the O(n) table and O(log n) draw are both
+/// negligible next to the index work the samples drive. Deterministic:
+/// the sequence is a pure function of (n, s, the caller's Rng state).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cum_(n) {
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cum_[i] = acc;
+    }
+  }
+
+  /// Draw one rank in [0, n).
+  std::size_t Sample(Rng* rng) const {
+    const double u = rng->NextDouble() * cum_.back();
+    return static_cast<std::size_t>(
+        std::lower_bound(cum_.begin(), cum_.end(), u) - cum_.begin());
+  }
+
+  /// Analytic probability of rank i (for distribution-shape tests).
+  double Pmf(std::size_t i) const {
+    const double prev = i == 0 ? 0.0 : cum_[i - 1];
+    return (cum_[i] - prev) / cum_.back();
+  }
+
+  std::size_t size() const { return cum_.size(); }
+
+ private:
+  std::vector<double> cum_;  ///< cum_[i] = sum_{j<=i} 1/(j+1)^s.
 };
 
 }  // namespace simspatial

@@ -303,6 +303,118 @@ void WalkBlocks(const HilbertMachine& m, int level, std::uint32_t bx,
   }
 }
 
+/// Early-exit variant of WalkBlocks<RankSpace> for the schedule anchor:
+/// stop at the FIRST in-box block — `*cursor` at that moment is the first
+/// rank the full decomposition would emit (its first run's begin). Pruned
+/// blocks advance the cursor exactly as in the full walk; the recursion
+/// unwinds as soon as any branch reports a hit.
+bool FirstRankWalk(const HilbertMachine& m, int level, std::uint32_t bx,
+                   std::uint32_t by, std::uint32_t bz, std::uint8_t state,
+                   const CellVec& lo, const CellVec& hi, const CellVec& dims,
+                   std::uint64_t* cursor) {
+  const std::uint32_t side_minus_1 = (1u << level) - 1u;
+  if (bx > hi[0] || bx + side_minus_1 < lo[0] || by > hi[1] ||
+      by + side_minus_1 < lo[1] || bz > hi[2] || bz + side_minus_1 < lo[2]) {
+    *cursor += RankSpace::BlockCells(bx, by, bz, level, dims);
+    return false;
+  }
+  if (bx >= lo[0] && bx + side_minus_1 <= hi[0] && by >= lo[1] &&
+      by + side_minus_1 <= hi[1] && bz >= lo[2] &&
+      bz + side_minus_1 <= hi[2]) {
+    return true;  // *cursor is the block's first rank.
+  }
+  assert(level > 0);
+  if (level == 1) {
+    for (std::uint32_t p = 0; p < 8; ++p) {
+      const std::uint8_t o = m.oct[state][p];
+      const std::uint32_t cx = bx + (o & 1u);
+      const std::uint32_t cy = by + ((o >> 1) & 1u);
+      const std::uint32_t cz = bz + ((o >> 2) & 1u);
+      if (cx >= lo[0] && cx <= hi[0] && cy >= lo[1] && cy <= hi[1] &&
+          cz >= lo[2] && cz <= hi[2]) {
+        return true;
+      }
+      *cursor += RankSpace::CellCells(cx, cy, cz, dims);
+    }
+    return false;
+  }
+  const std::uint32_t half = 1u << (level - 1);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    const std::uint8_t o = m.oct[state][p];
+    if (FirstRankWalk(m, level - 1, bx + (o & 1u) * half,
+                      by + ((o >> 1) & 1u) * half,
+                      bz + ((o >> 2) & 1u) * half, m.next[state][p], lo, hi,
+                      dims, cursor)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Pruning-only variant of the early-exit walk for callers that hold a
+/// cell -> rank table (MemGrid does): find the first in-box CELL in key
+/// order and return its coordinates, with NO cursor accounting at all.
+/// FirstRankWalk pays RankSpace::BlockCells — three clamps and two
+/// multiplies — on every pruned sibling so that its cursor equals the
+/// rank at the hit; here pruned blocks cost only the disjointness test,
+/// and a fully-contained block resolves by descending the curve's entry
+/// chain (octant p = 0 at every level) straight to its first cell. Rank
+/// is monotone in key over lattice cells, so this cell's table rank is
+/// exactly the rank FirstRankWalk computes — at a fraction of the cost
+/// on probes deep in the key order.
+bool FirstCellWalk(const HilbertMachine& m, int level, std::uint32_t bx,
+                   std::uint32_t by, std::uint32_t bz, std::uint8_t state,
+                   const CellVec& lo, const CellVec& hi, CellVec* cell) {
+  const std::uint32_t side_minus_1 = (1u << level) - 1u;
+  if (bx > hi[0] || bx + side_minus_1 < lo[0] || by > hi[1] ||
+      by + side_minus_1 < lo[1] || bz > hi[2] || bz + side_minus_1 < lo[2]) {
+    return false;
+  }
+  if (bx >= lo[0] && bx + side_minus_1 <= hi[0] && by >= lo[1] &&
+      by + side_minus_1 <= hi[1] && bz >= lo[2] &&
+      bz + side_minus_1 <= hi[2]) {
+    // Contained: the block's first key belongs to the cell reached by
+    // taking the curve's first octant at every remaining level.
+    while (level > 0) {
+      const std::uint32_t half = 1u << (level - 1);
+      const std::uint8_t o = m.oct[state][0];
+      bx += (o & 1u) * half;
+      by += ((o >> 1) & 1u) * half;
+      bz += ((o >> 2) & 1u) * half;
+      state = m.next[state][0];
+      --level;
+    }
+    *cell = {bx, by, bz};
+    return true;
+  }
+  assert(level > 0);
+  if (level == 1) {
+    for (std::uint32_t p = 0; p < 8; ++p) {
+      const std::uint8_t o = m.oct[state][p];
+      const std::uint32_t cx = bx + (o & 1u);
+      const std::uint32_t cy = by + ((o >> 1) & 1u);
+      const std::uint32_t cz = bz + ((o >> 2) & 1u);
+      if (cx >= lo[0] && cx <= hi[0] && cy >= lo[1] && cy <= hi[1] &&
+          cz >= lo[2] && cz <= hi[2]) {
+        *cell = {cx, cy, cz};
+        return true;
+      }
+    }
+    return false;
+  }
+  const std::uint32_t half = 1u << (level - 1);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    const std::uint8_t o = m.oct[state][p];
+    if (FirstCellWalk(m, level - 1, bx + (o & 1u) * half,
+                      by + ((o >> 1) & 1u) * half,
+                      bz + ((o >> 2) & 1u) * half, m.next[state][p], lo, hi,
+                      cell)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // Codec-generic fallback: coordinate-space descent into the box's maximal
 // aligned cubes, one ENCODE per emitted block (the top 3*(bits-level) key
@@ -423,6 +535,60 @@ bool CurveRangeRankRuns(CellLayout layout, const CellVec& lo,
       WalkBlocks<RankSpace>(m, bits, 0, 0, 0, /*state=*/0, lo, hi, dims,
                             &cursor, out);
       return true;
+    }
+  }
+  return false;
+}
+
+bool CurveRangeFirstRank(CellLayout layout, const CellVec& lo,
+                         const CellVec& hi, const CellVec& dims, int bits,
+                         std::uint64_t* rank) {
+  assert(lo[0] <= hi[0] && lo[1] <= hi[1] && lo[2] <= hi[2]);
+  assert(hi[0] < dims[0] && hi[1] < dims[1] && hi[2] < dims[2]);
+  std::uint64_t cursor = 0;
+  switch (layout) {
+    case CellLayout::kRowMajor:
+      // Row-major rank is monotone per axis, so the box's first rank is the
+      // min corner's key — no walk needed.
+      *rank = (static_cast<std::uint64_t>(lo[0]) * dims[1] + lo[1]) * dims[2] +
+              lo[2];
+      return true;
+    case CellLayout::kMorton:
+      if (FirstRankWalk(GetMortonMachine(), bits, 0, 0, 0, /*state=*/0, lo,
+                        hi, dims, &cursor)) {
+        *rank = cursor;
+        return true;
+      }
+      return false;  // Unreachable for a non-empty in-lattice box.
+    case CellLayout::kHilbert: {
+      const HilbertMachine& m = GetHilbertMachine();
+      if (!m.valid) return false;
+      if (FirstRankWalk(m, bits, 0, 0, 0, /*state=*/0, lo, hi, dims,
+                        &cursor)) {
+        *rank = cursor;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool CurveRangeFirstCell(CellLayout layout, const CellVec& lo,
+                         const CellVec& hi, int bits, CellVec* cell) {
+  assert(lo[0] <= hi[0] && lo[1] <= hi[1] && lo[2] <= hi[2]);
+  switch (layout) {
+    case CellLayout::kRowMajor:
+      // Row-major key is monotone per axis: the min corner comes first.
+      *cell = lo;
+      return true;
+    case CellLayout::kMorton:
+      return FirstCellWalk(GetMortonMachine(), bits, 0, 0, 0, /*state=*/0,
+                           lo, hi, cell);
+    case CellLayout::kHilbert: {
+      const HilbertMachine& m = GetHilbertMachine();
+      if (!m.valid) return false;
+      return FirstCellWalk(m, bits, 0, 0, 0, /*state=*/0, lo, hi, cell);
     }
   }
   return false;

@@ -170,6 +170,32 @@ bool CurveRangeRankRuns(CellLayout layout, const CellVec& lo,
                         const CellVec& hi, const CellVec& dims, int bits,
                         std::vector<CurveRun>* out);
 
+/// First rank of the decomposition CurveRangeRankRuns would emit for the
+/// box — the BIGMIN first-interval begin in rank space. Computed by the
+/// same orthant walk with an early exit at the first in-box block, so the
+/// cost is one root-to-leaf descent plus the pruned blocks before it
+/// (O(bits) for typical probes) rather than the full decomposition. The
+/// batch query engine uses it as each probe's schedule anchor: sorting
+/// probes by this rank visits them in the order a single sweep of the
+/// layout would first touch them. Same preconditions as
+/// CurveRangeRankRuns; returns false (leaving *rank untouched) when the
+/// layout's key-order walk is unavailable — callers then fall back to an
+/// approximate anchor (e.g. the min-corner cell's rank).
+bool CurveRangeFirstRank(CellLayout layout, const CellVec& lo,
+                         const CellVec& hi, const CellVec& dims, int bits,
+                         std::uint64_t* rank);
+
+/// The cell CurveRangeFirstRank's rank belongs to: the first in-box cell
+/// in curve-key order. Unlike the rank variant this walk only prunes —
+/// no lattice-overlap accounting on skipped blocks — so it is markedly
+/// cheaper for probes deep in the key order; callers that hold a
+/// cell -> rank table (MemGrid's rank_of_cell_) recover the identical
+/// anchor rank with one table read. Requires a non-empty box; `dims` is
+/// not needed because no rank is computed. Returns false (leaving *cell
+/// untouched) when the layout's key-order walk is unavailable.
+bool CurveRangeFirstCell(CellLayout layout, const CellVec& lo,
+                         const CellVec& hi, int bits, CellVec* cell);
+
 }  // namespace simspatial::core
 
 #endif  // SIMSPATIAL_CORE_CELL_LAYOUT_H_

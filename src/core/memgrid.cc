@@ -1294,6 +1294,195 @@ void MemGrid::KnnQuery(const Vec3& p, std::size_t k,
   c.results += out->size();
 }
 
+namespace {
+/// Rank-ordered probe schedule shared by the batch queries: pack each
+/// probe as (anchor rank << 32 | original index) and LSD-radix-sort by the
+/// rank bytes — the same machinery (and the same packing trick) as
+/// BuildCurveRanks' key sort. The passes are stable, so equal-rank probes
+/// keep submission order (the index bits never need sorting) and the
+/// schedule is deterministic for any input. Shards partition the rank
+/// space into contiguous ranges, so rank order IS (shard, rank) order: the
+/// serve loop drains one shard completely before touching the next. Ranks
+/// fit 32 bits (kMaxCellsPerAxis^3 = 2^30 cells); batches are bounded by
+/// the same 32-bit index space, which nothing real approaches.
+template <typename RankOf>
+std::vector<std::uint64_t> RankOrderedSchedule(std::size_t n,
+                                               std::size_t rank_bound,
+                                               const RankOf& rank_of) {
+  std::vector<std::uint64_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = (static_cast<std::uint64_t>(rank_of(i)) << 32) |
+               static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::uint64_t> scratch;
+  RadixSortDigits(&order, &scratch, /*base_shift=*/32,
+                  /*bound=*/static_cast<std::uint64_t>(rank_bound));
+  return order;
+}
+
+/// Serve one contiguous slice of the rank-ordered schedule. Consecutive
+/// probes stream overlapping (or storage-adjacent) regions while the
+/// cache lines are warm, and an EXACT repeat of the previous probe — the
+/// common case under Zipf-style serving traffic, and repeats sort
+/// adjacent because identical probes share an anchor — reuses the
+/// previous slot's emission and counter delta outright instead of
+/// re-walking its traversal. Each probe writes only its own slot
+/// (disjoint across workers), so the fan-out needs no synchronisation on
+/// the data path. Shared verbatim by all three batch kernels: `slots`
+/// only needs operator[] and slot assignment (id vectors for the
+/// materialising kernels, plain counts for RangeQueryCountBatch), and
+/// `serve_one(p, &slot, &delta)` is the per-probe query.
+template <typename Probes, typename Slots, typename ServeOne>
+void ServeScheduleSlice(const Probes& probes,
+                        const std::vector<std::uint64_t>& order,
+                        std::size_t begin, std::size_t end, Slots* slots,
+                        QueryCounters* pc, const ServeOne& serve_one) {
+  constexpr std::size_t kNoProbe = ~std::size_t{0};
+  std::size_t prev = kNoProbe;
+  QueryCounters prev_delta;
+  for (std::size_t i = begin; i < end; ++i) {
+    SIMSPATIAL_FAILPOINT("memgrid.batch.worker");
+    const auto p = static_cast<std::size_t>(order[i] & 0xffffffffu);
+    auto& slot = (*slots)[p];
+    if (prev != kNoProbe && probes[p] == probes[prev]) {
+      slot = (*slots)[prev];
+      *pc += prev_delta;
+      prev = p;
+      continue;
+    }
+    QueryCounters delta;
+    serve_one(p, &slot, &delta);
+    *pc += delta;
+    prev = p;
+    prev_delta = delta;
+  }
+}
+
+/// Fan the schedule across the thread pool as contiguous slices —
+/// rank-range partitions, since the schedule is rank-sorted — with a
+/// chunk-ordered counter merge so totals are thread-count invariant (the
+/// per-probe deltas themselves are schedule-independent sums). threads <=
+/// 1 serves the whole schedule inline, which IS the one-chunk partition.
+template <typename Probes, typename Slots, typename ServeOne>
+void ServeRankScheduled(const Probes& probes,
+                        const std::vector<std::uint64_t>& order,
+                        std::uint32_t threads, std::size_t grain,
+                        Slots* slots, QueryCounters* c,
+                        const ServeOne& serve_one) {
+  const std::size_t n = order.size();
+  const std::size_t chunks =
+      threads <= 1 ? 1 : par::ChunkCount(threads, n, grain);
+  if (chunks <= 1) {
+    ServeScheduleSlice(probes, order, 0, n, slots, c, serve_one);
+    return;
+  }
+  std::vector<QueryCounters> part(chunks);
+  par::ParallelChunks(chunks, n,
+                      [&](std::size_t w, std::size_t b, std::size_t e) {
+                        ServeScheduleSlice(probes, order, b, e, slots,
+                                           &part[w], serve_one);
+                      });
+  for (const QueryCounters& pc : part) *c += pc;
+}
+}  // namespace
+
+std::size_t MemGrid::RangeAnchorRank(const AABB& range) const {
+  // Mirror RangeScan's normalisation exactly (probe inflation, clamped
+  // cell coords, inverted-span early-out) so the anchor schedules the
+  // traversal that will actually run.
+  const AABB probe = range.Inflated(max_half_extent_);
+  std::int32_t x0, y0, z0, x1, y1, z1;
+  CellCoords(probe.min, &x0, &y0, &z0);
+  CellCoords(probe.max, &x1, &y1, &z1);
+  if (x1 < x0 || y1 < y0 || z1 < z0) return 0;
+  const std::size_t corner = CellIndex(x0, y0, z0);
+  if (cell_of_rank_.empty()) return corner;  // kRowMajor: rank IS index.
+  const CellVec lo{static_cast<std::uint32_t>(x0),
+                   static_cast<std::uint32_t>(y0),
+                   static_cast<std::uint32_t>(z0)};
+  const CellVec hi{static_cast<std::uint32_t>(x1),
+                   static_cast<std::uint32_t>(y1),
+                   static_cast<std::uint32_t>(z1)};
+  // The pruning-only first-CELL walk plus one rank_of_cell_ read is the
+  // same rank CurveRangeFirstRank computes (rank is monotone in key over
+  // lattice cells, and the box is clamped in-lattice) without the
+  // per-pruned-block lattice-overlap accounting — the anchor has to be
+  // far cheaper than the probe it schedules.
+  CellVec cell;
+  if (CurveRangeFirstCell(config_.layout, lo, hi, curve_bits_, &cell)) {
+    return rank_of_cell_[CellIndex(static_cast<std::int32_t>(cell[0]),
+                                   static_cast<std::int32_t>(cell[1]),
+                                   static_cast<std::int32_t>(cell[2]))];
+  }
+  return rank_of_cell_[corner];
+}
+
+void MemGrid::RangeQueryBatch(std::span<const AABB> probes,
+                              std::vector<std::vector<ElementId>>* out,
+                              QueryCounters* counters) const {
+  // Every slot starts empty so a mid-batch failure (worker exception) can
+  // never leave a torn slot: each slot is either still empty or the
+  // complete per-probe emission — never a partial one.
+  out->resize(probes.size());
+  for (auto& slot : *out) slot.clear();
+  if (probes.empty()) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+  const auto order = RankOrderedSchedule(
+      probes.size(), regions_.size() - 1,
+      [&](std::size_t i) { return RangeAnchorRank(probes[i]); });
+  ServeRankScheduled(probes, order, threads_, config_.batch_probe_grain,
+                     out, &c,
+                     [&](std::size_t p, std::vector<ElementId>* slot,
+                         QueryCounters* delta) {
+                       RangeQuery(probes[p], slot, delta);
+                     });
+}
+
+std::size_t MemGrid::RangeQueryCountBatch(std::span<const AABB> probes,
+                                          std::vector<std::size_t>* counts,
+                                          QueryCounters* counters) const {
+  // Counts pre-zeroed for the same torn-slot guarantee: a mid-batch
+  // failure leaves every slot either 0 or the complete per-probe count.
+  counts->assign(probes.size(), 0);
+  if (probes.empty()) return 0;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+  const auto order = RankOrderedSchedule(
+      probes.size(), regions_.size() - 1,
+      [&](std::size_t i) { return RangeAnchorRank(probes[i]); });
+  ServeRankScheduled(probes, order, threads_, config_.batch_probe_grain,
+                     counts, &c,
+                     [&](std::size_t p, std::size_t* slot,
+                         QueryCounters* delta) {
+                       *slot = RangeQueryCount(probes[p], delta);
+                     });
+  std::size_t total = 0;
+  for (const std::size_t n : *counts) total += n;
+  return total;
+}
+
+void MemGrid::KnnQueryBatch(std::span<const Vec3> points, std::size_t k,
+                            std::vector<std::vector<ElementId>>* out,
+                            QueryCounters* counters) const {
+  out->resize(points.size());
+  for (auto& slot : *out) slot.clear();
+  if (points.empty()) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+  // kNN probes have no first interval — their shells grow outward from
+  // the centre — so the centre cell's rank is the natural anchor.
+  const auto order = RankOrderedSchedule(
+      points.size(), regions_.size() - 1,
+      [&](std::size_t i) { return CellRank(CellOf(points[i])); });
+  ServeRankScheduled(points, order, threads_, config_.batch_probe_grain,
+                     out, &c,
+                     [&](std::size_t p, std::vector<ElementId>* slot,
+                         QueryCounters* delta) {
+                       KnnQuery(points[p], k, slot, delta);
+                     });
+}
+
 template <typename Matches>
 void MemGrid::EmitMatches(const Entry* a, std::size_t an, const Entry* b,
                           std::size_t bn, bool same_run,

@@ -151,6 +151,13 @@ struct MemGridConfig {
   /// coordinate scan already visits ranks in order) ignores it. Small
   /// probes fall back to the coordinate-order scan either way.
   RangeDecomp decomp = RangeDecomp::kRuns;
+  /// Probes per worker chunk in the batch query engine
+  /// (RangeQueryBatch / RangeQueryCountBatch / KnnQueryBatch). A probe is
+  /// a whole query — microseconds of work — so chunks far below the
+  /// element-kernel grain still amortise the pool dispatch; raising it
+  /// trades fan-out for longer per-worker rank runs. Purely a scheduling
+  /// knob: batch results are bit-identical at every value.
+  std::uint32_t batch_probe_grain = 8;
 };
 
 struct MemGridShape {
@@ -261,6 +268,40 @@ class MemGrid {
                               QueryCounters* counters = nullptr) const;
   void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
                 QueryCounters* counters = nullptr) const;
+
+  /// Batch query engine: answer every probe of the batch, writing slot i of
+  /// `out` bit-identically to what the per-probe RangeQuery(probes[i])
+  /// emits (same ids, same order) and accumulating the identical counter
+  /// totals. Internally each probe gets an anchor rank — the BIGMIN
+  /// first-interval begin of its inflated cell box (CurveRangeFirstRank:
+  /// the first rank its traversal will touch) — and the batch is
+  /// LSD-radix-sorted by (anchor, arrival index). Shards are contiguous
+  /// rank ranges, so that IS (shard, rank) order: the walk visits shards
+  /// in rank order, consecutive probes stream overlapping regions while
+  /// the cache lines are still warm, and exact repeat probes (hot spots
+  /// in Zipf-style serving traffic) sort adjacent and reuse the previous
+  /// answer outright. Contiguous slices of the schedule — rank-range
+  /// partitions — are fanned across the thread pool into disjoint
+  /// per-probe result slots. Purely a throughput knob: results are
+  /// bit-identical to the per-probe loop across layouts x shards x
+  /// threads x decomp x compaction states (pinned by the batch
+  /// determinism battery).
+  void RangeQueryBatch(std::span<const AABB> probes,
+                       std::vector<std::vector<ElementId>>* out,
+                       QueryCounters* counters = nullptr) const;
+  /// Batched counting under the same schedule and contract: (*counts)[i]
+  /// == RangeQueryCount(probes[i]) with identical counters, zero result
+  /// materialisation. Returns the batch total.
+  std::size_t RangeQueryCountBatch(std::span<const AABB> probes,
+                                   std::vector<std::size_t>* counts,
+                                   QueryCounters* counters = nullptr) const;
+  /// Batched kNN under the same schedule and bit-identity contract (slot
+  /// i == KnnQuery(points[i], k)); the anchor is the centre cell's rank
+  /// (a kNN probe has no natural first interval — its shells grow from
+  /// the centre).
+  void KnnQueryBatch(std::span<const Vec3> points, std::size_t k,
+                     std::vector<std::vector<ElementId>>* out,
+                     QueryCounters* counters = nullptr) const;
 
   /// Native self-join (§4.3): same-cell plus forward-neighbour comparisons.
   /// Complete for any cell size: when cell_size < 2*max_half_extent + eps
@@ -458,6 +499,17 @@ class MemGrid {
   template <typename Sink>
   void RangeScan(const AABB& range, const Sink& sink,
                  QueryCounters& c) const;
+
+  /// Schedule anchor of a range probe for the batch engine: the first rank
+  /// a rank-order traversal of the probe touches — the BIGMIN
+  /// first-interval begin of the inflated cell box (CurveRangeFirstRank),
+  /// falling back to the min-corner cell's rank when the curve walk is
+  /// unavailable (and the min-corner cell INDEX under kRowMajor, where
+  /// that IS the first rank for free). Uses the
+  /// SAME normalisation as RangeScan (probe inflation, lattice clamp), so
+  /// the anchor is consistent with the traversal it schedules. Probes whose
+  /// inflated box misses the lattice anchor at rank 0.
+  std::size_t RangeAnchorRank(const AABB& range) const;
 
   /// Forward-neighbour sweep over origin cells with layout rank in
   /// [rank_begin, rank_end). Neighbour cells may lie outside the range

@@ -274,7 +274,8 @@ class MemGridAdapter final : public SpatialIndex {
                  RangeDecomp decomp, const IndexOptions& options)
       : name_(std::move(name)), slack_(slack), layout_(layout),
         shards_count_(shards), compact_(compact), decomp_(decomp),
-        threads_(options.threads) {}
+        threads_(options.threads),
+        batch_probe_grain_(options.batch_probe_grain) {}
   std::string_view name() const override { return name_; }
   void Build(std::span<const Element> elements, const AABB& u) override {
     MemGridConfig cfg;
@@ -286,6 +287,7 @@ class MemGridAdapter final : public SpatialIndex {
     cfg.shards = shards_count_;
     cfg.compact_regions_per_batch = compact_;
     cfg.decomp = decomp_;
+    cfg.batch_probe_grain = batch_probe_grain_;
     grid_ = std::make_unique<MemGrid>(u, cfg);
     grid_->Build(elements);
   }
@@ -300,6 +302,21 @@ class MemGridAdapter final : public SpatialIndex {
   void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
                 QueryCounters* c) const override {
     grid_->KnnQuery(p, k, out, c);
+  }
+  void RangeQueryBatch(std::span<const AABB> probes,
+                       std::vector<std::vector<ElementId>>* out,
+                       QueryCounters* c) const override {
+    grid_->RangeQueryBatch(probes, out, c);
+  }
+  std::size_t RangeQueryCountBatch(std::span<const AABB> probes,
+                                   std::vector<std::size_t>* counts,
+                                   QueryCounters* c) const override {
+    return grid_->RangeQueryCountBatch(probes, counts, c);
+  }
+  void KnnQueryBatch(std::span<const Vec3> points, std::size_t k,
+                     std::vector<std::vector<ElementId>>* out,
+                     QueryCounters* c) const override {
+    grid_->KnnQueryBatch(points, k, out, c);
   }
   bool SupportsUpdates() const override { return true; }
   std::size_t ApplyUpdates(std::span<const ElementUpdate> updates) override {
@@ -323,6 +340,7 @@ class MemGridAdapter final : public SpatialIndex {
   std::uint32_t compact_;
   RangeDecomp decomp_;
   std::uint32_t threads_;
+  std::uint32_t batch_probe_grain_;
   std::unique_ptr<MemGrid> grid_;
 };
 

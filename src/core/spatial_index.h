@@ -52,6 +52,49 @@ class SpatialIndex {
                         std::vector<ElementId>* out,
                         QueryCounters* counters = nullptr) const = 0;
 
+  /// Answer a whole batch of range probes: slot i of `out` receives exactly
+  /// what RangeQuery(probes[i]) would produce — same ids, same order — and
+  /// `counters` accumulates the same totals as the per-probe loop. The
+  /// batch is therefore a pure THROUGHPUT knob, never a semantics knob.
+  /// The default is the per-probe loop; structures with a profitable
+  /// scheduled traversal (MemGrid's rank-ordered probe walk) override it.
+  virtual void RangeQueryBatch(std::span<const AABB> probes,
+                               std::vector<std::vector<ElementId>>* out,
+                               QueryCounters* counters = nullptr) const {
+    out->resize(probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      RangeQuery(probes[i], &(*out)[i], counters);
+    }
+  }
+
+  /// Batched counting with the same contract: (*counts)[i] is exactly
+  /// RangeQueryCount(probes[i]); returns the batch total. The default is
+  /// the per-probe counting loop (which itself defaults to materialise-
+  /// and-count above).
+  virtual std::size_t RangeQueryCountBatch(
+      std::span<const AABB> probes, std::vector<std::size_t>* counts,
+      QueryCounters* counters = nullptr) const {
+    counts->assign(probes.size(), 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      (*counts)[i] = RangeQueryCount(probes[i], counters);
+      total += (*counts)[i];
+    }
+    return total;
+  }
+
+  /// Batched kNN with the same contract: slot i is KnnQuery(points[i], k)
+  /// verbatim (including approximate structures — the default loop IS the
+  /// per-probe path).
+  virtual void KnnQueryBatch(std::span<const Vec3> points, std::size_t k,
+                             std::vector<std::vector<ElementId>>* out,
+                             QueryCounters* counters = nullptr) const {
+    out->resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      KnnQuery(points[i], k, &(*out)[i], counters);
+    }
+  }
+
   /// Whether ApplyUpdates() is supported (static structures return false
   /// and must be rebuilt instead).
   virtual bool SupportsUpdates() const { return false; }
@@ -110,6 +153,10 @@ struct IndexOptions {
   /// Results are bit-identical; the dedicated "memgrid-sortscan" profile
   /// pins kSort so the legacy path stays covered by every battery.
   RangeDecomp decomp = RangeDecomp::kRuns;
+  /// Probes per worker chunk for the MemGrid batch query engine — a pure
+  /// scheduling knob (batch results are bit-identical at every value);
+  /// the batteries sweep it to pin that.
+  std::uint32_t batch_probe_grain = 8;
 };
 
 /// Construct an index by registry name (see registry.cc). Returns nullptr

@@ -109,16 +109,29 @@ void Simulation::Monitor(StepReport* report) {
   const Vec3 ext = universe_.Extent();
   const float side =
       std::max({ext.x, ext.y, ext.z}) * config_.monitor_query_fraction;
-  std::vector<ElementId> out;
+  // Draw every probe box up front so the rng stream is identical whether
+  // the probes are then served one by one or through the batch engine.
+  std::vector<AABB> probes;
+  probes.reserve(config_.monitor_range_queries);
   for (std::size_t q = 0; q < config_.monitor_range_queries; ++q) {
-    const AABB query = AABB::FromCenterHalfExtent(
-        monitor_rng_.PointIn(universe_), side * 0.5f);
-    if (index_ != nullptr && index_->SupportsRangeQueries()) {
-      index_->RangeQuery(query, &out, &report->query_counters);
-    } else {
-      out = ScanRange(elements_, query, &report->query_counters);
+    probes.push_back(AABB::FromCenterHalfExtent(
+        monitor_rng_.PointIn(universe_), side * 0.5f));
+  }
+  const bool indexed = index_ != nullptr && index_->SupportsRangeQueries();
+  if (config_.index_batch && indexed) {
+    std::vector<std::vector<ElementId>> slots;
+    index_->RangeQueryBatch(probes, &slots, &report->query_counters);
+    for (const auto& slot : slots) report->monitor_results += slot.size();
+  } else {
+    std::vector<ElementId> out;
+    for (const AABB& query : probes) {
+      if (indexed) {
+        index_->RangeQuery(query, &out, &report->query_counters);
+      } else {
+        out = ScanRange(elements_, query, &report->query_counters);
+      }
+      report->monitor_results += out.size();
     }
-    report->monitor_results += out.size();
   }
   // Synapse detection (§2.2): distance self-join every few steps.
   if (config_.synapse_every > 0 && step_ % config_.synapse_every == 0) {

@@ -116,6 +116,11 @@ struct SimulationConfig {
   /// results are identical either way.
   core::RangeDecomp index_decomp = core::RangeDecomp::kRuns;
   MaintenancePolicy policy = MaintenancePolicy::kIncrementalUpdate;
+  /// Serve the per-step monitoring probes through the index's batch entry
+  /// point (RangeQueryBatch) instead of one RangeQuery per probe. Purely a
+  /// throughput knob: probe boxes, results and counters are identical —
+  /// the batch contract pins slot i to the per-probe emission.
+  bool index_batch = false;
   /// In-situ monitoring: range queries per step (0 disables).
   std::size_t monitor_range_queries = 10;
   /// Monitoring query cube side as a fraction of the universe side.

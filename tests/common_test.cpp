@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <set>
+#include <vector>
 
 #include "common/arena.h"
 #include "common/bruteforce.h"
@@ -87,6 +89,52 @@ TEST(RngTest, PointInBoxStaysInBox) {
   const AABB box(Vec3(-1, 2, -3), Vec3(4, 5, 6));
   for (int i = 0; i < 500; ++i) {
     EXPECT_TRUE(box.Contains(rng.PointIn(box)));
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchAnalyticPmf) {
+  constexpr std::size_t kN = 64;
+  constexpr std::size_t kDraws = 200000;
+  const ZipfSampler sampler(kN, 1.0);
+  Rng rng(23);
+  std::vector<std::size_t> hits(kN, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const std::size_t r = sampler.Sample(&rng);
+    ASSERT_LT(r, kN);
+    ++hits[r];
+  }
+  // Pmf sums to 1 and decreases monotonically over ranks.
+  double pmf_total = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    pmf_total += sampler.Pmf(i);
+    if (i > 0) EXPECT_LT(sampler.Pmf(i), sampler.Pmf(i - 1)) << "rank " << i;
+  }
+  EXPECT_NEAR(pmf_total, 1.0, 1e-12);
+  // Empirical frequency tracks the analytic mass: within 15% relative on
+  // the head (where counts are large) and 3 sigma everywhere.
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double p = sampler.Pmf(i);
+    const double expect = p * kDraws;
+    const double sigma = std::sqrt(expect * (1.0 - p));
+    EXPECT_NEAR(static_cast<double>(hits[i]), expect,
+                std::max(0.15 * expect, 3.0 * sigma))
+        << "rank " << i;
+  }
+  // Zipf(1) head dominance: rank 0 carries ~1/H_64 of the mass, several
+  // times the uniform share.
+  EXPECT_GT(hits[0], 3 * (kDraws / kN));
+}
+
+TEST(ZipfSamplerTest, DeterministicGivenSeedAndDegeneratesToUniform) {
+  const ZipfSampler sampler(32, 0.7);
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler.Sample(&a), sampler.Sample(&b));
+  }
+  // s = 0: every rank has identical mass.
+  const ZipfSampler flat(16, 0.0);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_NEAR(flat.Pmf(i), 1.0 / 16.0, 1e-12);
   }
 }
 

@@ -303,6 +303,56 @@ TEST(CurveRunsTest, RankRunsMatchBruteForceRanks) {
   }
 }
 
+// The two anchor APIs the batch scheduler leans on must agree with the
+// full decomposition: CurveRangeFirstRank is the first run's begin, and
+// CurveRangeFirstCell names the cell that owns that rank (checked by
+// decomposing the single-cell box [cell, cell], whose one run's begin is
+// by definition the cell's rank).
+TEST(CurveRunsTest, FirstRankAndFirstCellAgreeWithRankRuns) {
+  Rng rng(808);
+  for (const CellLayout layout : kLayouts) {
+    for (int bits = 1; bits <= 6; ++bits) {
+      const std::uint32_t n = 1u << bits;
+      for (int i = 0; i < 12; ++i) {
+        CellVec dims;
+        for (int a = 0; a < 3; ++a) {
+          dims[a] = n / 2 + 1 + Below(rng, n - n / 2);
+        }
+        CellVec lo, hi;
+        for (int a = 0; a < 3; ++a) {
+          lo[a] = Below(rng, dims[a]);
+          hi[a] = lo[a] + Below(rng, std::min(dims[a] - lo[a], 9u));
+        }
+        SCOPED_TRACE(::testing::Message()
+                     << ToString(layout) << " bits=" << bits << " dims="
+                     << dims[0] << "x" << dims[1] << "x" << dims[2]
+                     << " box=[" << lo[0] << "," << lo[1] << "," << lo[2]
+                     << "]..[" << hi[0] << "," << hi[1] << "," << hi[2]
+                     << "]");
+        std::vector<CurveRun> runs;
+        ASSERT_TRUE(CurveRangeRankRuns(layout, lo, hi, dims, bits, &runs));
+        ASSERT_FALSE(runs.empty());
+        std::uint64_t rank = ~std::uint64_t{0};
+        ASSERT_TRUE(
+            CurveRangeFirstRank(layout, lo, hi, dims, bits, &rank));
+        EXPECT_EQ(rank, runs[0].begin);
+        CellVec cell{~0u, ~0u, ~0u};
+        ASSERT_TRUE(CurveRangeFirstCell(layout, lo, hi, bits, &cell));
+        for (int a = 0; a < 3; ++a) {
+          ASSERT_GE(cell[a], lo[a]) << "axis " << a;
+          ASSERT_LE(cell[a], hi[a]) << "axis " << a;
+        }
+        std::vector<CurveRun> one;
+        ASSERT_TRUE(
+            CurveRangeRankRuns(layout, cell, cell, dims, bits, &one));
+        ASSERT_EQ(one.size(), 1u);
+        EXPECT_EQ(one[0].begin, runs[0].begin)
+            << "first cell's rank is not the first run's begin";
+      }
+    }
+  }
+}
+
 TEST(CurveRunsTest, RankRunsFuseAcrossOutOfLatticeKeys) {
   // A full-lattice box on non-power-of-two dims: in KEY space the curve
   // layouts fragment it (the cube has keys outside the lattice), in RANK

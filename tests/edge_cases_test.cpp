@@ -233,6 +233,92 @@ TEST_P(EdgeCaseTest, DuplicateHeavyKnn) {
   EXPECT_EQ(got, ScanKnn(elems, Vec3(0, 0, 0), 10)) << index->name();
 }
 
+// Batch entry points under degenerate probes: every registry profile —
+// native batch scheduler (memgrid family) or the default per-probe loop —
+// must produce, for a batch mixing planes/lines/points, gap-spanning
+// inverted boxes, out-of-universe probes and exact duplicates, slot-for-slot
+// exactly what the single-probe calls produce (same ids, same order), with
+// RangeQueryCount agreeing per probe. Approximate structures (LSH) are
+// held to batch-vs-single consistency rather than oracle equality.
+TEST_P(EdgeCaseTest, BatchedDegenerateProbesMatchSingleProbeCalls) {
+  auto index = MakeIndex(GetParam());
+  Rng rng(61);
+  std::vector<Element> elems;
+  for (ElementId i = 0; i < 300; ++i) {
+    Vec3 c = rng.PointIn(kUniverse);
+    if (i % 4 == 0) c.z = 5.0f;  // Mass on the z=5 plane probe below.
+    elems.emplace_back(i, AABB::FromCenterHalfExtent(c, i % 2 == 0 ? 0.0f
+                                                                   : 0.4f));
+  }
+  index->Build(elems, kUniverse);
+
+  std::vector<AABB> probes = {
+      AABB(Vec3(0, 0, 5), Vec3(10, 10, 5)),    // z plane (zero volume).
+      AABB(Vec3(5, 5, 0), Vec3(5, 5, 10)),     // Line.
+      AABB(Vec3(5, 5, 5), Vec3(5, 5, 5)),      // Point.
+      AABB(Vec3(0, 0, -3), Vec3(10, 10, -3)),  // Outside the universe.
+      AABB(Vec3(7, 1, 1), Vec3(3, 9, 9)),      // Inverted on x.
+      AABB(Vec3(8, 8, 8), Vec3(2, 2, 2)),      // Inverted on all axes.
+      AABB(),                                  // Default-constructed empty.
+  };
+  for (int i = 0; i < 12; ++i) {
+    probes.push_back(AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                rng.Uniform(0.2f, 4.0f)));
+  }
+  probes.push_back(probes[0]);  // Exact duplicates, scattered.
+  probes.push_back(probes[9]);
+  probes.push_back(probes[9]);
+
+  std::vector<std::vector<ElementId>> slots;
+  index->RangeQueryBatch(probes, &slots);
+  ASSERT_EQ(slots.size(), probes.size()) << index->name();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    std::vector<ElementId> single;
+    index->RangeQuery(probes[i], &single);
+    ASSERT_EQ(slots[i], single) << index->name() << ": slot " << i;
+    if (index->SupportsRangeQueries()) {
+      EXPECT_EQ(index->RangeQueryCount(probes[i]), slots[i].size())
+          << index->name() << ": slot " << i;
+      EXPECT_EQ(Sorted(slots[i]), Sorted(ScanRange(elems, probes[i])))
+          << index->name() << ": slot " << i;
+    }
+  }
+
+  // Counting batch over the same degenerate probes: per-slot counts must
+  // equal the materializing slots and the return value their sum.
+  std::vector<std::size_t> counts;
+  const std::size_t total = index->RangeQueryCountBatch(probes, &counts);
+  ASSERT_EQ(counts.size(), probes.size()) << index->name();
+  std::size_t want_total = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(counts[i], slots[i].size())
+        << index->name() << ": count slot " << i;
+    want_total += counts[i];
+  }
+  EXPECT_EQ(total, want_total) << index->name();
+
+  // kNN batch with k >= n (every element is a neighbour), duplicates and
+  // out-of-universe points included.
+  std::vector<Vec3> points = {Vec3(5, 5, 5), Vec3(-4, 5, 20), Vec3(0, 0, 0)};
+  points.push_back(points[0]);
+  for (int i = 0; i < 6; ++i) points.push_back(rng.PointIn(kUniverse));
+  for (const std::size_t k : {std::size_t{3}, elems.size() + 10}) {
+    std::vector<std::vector<ElementId>> knn_slots;
+    index->KnnQueryBatch(points, k, &knn_slots);
+    ASSERT_EQ(knn_slots.size(), points.size()) << index->name();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::vector<ElementId> single;
+      index->KnnQuery(points[i], k, &single);
+      ASSERT_EQ(knn_slots[i], single)
+          << index->name() << ": k=" << k << " slot " << i;
+      if (index->KnnIsExact()) {
+        EXPECT_EQ(knn_slots[i], ScanKnn(elems, points[i], k))
+            << index->name() << ": k=" << k << " slot " << i;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllIndexes, EdgeCaseTest,
                          ::testing::ValuesIn(AllIndexNames()),
                          [](const ::testing::TestParamInfo<std::string>& i) {

@@ -8,8 +8,9 @@
 //
 // Runs serial (threads = 0) at n >= 200k. SIMSPATIAL_LATENCY_N scales the
 // loop up for manual measurements (the ROADMAP stall numbers were taken
-// with SIMSPATIAL_LATENCY_N=1000000); the printed median/max lines are the
-// measurement output.
+// with SIMSPATIAL_LATENCY_N=1000000); the printed median/p95/max lines are
+// the measurement output (bench::PercentileRecorder, the same accumulator
+// the serving harness reports tails with).
 
 #include <gtest/gtest.h>
 
@@ -19,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/bruteforce.h"
 #include "common/counters.h"
 #include "common/rng.h"
@@ -29,10 +31,8 @@ namespace simspatial::core {
 namespace {
 
 struct ChurnRun {
-  std::vector<double> batch_ms;
+  bench::PercentileRecorder batch_ms;  ///< per-ApplyUpdates wall ms
   MemGridUpdateStats stats;
-  double median_ms = 0;
-  double max_ms = 0;
   /// The end state, owned here so differential checks outlive the loop.
   std::vector<Element> mirror;
   std::unique_ptr<MemGrid> grid;
@@ -73,13 +73,9 @@ ChurnRun RunChurnLoop(std::size_t n, std::uint32_t shards,
     }
     Stopwatch sw;
     g.ApplyUpdates(batch);
-    run.batch_ms.push_back(sw.ElapsedMs());
+    run.batch_ms.Add(sw.ElapsedMs());
   }
   run.stats = g.update_stats();
-  std::vector<double> sorted = run.batch_ms;
-  std::sort(sorted.begin(), sorted.end());
-  run.median_ms = sorted.empty() ? 0.0 : sorted[sorted.size() / 2];
-  run.max_ms = sorted.empty() ? 0.0 : sorted.back();
   return run;
 }
 
@@ -92,11 +88,13 @@ TEST(LatencyTailTest, IncrementalCompactionBoundsApplyUpdatesStall) {
 
   // Sharded + incremental: the configuration the acceptance gate is about.
   const ChurnRun inc = RunChurnLoop(n, 8, 1024, rounds);
+  const double inc_med = inc.batch_ms.P50();
+  const double inc_max = inc.batch_ms.Max();
   std::printf("latency[n=%zu shards=8 compact=1024]: median %.3f ms, "
-              "max %.3f ms (x%.1f), relayouts %llu, passes %llu, "
-              "regions %llu\n",
-              n, inc.median_ms, inc.max_ms,
-              inc.median_ms > 0 ? inc.max_ms / inc.median_ms : 0.0,
+              "p95 %.3f ms, max %.3f ms (x%.1f), relayouts %llu, "
+              "passes %llu, regions %llu\n",
+              n, inc_med, inc.batch_ms.P95(), inc_max,
+              inc_med > 0 ? inc_max / inc_med : 0.0,
               static_cast<unsigned long long>(inc.stats.relayouts),
               static_cast<unsigned long long>(inc.stats.compaction_passes),
               static_cast<unsigned long long>(inc.stats.compacted_regions));
@@ -110,8 +108,8 @@ TEST(LatencyTailTest, IncrementalCompactionBoundsApplyUpdatesStall) {
   // this scale costs several medians on top of the batch, and the bound
   // must survive a busy CI box. Skipped if the box is so fast/small that
   // the median is noise-dominated.
-  if (inc.median_ms >= 0.02) {
-    EXPECT_LE(inc.max_ms, 40.0 * inc.median_ms)
+  if (inc_med >= 0.02) {
+    EXPECT_LE(inc_max, 40.0 * inc_med)
         << "an ApplyUpdates stall spiked far past the median with "
            "incremental compaction on";
   }
@@ -135,10 +133,12 @@ TEST(LatencyTailTest, IncrementalCompactionBoundsApplyUpdatesStall) {
   // removes is real, not hypothetical. (Structural assert only; its wall
   // time is printed for the record.)
   const ChurnRun base = RunChurnLoop(n, 1, 0, rounds);
+  const double base_med = base.batch_ms.P50();
+  const double base_max = base.batch_ms.Max();
   std::printf("latency[n=%zu shards=1 compact=0   ]: median %.3f ms, "
-              "max %.3f ms (x%.1f), relayouts %llu\n",
-              n, base.median_ms, base.max_ms,
-              base.median_ms > 0 ? base.max_ms / base.median_ms : 0.0,
+              "p95 %.3f ms, max %.3f ms (x%.1f), relayouts %llu\n",
+              n, base_med, base.batch_ms.P95(), base_max,
+              base_med > 0 ? base_max / base_med : 0.0,
               static_cast<unsigned long long>(base.stats.relayouts));
   EXPECT_GT(base.stats.relayouts, 0u)
       << "the churn loop no longer triggers the single-block re-layout; "

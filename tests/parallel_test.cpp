@@ -77,12 +77,14 @@ const std::uint32_t kShardCounts[] = {1, 2, 3, 8};
 MemGrid MakeGrid(const std::vector<Element>& elements, std::uint32_t threads,
                  float cell_size = 4.0f,
                  CellLayout layout = CellLayout::kRowMajor,
-                 std::uint32_t shards = 1, std::uint32_t compact = 0) {
+                 std::uint32_t shards = 1, std::uint32_t compact = 0,
+                 RangeDecomp decomp = RangeDecomp::kRuns) {
   MemGrid g(kUniverse, MemGridConfig{.cell_size = cell_size,
                                      .threads = threads,
                                      .layout = layout,
                                      .shards = shards,
-                                     .compact_regions_per_batch = compact});
+                                     .compact_regions_per_batch = compact,
+                                     .decomp = decomp});
   g.Build(elements);
   return g;
 }
@@ -750,6 +752,218 @@ TEST(ShardDeterminismTest, IncrementalCompactionReclaimsChurnWithoutRelayout) {
   // Incremental reclamation keeps dead+slack waste proportional to the
   // population instead of letting churn grow the blocks unboundedly.
   EXPECT_LT(shape.dead_slots + shape.slack_slots, 5 * n);
+}
+
+// --- Batch query engine determinism ---------------------------------------
+// RangeQueryBatch / KnnQueryBatch are a pure THROUGHPUT knob: slot i must
+// be bit-identical (ids AND emission order) to the per-probe call on the
+// same grid, and the batch counters must sum to the per-probe totals —
+// whatever the layout, shard count, worker-thread count, decomposition or
+// mid-compaction state, and whatever the rank-ordered schedule (duplicate
+// reuse included) did internally.
+
+/// Probe set exercising the scheduler's interesting cases: a spread of
+/// ordinary probes across the rank space, exact duplicates (the reuse
+/// path), rank ties that are NOT duplicates, and degenerate boxes.
+std::vector<AABB> BatchRangeProbes() {
+  Rng rng(63);
+  std::vector<AABB> probes;
+  for (int i = 0; i < 48; ++i) {
+    probes.push_back(AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                rng.Uniform(0.5f, 12.0f)));
+  }
+  // Exact duplicates of earlier probes, scattered so the schedule (not the
+  // arrival order) has to bring them together.
+  probes.push_back(probes[5]);
+  probes.push_back(probes[20]);
+  probes.push_back(probes[5]);
+  // Same center cell, different extent: shares the schedule rank with its
+  // sibling but must NOT take the duplicate-reuse path.
+  probes.push_back(probes[7].Inflated(1.5f));
+  // Degenerates: zero-volume plane, a point, an inverted (empty) box and
+  // an out-of-universe probe.
+  probes.push_back(AABB(Vec3(10, 0, 10), Vec3(10, 100, 90)));
+  probes.push_back(AABB::FromPoint(Vec3(50, 50, 50)));
+  probes.push_back(AABB(Vec3(60, 60, 60), Vec3(40, 40, 40)));
+  probes.push_back(AABB::FromCenterHalfExtent(Vec3(500, 500, 500), 5.0f));
+  return probes;
+}
+
+std::vector<Vec3> BatchKnnPoints() {
+  Rng rng(64);
+  std::vector<Vec3> points;
+  for (int i = 0; i < 40; ++i) points.push_back(rng.PointIn(kUniverse));
+  points.push_back(points[3]);  // duplicate (reuse path)
+  points.push_back(points[11]);
+  points.push_back(Vec3(-20, 50, 130));  // out of universe
+  return points;
+}
+
+/// Per-grid bit-identity: batch vs the per-probe loop on the same grid.
+void ExpectBatchMatchesPerProbe(const MemGrid& g, const std::string& label) {
+  const auto probes = BatchRangeProbes();
+  std::vector<std::vector<ElementId>> want_slots(probes.size());
+  QueryCounters want_c;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    g.RangeQuery(probes[i], &want_slots[i], &want_c);
+  }
+  std::vector<std::vector<ElementId>> got_slots;
+  QueryCounters got_c;
+  g.RangeQueryBatch(probes, &got_slots, &got_c);
+  ASSERT_EQ(got_slots.size(), probes.size()) << label;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(got_slots[i], want_slots[i]) << label << " range slot " << i;
+  }
+  EXPECT_EQ(got_c, want_c) << label << " range counters";
+
+  // The counting kernel rides the same schedule: per-probe counts AND the
+  // returned sum must match the per-probe RangeQueryCount loop (which in
+  // turn equals the materializing slots, asserted by its own battery).
+  std::vector<std::size_t> want_counts(probes.size());
+  std::size_t want_total = 0;
+  QueryCounters want_cc;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    want_counts[i] = g.RangeQueryCount(probes[i], &want_cc);
+    want_total += want_counts[i];
+  }
+  std::vector<std::size_t> got_counts;
+  QueryCounters got_cc;
+  const std::size_t got_total =
+      g.RangeQueryCountBatch(probes, &got_counts, &got_cc);
+  ASSERT_EQ(got_counts, want_counts) << label << " count slots";
+  EXPECT_EQ(got_total, want_total) << label << " count total";
+  EXPECT_EQ(got_cc, want_cc) << label << " count counters";
+
+  const auto points = BatchKnnPoints();
+  std::vector<std::vector<ElementId>> want_knn(points.size());
+  QueryCounters want_kc;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    g.KnnQuery(points[i], 9, &want_knn[i], &want_kc);
+  }
+  std::vector<std::vector<ElementId>> got_knn;
+  QueryCounters got_kc;
+  g.KnnQueryBatch(points, 9, &got_knn, &got_kc);
+  ASSERT_EQ(got_knn.size(), points.size()) << label;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_EQ(got_knn[i], want_knn[i]) << label << " knn slot " << i;
+  }
+  EXPECT_EQ(got_kc, want_kc) << label << " knn counters";
+}
+
+TEST(BatchDeterminismTest, BatchIdenticalToPerProbeAcrossConfigs) {
+  struct Config {
+    std::uint32_t shards;
+    std::uint32_t threads;
+    RangeDecomp decomp;
+  };
+  const Config kConfigs[] = {
+      {1, 0, RangeDecomp::kRuns}, {1, 2, RangeDecomp::kRuns},
+      {1, 8, RangeDecomp::kSort}, {5, 0, RangeDecomp::kSort},
+      {5, 2, RangeDecomp::kRuns}, {5, 8, RangeDecomp::kRuns},
+  };
+  for (const NamedDataset& ds : BatteryDatasets()) {
+    for (const CellLayout layout : kLayouts) {
+      // Cross-grid reference: the serial single-block grid's batch output.
+      // Batch results must equal the per-probe path on EVERY grid, and the
+      // per-probe path is already pinned across configs by the batteries
+      // above, so the batch output is transitively config-invariant — but
+      // assert it directly too, against slots from the reference grid.
+      const MemGrid reference = MakeGrid(ds.elements, 0, 4.0f, layout);
+      std::vector<std::vector<ElementId>> ref_slots;
+      reference.RangeQueryBatch(BatchRangeProbes(), &ref_slots);
+      for (const Config& c : kConfigs) {
+        const std::string label =
+            std::string(ds.name) + " layout=" + ToString(layout) +
+            " shards=" + std::to_string(c.shards) +
+            " t=" + std::to_string(c.threads) +
+            " decomp=" + ToString(c.decomp);
+        const MemGrid g = MakeGrid(ds.elements, c.threads, 4.0f, layout,
+                                   c.shards, 0, c.decomp);
+        ExpectBatchMatchesPerProbe(g, label);
+        std::vector<std::vector<ElementId>> got_slots;
+        g.RangeQueryBatch(BatchRangeProbes(), &got_slots);
+        ASSERT_EQ(got_slots, ref_slots) << label << " vs reference grid";
+      }
+    }
+  }
+}
+
+TEST(BatchDeterminismTest, BatchIdenticalAcrossProbeGrains) {
+  // batch_probe_grain only reshapes the worker partitions of the rank
+  // schedule; every value must reproduce the default-grain (and per-probe)
+  // output bit for bit.
+  const auto elems = GenerateUniformBoxes(4096, kUniverse, 0.1f, 0.8f);
+  for (const CellLayout layout : kLayouts) {
+    const MemGrid reference = MakeGrid(elems, 0, 4.0f, layout);
+    std::vector<std::vector<ElementId>> ref_slots;
+    reference.RangeQueryBatch(BatchRangeProbes(), &ref_slots);
+    for (const std::uint32_t grain : {1u, 3u, 8u}) {
+      for (const std::uint32_t threads : {2u, 8u}) {
+        MemGrid g(kUniverse,
+                  MemGridConfig{.cell_size = 4.0f,
+                                .threads = threads,
+                                .layout = layout,
+                                .shards = 5,
+                                .batch_probe_grain = grain});
+        g.Build(elems);
+        const std::string label = std::string("layout=") + ToString(layout) +
+                                  " grain=" + std::to_string(grain) +
+                                  " t=" + std::to_string(threads);
+        ExpectBatchMatchesPerProbe(g, label);
+        std::vector<std::vector<ElementId>> got;
+        g.RangeQueryBatch(BatchRangeProbes(), &got);
+        ASSERT_EQ(got, ref_slots) << label << " vs reference grid";
+      }
+    }
+  }
+}
+
+TEST(BatchDeterminismTest, BatchIdenticalMidCompaction) {
+  const auto elems = GenerateUniformBoxes(4096, kUniverse, 0.1f, 0.8f);
+  // Tiny compaction budget + churn keeps passes in flight, so the batch
+  // schedule reads shards through the two-block (fresh-below-cursor)
+  // state; threads 8 exercises the batch fan-out on top.
+  struct Config {
+    std::uint32_t shards;
+    std::uint32_t compact;
+    std::uint32_t threads;
+  };
+  const Config kConfigs[] = {{5, 4, 0}, {5, 4, 8}, {8, 4, 2}};
+  for (const CellLayout layout : kLayouts) {
+    MemGrid reference = MakeGrid(elems, 0, 4.0f, layout);
+    std::vector<MemGrid> grids;
+    for (const Config& c : kConfigs) {
+      grids.push_back(
+          MakeGrid(elems, c.threads, 4.0f, layout, c.shards, c.compact));
+    }
+    std::vector<Element> mirror = elems;
+    Rng rng(99);
+    bool saw_compacting = false;
+    for (int round = 0; round < 3; ++round) {
+      const auto batch = SeededUpdateBatch(&mirror, &rng);
+      reference.ApplyUpdates(batch);
+      for (std::size_t gi = 0; gi < grids.size(); ++gi) {
+        MemGrid& g = grids[gi];
+        g.ApplyUpdates(batch);
+        saw_compacting |= g.Shape().compacting_shards > 0;
+        const std::string label =
+            std::string("layout=") + ToString(layout) + " shards=" +
+            std::to_string(kConfigs[gi].shards) + " compact=" +
+            std::to_string(kConfigs[gi].compact) + " t=" +
+            std::to_string(kConfigs[gi].threads) + " round " +
+            std::to_string(round);
+        ExpectBatchMatchesPerProbe(g, label);
+        // And against the un-sharded, un-compacting reference grid.
+        std::vector<std::vector<ElementId>> got, want;
+        g.RangeQueryBatch(BatchRangeProbes(), &got);
+        reference.RangeQueryBatch(BatchRangeProbes(), &want);
+        ASSERT_EQ(got, want) << label << " vs reference grid";
+      }
+    }
+    // The tiny-budget configs must actually have been caught mid-pass, or
+    // the batch-over-two-block-reads path went untested.
+    EXPECT_TRUE(saw_compacting) << ToString(layout);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// Serving battery (ctest label "serving", plus "faults" for the failpoint
+// case): the batch query engine under realistic serving conditions — a
+// seeded mini-trace of windowed range/count/knn/update ops where the
+// batched replay must stay slot-for-slot identical to the per-probe replay
+// and to the brute-force mirror, and a mid-batch worker failure that must
+// leave no torn result slot while driving the thread pool's degraded-mode
+// machinery exactly like any other failed parallel dispatch.
+//
+// Window semantics (shared by bench_serving): a window applies its update
+// ops as one ApplyUpdates batch, then serves its range probes, its count
+// probes and its knn probes. Per-probe and batched replays run the SAME
+// schedule; only the serving call differs — which is precisely the batch
+// engine's contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/bruteforce.h"
+#include "common/failpoint.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/memgrid.h"
+#include "datagen/neuron.h"
+
+namespace simspatial::core {
+namespace {
+
+using datagen::GenerateUniformBoxes;
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(50, 50, 50));
+
+struct Window {
+  std::vector<ElementUpdate> updates;
+  std::vector<AABB> ranges;
+  std::vector<AABB> counts;
+  std::vector<Vec3> knns;
+};
+
+/// Seeded mini-trace: Zipf-flavoured (a small hotspot set reused verbatim,
+/// so exact duplicate probes occur — the reuse path), with teleporting
+/// updates that keep shard compaction churning between windows.
+std::vector<Window> MakeTrace(std::vector<Element>* mirror,
+                              std::size_t windows, std::size_t ops) {
+  Rng rng(211);
+  std::vector<Vec3> hotspots;
+  for (int i = 0; i < 24; ++i) hotspots.push_back(rng.PointIn(kUniverse));
+  std::vector<Window> trace(windows);
+  for (Window& w : trace) {
+    for (std::size_t op = 0; op < ops; ++op) {
+      const double dice = rng.NextDouble();
+      const Vec3 hot = hotspots[rng.NextBelow(hotspots.size())];
+      if (dice < 0.45) {
+        w.ranges.push_back(
+            AABB::FromCenterHalfExtent(hot, rng.Uniform(0.5f, 6.0f)));
+      } else if (dice < 0.60) {
+        // Exact duplicate of a fresh hotspot probe at a fixed extent.
+        w.ranges.push_back(AABB::FromCenterHalfExtent(hot, 3.0f));
+      } else if (dice < 0.72) {
+        // Counting probes at a slightly wider extent (density monitoring),
+        // hotspot-centred so exact duplicates hit the count reuse path too.
+        w.counts.push_back(AABB::FromCenterHalfExtent(hot, 4.0f));
+      } else if (dice < 0.85) {
+        w.knns.push_back(hot);
+      } else {
+        Element& e = (*mirror)[rng.NextBelow(mirror->size())];
+        e.box = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                           rng.Uniform(0.1f, 0.6f));
+        w.updates.emplace_back(e.id, e.box);
+      }
+    }
+    // Bulk churn: the paper's "massive changes" regime — most elements move
+    // every window, which is also what drives shard compaction (and so the
+    // in-flight-pass states) under a small incremental budget.
+    for (Element& e : *mirror) {
+      if (rng.NextDouble() < 0.4) {
+        e.box = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                           rng.Uniform(0.1f, 0.6f));
+      } else {
+        e.box = e.box.Translated(
+            Vec3(rng.Uniform(-0.05f, 0.05f), rng.Uniform(-0.05f, 0.05f),
+                 rng.Uniform(-0.05f, 0.05f)));
+      }
+      w.updates.emplace_back(e.id, e.box);
+    }
+  }
+  return trace;
+}
+
+MemGrid MakeServingGrid(const std::vector<Element>& elems,
+                        std::uint32_t threads, std::uint32_t shards,
+                        std::uint32_t compact,
+                        CellLayout layout = CellLayout::kHilbert) {
+  MemGrid g(kUniverse, MemGridConfig{.cell_size = 2.5f,
+                                     .threads = threads,
+                                     .layout = layout,
+                                     .shards = shards,
+                                     .compact_regions_per_batch = compact});
+  g.Build(elems);
+  return g;
+}
+
+TEST(ServingTraceTest, BatchedReplayMatchesPerProbeReplayAndOracle) {
+  const auto elems = GenerateUniformBoxes(4000, kUniverse, 0.1f, 0.6f);
+  std::vector<Element> mirror = elems;
+  const auto trace = MakeTrace(&mirror, /*windows=*/6, /*ops=*/64);
+
+  // The serving config under test is the spiciest one: sharded, tiny
+  // incremental-compaction budget (passes stay in flight across windows),
+  // parallel fan-out. The per-probe replay drives a plain serial
+  // single-block grid — equality proves the whole stack is a no-op on
+  // results.
+  MemGrid serial = MakeServingGrid(elems, 0, 1, 0);
+  MemGrid batched = MakeServingGrid(elems, 8, 5, 4);
+
+  std::vector<Element> replay_mirror = elems;
+  for (std::size_t wi = 0; wi < trace.size(); ++wi) {
+    const Window& w = trace[wi];
+    for (const ElementUpdate& u : w.updates) {
+      replay_mirror[u.id].box = u.new_box;
+    }
+    if (!w.updates.empty()) {
+      ASSERT_EQ(serial.ApplyUpdates(w.updates), w.updates.size());
+      ASSERT_EQ(batched.ApplyUpdates(w.updates), w.updates.size());
+    }
+    // Range probes: batched vs per-probe, and both vs the mirror oracle.
+    std::vector<std::vector<ElementId>> slots;
+    QueryCounters batch_c;
+    batched.RangeQueryBatch(w.ranges, &slots, &batch_c);
+    ASSERT_EQ(slots.size(), w.ranges.size());
+    QueryCounters serial_c;
+    for (std::size_t i = 0; i < w.ranges.size(); ++i) {
+      std::vector<ElementId> want;
+      serial.RangeQuery(w.ranges[i], &want, &serial_c);
+      ASSERT_EQ(slots[i], want) << "window " << wi << " range " << i;
+      auto sorted = slots[i];
+      std::sort(sorted.begin(), sorted.end());
+      ASSERT_EQ(sorted, ScanRange(replay_mirror, w.ranges[i]))
+          << "window " << wi << " range " << i;
+    }
+    EXPECT_EQ(batch_c, serial_c) << "window " << wi << " range counters";
+    // Count probes: batched counts vs per-probe counts vs the oracle's
+    // result-set size.
+    std::vector<std::size_t> counts;
+    QueryCounters batch_cc;
+    std::size_t batch_total =
+        batched.RangeQueryCountBatch(w.counts, &counts, &batch_cc);
+    ASSERT_EQ(counts.size(), w.counts.size());
+    QueryCounters serial_cc;
+    std::size_t want_total = 0;
+    for (std::size_t i = 0; i < w.counts.size(); ++i) {
+      const std::size_t want =
+          serial.RangeQueryCount(w.counts[i], &serial_cc);
+      ASSERT_EQ(counts[i], want) << "window " << wi << " count " << i;
+      ASSERT_EQ(counts[i], ScanRange(replay_mirror, w.counts[i]).size())
+          << "window " << wi << " count " << i;
+      want_total += want;
+    }
+    EXPECT_EQ(batch_total, want_total) << "window " << wi << " count total";
+    EXPECT_EQ(batch_cc, serial_cc) << "window " << wi << " count counters";
+    // Knn probes likewise.
+    QueryCounters batch_kc;
+    batched.KnnQueryBatch(w.knns, 7, &slots, &batch_kc);
+    ASSERT_EQ(slots.size(), w.knns.size());
+    QueryCounters serial_kc;
+    for (std::size_t i = 0; i < w.knns.size(); ++i) {
+      std::vector<ElementId> want;
+      serial.KnnQuery(w.knns[i], 7, &want, &serial_kc);
+      ASSERT_EQ(slots[i], want) << "window " << wi << " knn " << i;
+      ASSERT_EQ(slots[i], ScanKnn(replay_mirror, w.knns[i], 7))
+          << "window " << wi << " knn " << i;
+    }
+    EXPECT_EQ(batch_kc, serial_kc) << "window " << wi << " knn counters";
+    std::string err;
+    ASSERT_TRUE(batched.CheckInvariants(&err)) << "window " << wi << ": "
+                                               << err;
+  }
+  // The tiny budget must actually have been caught mid-pass at least once,
+  // or the batch-over-two-block-reads state went untested.
+  EXPECT_GT(batched.update_stats().compaction_passes +
+                static_cast<std::size_t>(batched.Shape().compacting_shards),
+            0u);
+}
+
+// --- Mid-batch worker failure --------------------------------------------
+
+class ServingFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fail::kCompiledIn) {
+      GTEST_SKIP() << "build with -DSIMSPATIAL_FAILPOINTS=ON";
+    }
+    fail::Registry::Global().DisarmAll();
+  }
+  void TearDown() override {
+    if (fail::kCompiledIn) fail::Registry::Global().DisarmAll();
+  }
+};
+
+TEST_F(ServingFaultTest, MidBatchThrowLeavesNoTornSlotsAndPoolDegrades) {
+  const auto elems = GenerateUniformBoxes(4000, kUniverse, 0.1f, 0.6f);
+  const MemGrid g = MakeServingGrid(elems, /*threads=*/8, /*shards=*/5,
+                                    /*compact=*/0);
+  // Enough probes that ChunkCount(8, n, kBatchProbeGrain) fans out across
+  // workers — the failure must surface through the pool join, not a plain
+  // serial unwind.
+  Rng rng(17);
+  std::vector<AABB> probes;
+  for (int i = 0; i < 256; ++i) {
+    probes.push_back(AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                rng.Uniform(1.0f, 6.0f)));
+  }
+  probes.push_back(probes[0]);  // Reuse path on the failure schedule too.
+  std::vector<std::vector<ElementId>> want;
+  g.RangeQueryBatch(probes, &want);  // Clean dispatch: known-good slots,
+                                     // and resets the pool's consecutive-
+                                     // failure count for the loop below.
+  ASSERT_FALSE(par::ThreadPool::Global().serial_fallback_active());
+
+  ASSERT_TRUE(
+      fail::Registry::Global().ConfigureFromSpec("memgrid.batch.worker:1:9"));
+  std::vector<std::vector<ElementId>> slots;
+  for (std::size_t attempt = 0;
+       attempt < par::ThreadPool::kSerialFallbackThreshold; ++attempt) {
+    EXPECT_THROW(g.RangeQueryBatch(probes, &slots), fail::FaultInjected)
+        << "attempt " << attempt;
+    // No torn slots: every slot is still empty or the COMPLETE per-probe
+    // emission — a prefix-complete, suffix-empty picture per worker chunk.
+    ASSERT_EQ(slots.size(), probes.size()) << "attempt " << attempt;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_TRUE(slots[i].empty() || slots[i] == want[i])
+          << "torn slot " << i << " on attempt " << attempt;
+    }
+  }
+  EXPECT_GT(fail::Registry::Global().Stats("memgrid.batch.worker").trips, 0u);
+  // Three consecutive failed parallel dispatches flip the global pool into
+  // serial-on-caller degraded mode — batch queries participate in the
+  // pool's failure accounting like every other parallel kernel.
+  EXPECT_TRUE(par::ThreadPool::Global().serial_fallback_active());
+
+  // Disarm: the next batch runs clean, heals the pool, and serves results
+  // identical to the pre-failure dispatch.
+  fail::Registry::Global().DisarmAll();
+  g.RangeQueryBatch(probes, &slots);
+  EXPECT_FALSE(par::ThreadPool::Global().serial_fallback_active());
+  EXPECT_EQ(slots, want);
+
+  // The knn batch shares the failpoint site and the torn-slot guarantee.
+  std::vector<Vec3> points;
+  for (int i = 0; i < 128; ++i) points.push_back(rng.PointIn(kUniverse));
+  std::vector<std::vector<ElementId>> knn_want;
+  g.KnnQueryBatch(points, 5, &knn_want);
+  ASSERT_TRUE(
+      fail::Registry::Global().ConfigureFromSpec("memgrid.batch.worker:1:9"));
+  EXPECT_THROW(g.KnnQueryBatch(points, 5, &slots), fail::FaultInjected);
+  ASSERT_EQ(slots.size(), points.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_TRUE(slots[i].empty() || slots[i] == knn_want[i])
+        << "torn knn slot " << i;
+  }
+  fail::Registry::Global().DisarmAll();
+  g.KnnQueryBatch(points, 5, &slots);
+  EXPECT_EQ(slots, knn_want);
+
+  // And the counting batch: a mid-batch failure must leave every count
+  // slot 0 or the exact per-probe count — never a partial sum.
+  std::vector<std::size_t> count_want;
+  g.RangeQueryCountBatch(probes, &count_want);
+  ASSERT_TRUE(
+      fail::Registry::Global().ConfigureFromSpec("memgrid.batch.worker:1:9"));
+  std::vector<std::size_t> counts;
+  EXPECT_THROW(g.RangeQueryCountBatch(probes, &counts), fail::FaultInjected);
+  ASSERT_EQ(counts.size(), probes.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_TRUE(counts[i] == 0 || counts[i] == count_want[i])
+        << "torn count slot " << i;
+  }
+  fail::Registry::Global().DisarmAll();
+  g.RangeQueryCountBatch(probes, &counts);
+  EXPECT_EQ(counts, count_want);
+}
+
+}  // namespace
+}  // namespace simspatial::core
