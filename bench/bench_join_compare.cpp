@@ -12,6 +12,7 @@
 // time, partitioning/build time vs probe time, and comparisons performed.
 // The nested loop runs at reduced scale and is extrapolated.
 
+#include <unordered_map>
 #include <vector>
 
 #include "bench_util.h"
@@ -20,6 +21,7 @@
 #include "core/memgrid.h"
 #include "grid/resolution.h"
 #include "join/spatial_join.h"
+#include "rtree/packed_rtree.h"
 
 namespace simspatial {
 namespace {
@@ -109,24 +111,63 @@ int Main(int argc, char** argv) {
     return pairs.size();
   };
 
+  // The partitioned joins all honour --threads (deterministic chunked
+  // drivers; pairs and counters are bit-identical at every value).
+  join::PbsmOptions pbsm_opts;
+  pbsm_opts.threads = threads;
+  join::TouchOptions touch_opts;
+  touch_opts.threads = threads;
+  join::GridJoinOptions grid_opts;
+  grid_opts.threads = threads;
+
   const std::size_t p_sweep = run("plane sweep", [&](QueryCounters* c) {
     return join::PlaneSweepSelfJoin(ds.elements, eps, c);
   });
   const std::size_t p_pbsm = run("PBSM (grid partitioning)",
                                  [&](QueryCounters* c) {
                                    return join::PbsmSelfJoin(ds.elements, eps,
-                                                             {}, c);
+                                                             pbsm_opts, c);
                                  });
-  const std::size_t p_touch = run("TOUCH (hierarchical)",
-                                  [&](QueryCounters* c) {
-                                    return join::TouchSelfJoin(ds.elements,
-                                                               eps, {}, c);
-                                  });
-  const std::size_t p_grid = run("grid join (centre cells, Sec 4.3)",
-                                 [&](QueryCounters* c) {
-                                   return join::GridSelfJoin(ds.elements, eps,
-                                                             {}, c);
-                                 });
+  const std::size_t p_touch =
+      run("TOUCH (hierarchical)", [&](QueryCounters* c) {
+        return join::TouchSelfJoin(ds.elements, eps, touch_opts, c);
+      });
+  const std::size_t p_grid =
+      run("grid join (centre cells, Sec 4.3)", [&](QueryCounters* c) {
+        return join::GridSelfJoin(ds.elements, eps, grid_opts, c);
+      });
+  // Packed R-tree index-nested-loop join: bulk load in curve order (timed,
+  // like every other row's partitioning step), then probe each element's
+  // eps-inflated box and refine with the exact predicate (the inflated-box
+  // candidates are a superset of the distance matches).
+  std::unordered_map<ElementId, const Element*> by_id;
+  by_id.reserve(ds.elements.size());
+  for (const Element& e : ds.elements) by_id[e.id] = &e;
+  const auto packed_join = [&](rtree::PackOrder order, QueryCounters* c) {
+    rtree::PackedRTree tree(rtree::PackedRTreeOptions{32, order});
+    tree.Build(ds.elements);
+    std::vector<join::JoinPair> pairs;
+    std::vector<ElementId> hits;
+    for (const Element& e : ds.elements) {
+      tree.RangeQuery(eps > 0.0f ? e.box.Inflated(eps) : e.box, &hits, c);
+      for (const ElementId h : hits) {
+        if (e.id >= h) continue;
+        if (join::PairMatches(e.box, by_id.at(h)->box, eps)) {
+          pairs.emplace_back(e.id, h);
+        }
+      }
+    }
+    return pairs;
+  };
+  const std::size_t p_packed_str =
+      run("packed R-tree STR (build + range probes)", [&](QueryCounters* c) {
+        return packed_join(rtree::PackOrder::kStr, c);
+      });
+  const std::size_t p_packed_hilbert =
+      run("packed R-tree Hilbert (build + range probes)",
+          [&](QueryCounters* c) {
+            return packed_join(rtree::PackOrder::kHilbert, c);
+          });
   // MemGrid's native self-join: the same §4.3 sweep over the slack-CSR
   // block, partitioned into per-worker contiguous rank ranges
   // (--threads=N; results are bit-identical at any thread count — see
@@ -159,13 +200,15 @@ int Main(int argc, char** argv) {
 
   bench::PrintClaim("all algorithms agree on the synapse pair count",
                     p_sweep == p_pbsm && p_pbsm == p_touch &&
-                        p_touch == p_grid && p_grid == p_memgrid);
+                        p_touch == p_grid && p_grid == p_memgrid &&
+                        p_memgrid == p_packed_str &&
+                        p_packed_str == p_packed_hilbert);
 
   // Comparisons: who tests distant objects?
   QueryCounters c_sweep, c_touch, c_grid;
   join::PlaneSweepSelfJoin(ds.elements, eps, &c_sweep);
-  join::TouchSelfJoin(ds.elements, eps, {}, &c_touch);
-  join::GridSelfJoin(ds.elements, eps, {}, &c_grid);
+  join::TouchSelfJoin(ds.elements, eps, touch_opts, &c_touch);
+  join::GridSelfJoin(ds.elements, eps, grid_opts, &c_grid);
   bench::PrintClaim(
       "the sweep performs more comparisons than spatially-partitioned joins "
       "(it does not ensure only close objects are compared)",

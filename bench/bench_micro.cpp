@@ -8,9 +8,11 @@
 //   --dataset=neurons|uniform
 //   --reps=<r>            timed repetitions per kernel; median reported
 //   --json=<path>         also emit results as a JSON array (bench_util.h)
-//   --threads=<t>         MemGrid worker threads (default: hardware
-//                         concurrency; 0/1 = serial paths). Only the
-//                         memgrid kernels are parallel-capable.
+//   --threads=<t>         worker threads (default: hardware concurrency;
+//                         0/1 = serial paths) for the parallel-capable
+//                         kernels: memgrid and the self-join algorithms
+//                         (grid-join / pbsm / touch, whose results are
+//                         bit-identical at every thread count).
 //   --layout=<l>          MemGrid cell layout: rowmajor (default), morton
 //                         or hilbert. A pure storage-order knob — results
 //                         are identical; ns/op is the point.
@@ -59,6 +61,8 @@
 #include "datagen/plasticity.h"
 #include "grid/resolution.h"
 #include "grid/uniform_grid.h"
+#include "join/spatial_join.h"
+#include "rtree/packed_rtree.h"
 #include "rtree/rtree.h"
 
 namespace simspatial {
@@ -196,6 +200,17 @@ int Main(int argc, char** argv) {
            tree.Build(elems);
          }),
          static_cast<double>(n));
+  for (const rtree::PackOrder order :
+       {rtree::PackOrder::kStr, rtree::PackOrder::kHilbert}) {
+    const std::string name =
+        std::string("rtree-packed-") + rtree::ToString(order);
+    record("build", name.c_str(), MedianNs(reps, [&] {
+             rtree::PackedRTree tree(
+                 rtree::PackedRTreeOptions{32, order});
+             tree.Build(elems);
+           }),
+           static_cast<double>(n));
+  }
   record("build", "memgrid", MedianNs(reps, [&] {
            core::MemGrid grid(universe, mg_cfg);
            grid.Build(elems);
@@ -235,6 +250,24 @@ int Main(int argc, char** argv) {
              for (const AABB& q : queries) tree.RangeQuery(q, &out);
            }),
            static_cast<double>(queries.size()));
+  }
+  // Packed R-trees: same query contract as the dynamic tree, SoA lane
+  // blocks streamed through the batched AABB kernel.
+  for (const rtree::PackOrder order :
+       {rtree::PackOrder::kStr, rtree::PackOrder::kHilbert}) {
+    rtree::PackedRTree tree(rtree::PackedRTreeOptions{32, order});
+    tree.Build(elems);
+    std::vector<ElementId> out;
+    const std::string name =
+        std::string("rtree-packed-") + rtree::ToString(order);
+    record("range", name.c_str(), MedianNs(reps, [&] {
+             for (const AABB& q : queries) tree.RangeQuery(q, &out);
+           }),
+           static_cast<double>(queries.size()));
+    record("knn", name.c_str(), MedianNs(reps, [&] {
+             for (const Vec3& p : knn_points) tree.KnnQuery(p, 10, &out);
+           }),
+           static_cast<double>(knn_points.size()));
   }
   // CR-Tree node-size sweep (§3.3: node bytes vs cache lines).
   for (const std::uint32_t node_bytes : {256u, 768u, 4096u}) {
@@ -454,6 +487,26 @@ int Main(int argc, char** argv) {
     std::vector<std::pair<ElementId, ElementId>> pairs;
     record("self-join", "memgrid", MedianNs(reps, [&] {
              memgrid.SelfJoin(0.0f, &pairs);
+           }),
+           static_cast<double>(n));
+    // The standalone join algorithms, on the same --threads knob (their
+    // deterministic chunked drivers emit identical pairs at every value).
+    join::GridJoinOptions gj_opts;
+    gj_opts.threads = threads;
+    record("self-join", "grid-join", MedianNs(reps, [&] {
+             pairs = join::GridSelfJoin(elems, 0.0f, gj_opts);
+           }),
+           static_cast<double>(n));
+    join::PbsmOptions pbsm_opts;
+    pbsm_opts.threads = threads;
+    record("self-join", "pbsm", MedianNs(reps, [&] {
+             pairs = join::PbsmSelfJoin(elems, 0.0f, pbsm_opts);
+           }),
+           static_cast<double>(n));
+    join::TouchOptions touch_opts;
+    touch_opts.threads = threads;
+    record("self-join", "touch", MedianNs(reps, [&] {
+             pairs = join::TouchSelfJoin(elems, 0.0f, touch_opts);
            }),
            static_cast<double>(n));
   }

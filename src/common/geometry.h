@@ -16,6 +16,10 @@
 #include <limits>
 #include <ostream>
 
+#if defined(__SSE2__) || defined(__AVX__)
+#include <immintrin.h>
+#endif
+
 namespace simspatial {
 
 /// 3-D point / vector with float components.
@@ -243,6 +247,215 @@ struct AABB {
 
 inline std::ostream& operator<<(std::ostream& os, const AABB& b) {
   return os << "[" << b.min << " .. " << b.max << "]";
+}
+
+// --- Batched AABB kernel -----------------------------------------------------
+//
+// The library's hot loops (MemGrid region scans, R-tree node scans, the
+// sweep join's active-list filter) all reduce to "test one query box
+// against a short run of candidate boxes". The batched kernel below does
+// that kBoxBatchWidth lanes at a time over structure-of-arrays min/max
+// coordinates, producing a bitmask of hits. The width is a compile-time
+// constant — there is no runtime CPU dispatch; the vector path is chosen
+// at compile time from the target's baseline ISA (AVX when enabled, else
+// SSE on any x86-64 build, where `cmpleps`/`movmskps` map one comparison
+// chain to two 4-lane halves), and every other target compiles the plain
+// scalar lane loop. The chained-`&` scalar form defeats auto-vectorisers
+// (each lane collapses to `comiss`+`setnb` chains), which is why the x86
+// paths are spelled out as intrinsics rather than left to the optimiser.
+//
+// Guarantee: for every lane, the mask bit equals the scalar predicate
+// (`AABB::Intersects` / `AABB::Contains`) on that lane's box, bit for bit
+// — the lane computation is the same comparison chain, only evaluated
+// branchlessly (`&` on bools is `&&` without short-circuiting, identical
+// for any input including degenerate zero-extent and inverted boxes).
+// geometry_test pins this agreement against BoxBatchIntersectScalar /
+// BoxBatchContainsScalar.
+
+/// Compile-time lane count of the batched AABB kernels. Packed R-tree
+/// nodes size their SoA child-MBR blocks to a multiple of this.
+inline constexpr std::uint32_t kBoxBatchWidth = 8;
+
+/// One structure-of-arrays block of kBoxBatchWidth candidate boxes.
+/// 32-byte alignment keeps each lane array in one vector register load.
+struct BoxBatch {
+  alignas(32) float min_x[kBoxBatchWidth];
+  alignas(32) float min_y[kBoxBatchWidth];
+  alignas(32) float min_z[kBoxBatchWidth];
+  alignas(32) float max_x[kBoxBatchWidth];
+  alignas(32) float max_y[kBoxBatchWidth];
+  alignas(32) float max_z[kBoxBatchWidth];
+
+  /// Reconstruct lane `i` as a plain AABB (exactly the stored floats).
+  AABB Lane(std::uint32_t i) const {
+    return AABB(Vec3(min_x[i], min_y[i], min_z[i]),
+                Vec3(max_x[i], max_y[i], max_z[i]));
+  }
+
+  /// Write `box` into lane `i`.
+  void SetLane(std::uint32_t i, const AABB& box) {
+    min_x[i] = box.min.x;
+    min_y[i] = box.min.y;
+    min_z[i] = box.min.z;
+    max_x[i] = box.max.x;
+    max_y[i] = box.max.y;
+    max_z[i] = box.max.z;
+  }
+};
+
+/// Transpose `count` (<= kBoxBatchWidth) AABBs into a BoxBatch, reading an
+/// AABB every `stride_bytes` starting at `first` — an AoS adapter for
+/// callers whose boxes live inside larger records (MemGrid's Entry runs,
+/// the legacy R-tree's per-node AABB arrays). Lanes >= count are padded
+/// with the default *empty* box (min=+FLT_MAX, max=lowest), which
+/// intersects and contains nothing, so padding lanes never set mask bits.
+inline void BoxBatchLoad(const void* first, std::size_t stride_bytes,
+                         std::uint32_t count, BoxBatch* out) {
+  const char* p = static_cast<const char*>(first);
+  std::uint32_t i = 0;
+  for (; i < count; ++i, p += stride_bytes) {
+    out->SetLane(i, *reinterpret_cast<const AABB*>(p));
+  }
+  for (; i < kBoxBatchWidth; ++i) out->SetLane(i, AABB());
+}
+
+/// 8-wide intersect: bit i of the result is set iff batch lane i
+/// intersects `query` (closed faces, exactly `AABB::Intersects`).
+inline std::uint32_t BoxBatchIntersect(const BoxBatch& b, const AABB& query) {
+#if defined(__AVX__)
+  const __m256 qnx = _mm256_set1_ps(query.min.x);
+  const __m256 qny = _mm256_set1_ps(query.min.y);
+  const __m256 qnz = _mm256_set1_ps(query.min.z);
+  const __m256 qxx = _mm256_set1_ps(query.max.x);
+  const __m256 qxy = _mm256_set1_ps(query.max.y);
+  const __m256 qxz = _mm256_set1_ps(query.max.z);
+  // _CMP_LE_OQ is ordered `<=`: false on NaN, exactly the scalar operator.
+  __m256 hit = _mm256_and_ps(
+      _mm256_cmp_ps(_mm256_load_ps(b.min_x), qxx, _CMP_LE_OQ),
+      _mm256_cmp_ps(qnx, _mm256_load_ps(b.max_x), _CMP_LE_OQ));
+  hit = _mm256_and_ps(
+      hit, _mm256_cmp_ps(_mm256_load_ps(b.min_y), qxy, _CMP_LE_OQ));
+  hit = _mm256_and_ps(
+      hit, _mm256_cmp_ps(qny, _mm256_load_ps(b.max_y), _CMP_LE_OQ));
+  hit = _mm256_and_ps(
+      hit, _mm256_cmp_ps(_mm256_load_ps(b.min_z), qxz, _CMP_LE_OQ));
+  hit = _mm256_and_ps(
+      hit, _mm256_cmp_ps(qnz, _mm256_load_ps(b.max_z), _CMP_LE_OQ));
+  return static_cast<std::uint32_t>(_mm256_movemask_ps(hit));
+#elif defined(__SSE2__)
+  const __m128 qnx = _mm_set1_ps(query.min.x);
+  const __m128 qny = _mm_set1_ps(query.min.y);
+  const __m128 qnz = _mm_set1_ps(query.min.z);
+  const __m128 qxx = _mm_set1_ps(query.max.x);
+  const __m128 qxy = _mm_set1_ps(query.max.y);
+  const __m128 qxz = _mm_set1_ps(query.max.z);
+  std::uint32_t mask = 0;
+  for (std::uint32_t o = 0; o < kBoxBatchWidth; o += 4) {
+    // cmpleps is ordered `<=`: false on NaN, exactly the scalar operator.
+    __m128 hit = _mm_and_ps(_mm_cmple_ps(_mm_load_ps(b.min_x + o), qxx),
+                            _mm_cmple_ps(qnx, _mm_load_ps(b.max_x + o)));
+    hit = _mm_and_ps(hit, _mm_cmple_ps(_mm_load_ps(b.min_y + o), qxy));
+    hit = _mm_and_ps(hit, _mm_cmple_ps(qny, _mm_load_ps(b.max_y + o)));
+    hit = _mm_and_ps(hit, _mm_cmple_ps(_mm_load_ps(b.min_z + o), qxz));
+    hit = _mm_and_ps(hit, _mm_cmple_ps(qnz, _mm_load_ps(b.max_z + o)));
+    mask |= static_cast<std::uint32_t>(_mm_movemask_ps(hit)) << o;
+  }
+  return mask;
+#else
+  std::uint32_t mask = 0;
+  for (std::uint32_t i = 0; i < kBoxBatchWidth; ++i) {
+    const bool hit = (b.min_x[i] <= query.max.x) & (query.min.x <= b.max_x[i]) &
+                     (b.min_y[i] <= query.max.y) & (query.min.y <= b.max_y[i]) &
+                     (b.min_z[i] <= query.max.z) & (query.min.z <= b.max_z[i]);
+    mask |= static_cast<std::uint32_t>(hit) << i;
+  }
+  return mask;
+#endif
+}
+
+/// 8-wide containment: bit i of the result is set iff `query` entirely
+/// contains batch lane i (exactly `AABB::Contains(AABB)`, including its
+/// empty-operand rule: an empty lane is never contained).
+inline std::uint32_t BoxBatchContains(const BoxBatch& b, const AABB& query) {
+#if defined(__AVX__)
+  const __m256 bnx = _mm256_load_ps(b.min_x);
+  const __m256 bny = _mm256_load_ps(b.min_y);
+  const __m256 bnz = _mm256_load_ps(b.min_z);
+  const __m256 bxx = _mm256_load_ps(b.max_x);
+  const __m256 bxy = _mm256_load_ps(b.max_y);
+  const __m256 bxz = _mm256_load_ps(b.max_z);
+  __m256 ok = _mm256_and_ps(_mm256_cmp_ps(bnx, bxx, _CMP_LE_OQ),
+                            _mm256_cmp_ps(bny, bxy, _CMP_LE_OQ));
+  ok = _mm256_and_ps(ok, _mm256_cmp_ps(bnz, bxz, _CMP_LE_OQ));
+  ok = _mm256_and_ps(
+      ok, _mm256_cmp_ps(_mm256_set1_ps(query.min.x), bnx, _CMP_LE_OQ));
+  ok = _mm256_and_ps(
+      ok, _mm256_cmp_ps(bxx, _mm256_set1_ps(query.max.x), _CMP_LE_OQ));
+  ok = _mm256_and_ps(
+      ok, _mm256_cmp_ps(_mm256_set1_ps(query.min.y), bny, _CMP_LE_OQ));
+  ok = _mm256_and_ps(
+      ok, _mm256_cmp_ps(bxy, _mm256_set1_ps(query.max.y), _CMP_LE_OQ));
+  ok = _mm256_and_ps(
+      ok, _mm256_cmp_ps(_mm256_set1_ps(query.min.z), bnz, _CMP_LE_OQ));
+  ok = _mm256_and_ps(
+      ok, _mm256_cmp_ps(bxz, _mm256_set1_ps(query.max.z), _CMP_LE_OQ));
+  return static_cast<std::uint32_t>(_mm256_movemask_ps(ok));
+#elif defined(__SSE2__)
+  std::uint32_t mask = 0;
+  for (std::uint32_t o = 0; o < kBoxBatchWidth; o += 4) {
+    const __m128 bnx = _mm_load_ps(b.min_x + o);
+    const __m128 bny = _mm_load_ps(b.min_y + o);
+    const __m128 bnz = _mm_load_ps(b.min_z + o);
+    const __m128 bxx = _mm_load_ps(b.max_x + o);
+    const __m128 bxy = _mm_load_ps(b.max_y + o);
+    const __m128 bxz = _mm_load_ps(b.max_z + o);
+    __m128 ok = _mm_and_ps(_mm_cmple_ps(bnx, bxx), _mm_cmple_ps(bny, bxy));
+    ok = _mm_and_ps(ok, _mm_cmple_ps(bnz, bxz));
+    ok = _mm_and_ps(ok, _mm_cmple_ps(_mm_set1_ps(query.min.x), bnx));
+    ok = _mm_and_ps(ok, _mm_cmple_ps(bxx, _mm_set1_ps(query.max.x)));
+    ok = _mm_and_ps(ok, _mm_cmple_ps(_mm_set1_ps(query.min.y), bny));
+    ok = _mm_and_ps(ok, _mm_cmple_ps(bxy, _mm_set1_ps(query.max.y)));
+    ok = _mm_and_ps(ok, _mm_cmple_ps(_mm_set1_ps(query.min.z), bnz));
+    ok = _mm_and_ps(ok, _mm_cmple_ps(bxz, _mm_set1_ps(query.max.z)));
+    mask |= static_cast<std::uint32_t>(_mm_movemask_ps(ok)) << o;
+  }
+  return mask;
+#else
+  std::uint32_t mask = 0;
+  for (std::uint32_t i = 0; i < kBoxBatchWidth; ++i) {
+    const bool nonempty = (b.min_x[i] <= b.max_x[i]) &
+                          (b.min_y[i] <= b.max_y[i]) &
+                          (b.min_z[i] <= b.max_z[i]);
+    const bool in = (query.min.x <= b.min_x[i]) & (b.max_x[i] <= query.max.x) &
+                    (query.min.y <= b.min_y[i]) & (b.max_y[i] <= query.max.y) &
+                    (query.min.z <= b.min_z[i]) & (b.max_z[i] <= query.max.z);
+    mask |= static_cast<std::uint32_t>(nonempty & in) << i;
+  }
+  return mask;
+#endif
+}
+
+/// Scalar reference for BoxBatchIntersect: one `AABB::Intersects` per lane.
+/// The batched kernel must agree with this bit for bit (see geometry_test);
+/// it is also the always-available fallback semantics — a target where the
+/// lane loop does not vectorise still computes exactly this.
+inline std::uint32_t BoxBatchIntersectScalar(const BoxBatch& b,
+                                             const AABB& query) {
+  std::uint32_t mask = 0;
+  for (std::uint32_t i = 0; i < kBoxBatchWidth; ++i) {
+    mask |= static_cast<std::uint32_t>(b.Lane(i).Intersects(query)) << i;
+  }
+  return mask;
+}
+
+/// Scalar reference for BoxBatchContains (`query.Contains(lane)` per lane).
+inline std::uint32_t BoxBatchContainsScalar(const BoxBatch& b,
+                                            const AABB& query) {
+  std::uint32_t mask = 0;
+  for (std::uint32_t i = 0; i < kBoxBatchWidth; ++i) {
+    mask |= static_cast<std::uint32_t>(query.Contains(b.Lane(i))) << i;
+  }
+  return mask;
 }
 
 /// Capsule (cylinder with hemispherical caps): segment [a,b] with radius r.

@@ -1,6 +1,7 @@
 #include "core/memgrid.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -1029,7 +1030,24 @@ void MemGrid::RangeScan(const AABB& range, const Sink& sink,
     if (len == 0) return;
     c.element_tests += len;
     c.bytes_read += len * sizeof(Entry);
-    for (std::uint32_t e = begin; e < begin + len; ++e) {
+    // Batched intersection over the run: transpose 8 entry boxes at a
+    // time (Entry is AoS, the box leads the record) and walk the hit
+    // mask in ascending lane order, preserving the scalar loop's rank-
+    // order emission bit for bit.
+    std::uint32_t e = begin;
+    const std::uint32_t end = begin + len;
+    while (e + kBoxBatchWidth <= end) {
+      BoxBatch batch;
+      BoxBatchLoad(&base[e].box, sizeof(Entry), kBoxBatchWidth, &batch);
+      std::uint32_t mask = BoxBatchIntersect(batch, range);
+      while (mask != 0) {
+        const std::uint32_t lane = std::countr_zero(mask);
+        mask &= mask - 1;
+        sink(base[e + lane]);
+      }
+      e += kBoxBatchWidth;
+    }
+    for (; e < end; ++e) {
       if (base[e].box.Intersects(range)) sink(base[e]);
     }
   };

@@ -14,6 +14,7 @@
 #include "pam/kdtree.h"
 #include "pam/loose_octree.h"
 #include "pam/octree.h"
+#include "rtree/packed_rtree.h"
 #include "rtree/rtree.h"
 
 namespace simspatial::core {
@@ -96,11 +97,68 @@ class RTreeAdapter final : public SpatialIndex {
   }
   std::size_t size() const override { return tree_.size(); }
   std::size_t MemoryBytes() const override { return tree_.Shape().bytes; }
+  bool CheckInvariants(std::string* error) const override {
+    return tree_.CheckInvariants(error);
+  }
 
  private:
   std::string name_;
   bool bulk_;
   rtree::RTree tree_;
+};
+
+// Packed (bulk-load-only) R-tree behind the mutation contract: updates hit
+// a mirror of the element set and trigger a rebuild — exactly the paper's
+// "rebuild from scratch" competitor (§4.1), now wired into every battery
+// that exercises ApplyUpdates.
+class PackedRTreeAdapter final : public SpatialIndex {
+ public:
+  PackedRTreeAdapter(std::string name, rtree::PackOrder order)
+      : name_(std::move(name)),
+        tree_(rtree::PackedRTreeOptions{
+            /*max_entries=*/32, order}) {}
+  std::string_view name() const override { return name_; }
+  void Build(std::span<const Element> elements, const AABB&) override {
+    elements_.assign(elements.begin(), elements.end());
+    pos_.clear();
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+      pos_[elements_[i].id] = i;
+    }
+    tree_.Build(elements_);
+  }
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* c) const override {
+    tree_.RangeQuery(range, out, c);
+  }
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* c) const override {
+    tree_.KnnQuery(p, k, out, c);
+  }
+  bool SupportsUpdates() const override { return true; }
+  std::size_t ApplyUpdates(std::span<const ElementUpdate> updates) override {
+    std::size_t n = 0;
+    for (const ElementUpdate& u : updates) {
+      const auto it = pos_.find(u.id);
+      if (it == pos_.end()) continue;
+      elements_[it->second].box = u.new_box;
+      ++n;
+    }
+    if (n > 0) tree_.Build(elements_);
+    return n;
+  }
+  std::size_t size() const override { return tree_.size(); }
+  std::size_t MemoryBytes() const override {
+    return tree_.Shape().bytes + elements_.size() * sizeof(Element);
+  }
+  bool CheckInvariants(std::string* error) const override {
+    return tree_.CheckInvariants(error);
+  }
+
+ private:
+  std::string name_;
+  rtree::PackedRTree tree_;
+  std::vector<Element> elements_;
+  std::unordered_map<ElementId, std::size_t> pos_;
 };
 
 class CRTreeAdapter final : public SpatialIndex {
@@ -119,6 +177,9 @@ class CRTreeAdapter final : public SpatialIndex {
   }
   std::size_t size() const override { return tree_.size(); }
   std::size_t MemoryBytes() const override { return tree_.Shape().bytes; }
+  bool CheckInvariants(std::string* error) const override {
+    return tree_.CheckInvariants(error);
+  }
 
  private:
   crtree::CRTree tree_;
@@ -403,6 +464,16 @@ const std::vector<RegistryEntry>& Registry() {
          rtree::RTreeOptions o;
          o.forced_reinsert = true;
          return std::make_unique<RTreeAdapter>("rstar", /*bulk=*/false, o);
+       }},
+      {"rtree-packed-str",
+       [](const IndexOptions&) {
+         return std::make_unique<PackedRTreeAdapter>("rtree-packed-str",
+                                                     rtree::PackOrder::kStr);
+       }},
+      {"rtree-packed-hilbert",
+       [](const IndexOptions&) {
+         return std::make_unique<PackedRTreeAdapter>(
+             "rtree-packed-hilbert", rtree::PackOrder::kHilbert);
        }},
       {"cr-tree",
        [](const IndexOptions&) { return std::make_unique<CRTreeAdapter>(); }},

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <queue>
+#include <sstream>
+
+#include "rtree/pack_order.h"
 
 namespace simspatial::crtree {
 
@@ -79,79 +82,43 @@ void CRTree::Build(std::span<const Element> elements) {
     return;
   }
 
-  const auto cx = [](const EntryRef& e) { return e.box.min.x + e.box.max.x; };
-  const auto cy = [](const EntryRef& e) { return e.box.min.y + e.box.max.y; };
-  const auto cz = [](const EntryRef& e) { return e.box.min.z + e.box.max.z; };
-
-  std::uint16_t level = 0;
-  while (true) {
-    const std::size_t n = entries.size();
-    const std::size_t node_count = (n + capacity_ - 1) / capacity_;
-
-    const std::size_t sx = static_cast<std::size_t>(
-        std::ceil(std::cbrt(static_cast<double>(node_count))));
-    const std::size_t nodes_per_slab = (node_count + sx - 1) / sx;
-    const std::size_t slab = nodes_per_slab * capacity_;
-    std::sort(entries.begin(), entries.end(),
-              [&](const EntryRef& a, const EntryRef& b) {
-                return cx(a) < cx(b);
-              });
-    for (std::size_t s0 = 0; s0 < n; s0 += slab) {
-      const std::size_t s1 = std::min(n, s0 + slab);
-      const std::size_t slab_nodes = (s1 - s0 + capacity_ - 1) / capacity_;
-      const std::size_t sy = static_cast<std::size_t>(
-          std::ceil(std::sqrt(static_cast<double>(slab_nodes))));
-      const std::size_t run = ((slab_nodes + sy - 1) / sy) * capacity_;
-      std::sort(entries.begin() + s0, entries.begin() + s1,
-                [&](const EntryRef& a, const EntryRef& b) {
-                  return cy(a) < cy(b);
-                });
-      for (std::size_t r0 = s0; r0 < s1; r0 += run) {
-        const std::size_t r1 = std::min(s1, r0 + run);
-        std::sort(entries.begin() + r0, entries.begin() + r1,
-                  [&](const EntryRef& a, const EntryRef& b) {
-                    return cz(a) < cz(b);
-                  });
-      }
+  // Ordering and level packing come from the shared curve-order builder
+  // (rtree/pack_order.h); this emit callback only quantizes each node's
+  // entries against its reference MBR.
+  std::uint16_t max_level = 0;
+  const auto box_of = [](const EntryRef& e) -> const AABB& { return e.box; };
+  const auto emit = [&](std::uint32_t level,
+                        std::span<EntryRef> node_entries) -> EntryRef {
+    Node node;
+    node.level = static_cast<std::uint16_t>(level);
+    node.first = static_cast<std::uint32_t>(qboxes_.size());
+    node.count = static_cast<std::uint16_t>(node_entries.size());
+    AABB ref;
+    for (const EntryRef& e : node_entries) ref.Extend(e.box);
+    node.ref = ref;
+    for (const EntryRef& e : node_entries) {
+      qboxes_.push_back(Quantize(e.box, ref));
+      children_.push_back(e.value);
     }
+    const std::uint32_t node_idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(node);
+    max_level = std::max(max_level, node.level);
+    return EntryRef{ref, node_idx};
+  };
+  root_ = rtree::PackLevels(&entries, capacity_, rtree::PackOrder::kStr,
+                            box_of, emit)
+              .value;
+  height_ = max_level + 1;
 
-    std::vector<EntryRef> next;
-    next.reserve(node_count);
-    for (std::size_t i = 0; i < n;) {
-      const std::size_t take = std::min<std::size_t>(capacity_, n - i);
-      Node node;
-      node.level = level;
-      node.first = static_cast<std::uint32_t>(qboxes_.size());
-      node.count = static_cast<std::uint16_t>(take);
-      AABB ref;
-      for (std::size_t j = 0; j < take; ++j) ref.Extend(entries[i + j].box);
-      node.ref = ref;
-      for (std::size_t j = 0; j < take; ++j) {
-        qboxes_.push_back(Quantize(entries[i + j].box, ref));
-        children_.push_back(entries[i + j].value);
-      }
-      const std::uint32_t node_idx = static_cast<std::uint32_t>(nodes_.size());
-      nodes_.push_back(node);
-      next.push_back(EntryRef{ref, node_idx});
-      i += take;
-    }
-    if (next.size() == 1) {
-      root_ = next[0].value;
-      height_ = level + 1;
-      // Leaf entries are the first |elements_| slots (level 0 was packed
-      // first). Reorder the exact-box array into leaf order so refinement
-      // reads sequentially instead of chasing random input positions.
-      std::vector<Element> reordered(elements_.size());
-      for (std::size_t pos = 0; pos < elements_.size(); ++pos) {
-        reordered[pos] = elements_[children_[pos]];
-        children_[pos] = static_cast<std::uint32_t>(pos);
-      }
-      elements_ = std::move(reordered);
-      return;
-    }
-    entries = std::move(next);
-    ++level;
+  // Leaf entries are the first |elements_| slots (level 0 was packed
+  // first). Reorder the exact-box array into leaf order so refinement
+  // reads sequentially instead of chasing random input positions.
+  std::vector<Element> reordered(elements_.size());
+  for (std::size_t pos = 0; pos < elements_.size(); ++pos) {
+    reordered[pos] = elements_[children_[pos]];
+    children_[pos] = static_cast<std::uint32_t>(pos);
   }
+  elements_ = std::move(reordered);
 }
 
 void CRTree::RangeQuery(const AABB& range, std::vector<ElementId>* out,
@@ -267,6 +234,137 @@ CRTreeShape CRTree::Shape() const {
   s.capacity = capacity_;
   s.bytes = nodes_.size() * options_.node_bytes;
   return s;
+}
+
+bool CRTree::CheckInvariants(std::string* error) const {
+  std::ostringstream err;
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  if (nodes_.empty()) return fail("no nodes (even an empty tree has a root)");
+  if (root_ >= nodes_.size()) return fail("root index out of range");
+  if (elements_.empty()) {
+    if (nodes_.size() != 1 || nodes_[0].count != 0) {
+      return fail("empty tree must be a single empty leaf");
+    }
+    return true;
+  }
+  if (nodes_[root_].level + 1u != height_) {
+    return fail("root level does not match the recorded height");
+  }
+
+  // Pass 1: per-node checks — entry ranges, the packed fill bound (only
+  // the last node of each level may be under-full), exact reference MBRs
+  // and quantization fidelity (re-quantizing each entry against the ref
+  // must reproduce the stored QBox — quantization is deterministic, so
+  // any drift means a stale ref or a corrupted entry).
+  std::vector<std::uint32_t> level_last(height_, 0);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.level >= height_) {
+      err << "node " << i << " level " << n.level << " above root level";
+      return fail(err.str());
+    }
+    level_last[n.level] = i;
+  }
+  std::size_t leaf_entries = 0;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.count == 0) {
+      err << "node " << i << " is empty";
+      return fail(err.str());
+    }
+    if (n.count > capacity_) {
+      err << "node " << i << " over capacity: " << n.count;
+      return fail(err.str());
+    }
+    if (n.count < capacity_ && i != level_last[n.level]) {
+      err << "node " << i << " under-full (" << n.count << "/" << capacity_
+          << ") but not the last of level " << n.level;
+      return fail(err.str());
+    }
+    if (std::size_t(n.first) + n.count > qboxes_.size() ||
+        qboxes_.size() != children_.size()) {
+      err << "node " << i << " entry range out of bounds";
+      return fail(err.str());
+    }
+    AABB unioned;
+    for (std::uint32_t j = 0; j < n.count; ++j) {
+      const std::uint32_t child = children_[n.first + j];
+      AABB entry_box;
+      if (n.level == 0) {
+        if (child != n.first + j || child >= elements_.size()) {
+          err << "leaf " << i << " slot " << j
+              << " does not map identically into the element array";
+          return fail(err.str());
+        }
+        entry_box = elements_[child].box;
+      } else {
+        if (child >= nodes_.size()) {
+          err << "child index " << child << " out of range";
+          return fail(err.str());
+        }
+        entry_box = nodes_[child].ref;
+      }
+      unioned.Extend(entry_box);
+    }
+    if (!(unioned == n.ref)) {
+      err << "node " << i << " ref MBR is not the union of its entries";
+      return fail(err.str());
+    }
+    for (std::uint32_t j = 0; j < n.count; ++j) {
+      const std::uint32_t child = children_[n.first + j];
+      const AABB entry_box =
+          n.level == 0 ? elements_[child].box : nodes_[child].ref;
+      const QBox expect = Quantize(entry_box, n.ref);
+      const QBox& got = qboxes_[n.first + j];
+      for (int a = 0; a < 3; ++a) {
+        if (expect.min[a] != got.min[a] || expect.max[a] != got.max[a]) {
+          err << "node " << i << " entry " << j << " QBox drifted on axis "
+              << a;
+          return fail(err.str());
+        }
+      }
+    }
+    if (n.level == 0) leaf_entries += n.count;
+  }
+  if (leaf_entries != elements_.size()) {
+    err << "leaf entries " << leaf_entries << " != size " << elements_.size();
+    return fail(err.str());
+  }
+
+  // Pass 2: topology from the root — child levels decrease by one and
+  // every node is referenced exactly once (uniform leaf depth follows).
+  std::vector<std::uint32_t> referenced(nodes_.size(), 0);
+  referenced[root_] = 1;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    if (n.level == 0) continue;
+    for (std::uint32_t j = 0; j < n.count; ++j) {
+      const std::uint32_t child = children_[n.first + j];
+      if (nodes_[child].level + 1 != n.level) {
+        err << "child " << child << " level " << nodes_[child].level
+            << " under parent level " << n.level;
+        return fail(err.str());
+      }
+      if (++referenced[child] > 1) {
+        err << "node " << child << " referenced more than once";
+        return fail(err.str());
+      }
+      stack.push_back(child);
+    }
+  }
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (referenced[i] != 1) {
+      err << "node " << i << " unreachable from the root";
+      return fail(err.str());
+    }
+  }
+  return true;
 }
 
 }  // namespace simspatial::crtree

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/counters.h"
@@ -62,6 +63,16 @@ class CRTree {
 
   std::size_t size() const { return elements_.size(); }
   CRTreeShape Shape() const;
+
+  /// Verify structural invariants: per-node reference-MBR containment (the
+  /// ref is exactly the union of its entries' exact boxes, and every
+  /// stored QBox re-quantizes identically against it), uniform leaf depth,
+  /// child-index topology (each non-root node referenced exactly once,
+  /// levels decrease by one, leaf slots are the identity mapping into the
+  /// reordered element array), the packed fill bound (only the last node
+  /// of each level may be under-full), and the element count. Returns true
+  /// if healthy; otherwise fills `error`.
+  bool CheckInvariants(std::string* error) const;
 
  private:
   // Quantized box: 8 bits per coordinate relative to the node's reference

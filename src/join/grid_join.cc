@@ -19,8 +19,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 #include <unordered_map>
 
+#include "join/join_parallel.h"
 #include "join/spatial_join.h"
 
 namespace simspatial::join {
@@ -83,6 +85,23 @@ struct CentreGrid {
   }
 };
 
+// The hash map's iteration order depends on the table layout, so both the
+// serial and the parallel paths walk the occupied cells in sorted key
+// order — that order is the determinism anchor the chunked fan-out
+// partitions.
+using CellRef = std::pair<CellKey, const std::vector<const Element*>*>;
+
+std::vector<CellRef> SortedCells(const CentreGrid& g) {
+  std::vector<CellRef> order;
+  order.reserve(g.cells.size());
+  for (const auto& [key, bucket] : g.cells) order.emplace_back(key, &bucket);
+  std::sort(order.begin(), order.end(), [](const CellRef& a, const CellRef& b) {
+    return std::tie(a.first.x, a.first.y, a.first.z) <
+           std::tie(b.first.x, b.first.y, b.first.z);
+  });
+  return order;
+}
+
 }  // namespace
 
 std::vector<JoinPair> GridSelfJoin(const std::vector<Element>& elems,
@@ -110,40 +129,51 @@ std::vector<JoinPair> GridSelfJoin(const std::vector<Element>& elems,
       options.small_cell_shortcut && eps == 0.0f &&
       MinExtent(elems) >= 2.0f * g.cell * std::sqrt(3.0f);
 
-  const auto test_pair = [&](const Element* a, const Element* b,
-                             bool same_cell) {
-    if (same_cell && shortcut) {
-      if (stats != nullptr) stats->skipped_tests += 1;
-      out.emplace_back(std::min(a->id, b->id), std::max(a->id, b->id));
-      return;
-    }
-    c.element_tests += 1;
-    if (PairMatches(a->box, b->box, eps)) {
-      out.emplace_back(std::min(a->id, b->id), std::max(a->id, b->id));
-    }
-  };
-
-  for (const auto& [key, bucket] : g.cells) {
-    c.nodes_visited += 1;
-    // Within-cell pairs.
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      for (std::size_t j = i + 1; j < bucket.size(); ++j) {
-        test_pair(bucket[i], bucket[j], /*same_cell=*/true);
-      }
-    }
-    // Forward neighbours (each unordered cell pair visited exactly once).
-    for (const auto& d : kForward) {
-      const auto it =
-          g.cells.find(CellKey{key.x + d[0], key.y + d[1], key.z + d[2]});
-      if (it == g.cells.end()) continue;
-      c.structure_tests += 1;
-      for (const Element* a : bucket) {
-        for (const Element* b : it->second) {
-          test_pair(a, b, /*same_cell=*/false);
+  const std::vector<CellRef> order = SortedCells(g);
+  detail::RunDeterministicChunks(
+      order.size(), options.threads, &out, &c,
+      stats != nullptr ? &stats->skipped_tests : nullptr,
+      [&](detail::JoinShard* shard, std::size_t begin, std::size_t end) {
+        const auto test_pair = [&](const Element* a, const Element* b,
+                                   bool same_cell) {
+          if (same_cell && shortcut) {
+            shard->skipped_tests += 1;
+            shard->pairs.emplace_back(std::min(a->id, b->id),
+                                      std::max(a->id, b->id));
+            return;
+          }
+          shard->counters.element_tests += 1;
+          if (PairMatches(a->box, b->box, eps)) {
+            shard->pairs.emplace_back(std::min(a->id, b->id),
+                                      std::max(a->id, b->id));
+          }
+        };
+        for (std::size_t ci = begin; ci < end; ++ci) {
+          const CellKey& key = order[ci].first;
+          const auto& bucket = *order[ci].second;
+          shard->counters.nodes_visited += 1;
+          // Within-cell pairs.
+          for (std::size_t i = 0; i < bucket.size(); ++i) {
+            for (std::size_t j = i + 1; j < bucket.size(); ++j) {
+              test_pair(bucket[i], bucket[j], /*same_cell=*/true);
+            }
+          }
+          // Forward neighbours (each unordered cell pair visited exactly
+          // once; the grid is read-only here, so concurrent lookups are
+          // safe).
+          for (const auto& d : kForward) {
+            const auto it = g.cells.find(
+                CellKey{key.x + d[0], key.y + d[1], key.z + d[2]});
+            if (it == g.cells.end()) continue;
+            shard->counters.structure_tests += 1;
+            for (const Element* a : bucket) {
+              for (const Element* b : it->second) {
+                test_pair(a, b, /*same_cell=*/false);
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
   c.results += out.size();
   return out;
 }
@@ -171,29 +201,36 @@ std::vector<JoinPair> GridJoin(const std::vector<Element>& a,
   gb.Fill(b);
   if (stats != nullptr) stats->cell_size = ga.cell;
 
-  // For each b-cell, probe the 27-neighbourhood of a-cells (binary join has
-  // no symmetric halving).
-  for (const auto& [key, bucket_b] : gb.cells) {
-    c.nodes_visited += 1;
-    for (int dx = -1; dx <= 1; ++dx) {
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dz = -1; dz <= 1; ++dz) {
-          const auto it =
-              ga.cells.find(CellKey{key.x + dx, key.y + dy, key.z + dz});
-          if (it == ga.cells.end()) continue;
-          c.structure_tests += 1;
-          for (const Element* eb : bucket_b) {
-            for (const Element* ea : it->second) {
-              c.element_tests += 1;
-              if (PairMatches(ea->box, eb->box, eps)) {
-                out.emplace_back(ea->id, eb->id);
+  // For each b-cell (in sorted key order), probe the 27-neighbourhood of
+  // a-cells (binary join has no symmetric halving).
+  const std::vector<CellRef> order = SortedCells(gb);
+  detail::RunDeterministicChunks(
+      order.size(), options.threads, &out, &c, nullptr,
+      [&](detail::JoinShard* shard, std::size_t begin, std::size_t end) {
+        for (std::size_t ci = begin; ci < end; ++ci) {
+          const CellKey& key = order[ci].first;
+          const auto& bucket_b = *order[ci].second;
+          shard->counters.nodes_visited += 1;
+          for (int dx = -1; dx <= 1; ++dx) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dz = -1; dz <= 1; ++dz) {
+                const auto it = ga.cells.find(
+                    CellKey{key.x + dx, key.y + dy, key.z + dz});
+                if (it == ga.cells.end()) continue;
+                shard->counters.structure_tests += 1;
+                for (const Element* eb : bucket_b) {
+                  for (const Element* ea : it->second) {
+                    shard->counters.element_tests += 1;
+                    if (PairMatches(ea->box, eb->box, eps)) {
+                      shard->pairs.emplace_back(ea->id, eb->id);
+                    }
+                  }
+                }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
   c.results += out.size();
   return out;
 }

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "join/join_parallel.h"
 #include "join/spatial_join.h"
 
 namespace simspatial::join {
@@ -42,6 +43,13 @@ struct GridDims {
   }
   std::size_t Index(std::int32_t x, std::int32_t y, std::int32_t z) const {
     return (static_cast<std::size_t>(x) * ny + y) * nz + z;
+  }
+  /// Inverse of Index: ascending flat order == the (x, y, z) triple loop.
+  void Decode(std::size_t idx, std::int32_t* x, std::int32_t* y,
+              std::int32_t* z) const {
+    *z = static_cast<std::int32_t>(idx % nz);
+    *y = static_cast<std::int32_t>((idx / nz) % ny);
+    *x = static_cast<std::int32_t>(idx / (static_cast<std::size_t>(ny) * nz));
   }
 };
 
@@ -159,20 +167,24 @@ std::vector<JoinPair> PbsmSelfJoin(const std::vector<Element>& elems,
       static_cast<std::size_t>(d.nx) * d.ny * d.nz);
   Scatter(elems, eps * 0.5f, d, &cells);
 
-  for (std::int32_t x = 0; x < d.nx; ++x) {
-    for (std::int32_t y = 0; y < d.ny; ++y) {
-      for (std::int32_t z = 0; z < d.nz; ++z) {
-        auto& cell = cells[d.Index(x, y, z)];
-        if (cell.size() < 2) continue;
-        c.nodes_visited += 1;
-        JoinCellSelf(&cell, eps, d, x, y, z, &c,
-                     [&](const Element* a, const Element* b) {
-                       out.emplace_back(std::min(a->id, b->id),
-                                        std::max(a->id, b->id));
-                     });
-      }
-    }
-  }
+  // Each cell is owned by exactly one chunk (contiguous flat-index
+  // ranges), so the in-place sort inside JoinCellSelf never races.
+  detail::RunDeterministicChunks(
+      cells.size(), options.threads, &out, &c, nullptr,
+      [&](detail::JoinShard* shard, std::size_t begin, std::size_t end) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          auto& cell = cells[idx];
+          if (cell.size() < 2) continue;
+          std::int32_t x, y, z;
+          d.Decode(idx, &x, &y, &z);
+          shard->counters.nodes_visited += 1;
+          JoinCellSelf(&cell, eps, d, x, y, z, &shard->counters,
+                       [&](const Element* a, const Element* b) {
+                         shard->pairs.emplace_back(std::min(a->id, b->id),
+                                                   std::max(a->id, b->id));
+                       });
+        }
+      });
   c.results += out.size();
   return out;
 }
@@ -195,20 +207,22 @@ std::vector<JoinPair> PbsmJoin(const std::vector<Element>& a,
   Scatter(a, eps * 0.5f, d, &cells_a);
   Scatter(b, eps * 0.5f, d, &cells_b);
 
-  for (std::int32_t x = 0; x < d.nx; ++x) {
-    for (std::int32_t y = 0; y < d.ny; ++y) {
-      for (std::int32_t z = 0; z < d.nz; ++z) {
-        auto& ca = cells_a[d.Index(x, y, z)];
-        auto& cb = cells_b[d.Index(x, y, z)];
-        if (ca.empty() || cb.empty()) continue;
-        c.nodes_visited += 1;
-        JoinCellBinary(&ca, &cb, eps, d, x, y, z, &c,
-                       [&](const Element* ea, const Element* eb) {
-                         out.emplace_back(ea->id, eb->id);
-                       });
-      }
-    }
-  }
+  detail::RunDeterministicChunks(
+      cells_a.size(), options.threads, &out, &c, nullptr,
+      [&](detail::JoinShard* shard, std::size_t begin, std::size_t end) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          auto& ca = cells_a[idx];
+          auto& cb = cells_b[idx];
+          if (ca.empty() || cb.empty()) continue;
+          std::int32_t x, y, z;
+          d.Decode(idx, &x, &y, &z);
+          shard->counters.nodes_visited += 1;
+          JoinCellBinary(&ca, &cb, eps, d, x, y, z, &shard->counters,
+                         [&](const Element* ea, const Element* eb) {
+                           shard->pairs.emplace_back(ea->id, eb->id);
+                         });
+        }
+      });
   c.results += out.size();
   return out;
 }

@@ -28,6 +28,7 @@
 
 #include "common/counters.h"
 #include "common/element.h"
+#include "common/threads.h"  // par::kThreadsAuto
 
 namespace simspatial::join {
 
@@ -55,6 +56,11 @@ std::vector<JoinPair> PlaneSweepJoin(const std::vector<Element>& a,
 struct PbsmOptions {
   /// Grid cell size; <= 0 derives ~2 elements/cell from the dataset bounds.
   float cell_size = 0.0f;
+  /// Worker threads for the per-cell join phase (partitioning stays
+  /// serial). Results are bit-identical for every value: cells are
+  /// processed in flat-index order and per-worker shards are merged in
+  /// chunk order. 0/1 = serial, kThreadsAuto = hardware concurrency.
+  std::uint32_t threads = par::kThreadsAuto;
 };
 
 std::vector<JoinPair> PbsmSelfJoin(const std::vector<Element>& elems,
@@ -71,6 +77,11 @@ std::vector<JoinPair> PbsmJoin(const std::vector<Element>& a,
 struct TouchOptions {
   /// STR fanout of the hierarchy built on the first (build) dataset.
   std::uint32_t fanout = 16;
+  /// Worker threads for the bucket-join phase (hierarchy build and probe
+  /// assignment stay serial). Bit-identical output for every value: nodes
+  /// are joined in index order, shards merged in chunk order. 0/1 =
+  /// serial, kThreadsAuto = hardware concurrency.
+  std::uint32_t threads = par::kThreadsAuto;
 };
 
 /// TOUCH binary join: builds an STR hierarchy on `build_side`, assigns each
@@ -95,6 +106,12 @@ struct GridJoinOptions {
   /// Enable the small-cell shortcut: when geometry guarantees that two
   /// boxes whose centres share a cell must intersect, skip their test.
   bool small_cell_shortcut = true;
+  /// Worker threads for the cell-pair phase (centre assignment stays
+  /// serial). Occupied cells are visited in sorted key order — serial and
+  /// parallel alike — and shards merged in chunk order, so the output is
+  /// bit-identical for every value. 0/1 = serial, kThreadsAuto =
+  /// hardware concurrency.
+  std::uint32_t threads = par::kThreadsAuto;
 };
 
 struct GridJoinStats {

@@ -2,8 +2,20 @@
 // "The sweep line approach does not ensure that only spatially close
 // objects are compared" — objects overlapping in x but distant in y/z still
 // meet in the active list; the counters make that visible.
+//
+// The active list is kept in structure-of-arrays form so the y/z proximity
+// filter runs through the batched AABB kernel (common/geometry's
+// BoxBatchIntersect) eight actives per step. The lane comparisons are the
+// same float operations as the scalar YzClose filter — the eps adjustments
+// are applied once at insertion to the very operands the scalar filter
+// subtracts per test — so the filter decisions, the exact PairMatches
+// refinements behind them, the emission order and the counters are all
+// bit-identical to the scalar sweep.
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
 
 #include "join/spatial_join.h"
 
@@ -17,6 +29,93 @@ inline bool YzClose(const AABB& a, const AABB& b, float eps) {
          a.min.z - eps <= b.max.z && b.min.z - eps <= a.max.z;
 }
 
+// Sweep active list in SoA form. Lane values are pre-adjusted by eps so the
+// batched intersect reproduces YzClose exactly: a stored active b holds
+// [b.min.x, b.min.y - eps, b.min.z - eps] .. [b.max.x + eps, b.max.y,
+// b.max.z], and the arrival a probes with [-inf, a.min.y - eps,
+// a.min.z - eps] .. [+inf, a.max.y, a.max.z] — the x comparisons are then
+// vacuous and the y/z comparisons are YzClose's, operand for operand.
+class ActiveList {
+ public:
+  void Insert(const AABB& b, std::uint32_t tag, float eps) {
+    min_x_.push_back(b.min.x);
+    max_x_eps_.push_back(b.max.x + eps);
+    min_y_eps_.push_back(b.min.y - eps);
+    max_y_.push_back(b.max.y);
+    min_z_eps_.push_back(b.min.z - eps);
+    max_z_.push_back(b.max.z);
+    tag_.push_back(tag);
+  }
+
+  // Drop actives that ended before the sweep front (minus eps reach),
+  // preserving relative order like the scalar compaction loop.
+  void Retire(float front) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < tag_.size(); ++r) {
+      if (max_x_eps_[r] >= front) {
+        min_x_[w] = min_x_[r];
+        max_x_eps_[w] = max_x_eps_[r];
+        min_y_eps_[w] = min_y_eps_[r];
+        max_y_[w] = max_y_[r];
+        min_z_eps_[w] = min_z_eps_[r];
+        max_z_[w] = max_z_[r];
+        tag_[w] = tag_[r];
+        ++w;
+      }
+    }
+    min_x_.resize(w);
+    max_x_eps_.resize(w);
+    min_y_eps_.resize(w);
+    max_y_.resize(w);
+    min_z_eps_.resize(w);
+    max_z_.resize(w);
+    tag_.resize(w);
+  }
+
+  std::size_t size() const { return tag_.size(); }
+
+  // Invoke fn(tag) for every active passing the y/z filter against
+  // arrival box `a`, in insertion order.
+  template <typename Fn>
+  void ForEachYzClose(const AABB& a, float eps, const Fn& fn) const {
+    constexpr float kInf = std::numeric_limits<float>::infinity();
+    const AABB query(Vec3(-kInf, a.min.y - eps, a.min.z - eps),
+                     Vec3(kInf, a.max.y, a.max.z));
+    const std::size_t n = tag_.size();
+    std::size_t r = 0;
+    for (; r + kBoxBatchWidth <= n; r += kBoxBatchWidth) {
+      BoxBatch batch;
+      std::memcpy(batch.min_x, &min_x_[r], sizeof(batch.min_x));
+      std::memcpy(batch.max_x, &max_x_eps_[r], sizeof(batch.max_x));
+      std::memcpy(batch.min_y, &min_y_eps_[r], sizeof(batch.min_y));
+      std::memcpy(batch.max_y, &max_y_[r], sizeof(batch.max_y));
+      std::memcpy(batch.min_z, &min_z_eps_[r], sizeof(batch.min_z));
+      std::memcpy(batch.max_z, &max_z_[r], sizeof(batch.max_z));
+      std::uint32_t mask = BoxBatchIntersect(batch, query);
+      while (mask != 0) {
+        const std::uint32_t lane = std::countr_zero(mask);
+        mask &= mask - 1;
+        fn(tag_[r + lane]);
+      }
+    }
+    for (; r < n; ++r) {
+      if (min_y_eps_[r] <= query.max.y && query.min.y <= max_y_[r] &&
+          min_z_eps_[r] <= query.max.z && query.min.z <= max_z_[r]) {
+        fn(tag_[r]);
+      }
+    }
+  }
+
+ private:
+  std::vector<float> min_x_;
+  std::vector<float> max_x_eps_;
+  std::vector<float> min_y_eps_;
+  std::vector<float> max_y_;
+  std::vector<float> min_z_eps_;
+  std::vector<float> max_z_;
+  std::vector<std::uint32_t> tag_;
+};
+
 }  // namespace
 
 std::vector<JoinPair> PlaneSweepSelfJoin(const std::vector<Element>& elems,
@@ -29,30 +128,22 @@ std::vector<JoinPair> PlaneSweepSelfJoin(const std::vector<Element>& elems,
             });
 
   std::vector<JoinPair> out;
-  std::vector<std::uint32_t> active;
+  ActiveList active;
   QueryCounters local;
   QueryCounters& c = counters != nullptr ? *counters : local;
 
   for (const std::uint32_t i : order) {
     const AABB& box = elems[i].box;
     // Retire actives that ended before the sweep front (minus eps reach).
-    std::size_t w = 0;
-    for (std::size_t r = 0; r < active.size(); ++r) {
-      if (elems[active[r]].box.max.x + eps >= box.min.x) {
-        active[w++] = active[r];
-      }
-    }
-    active.resize(w);
-    for (const std::uint32_t j : active) {
-      c.element_tests += 1;
-      const AABB& other = elems[j].box;
-      if (!YzClose(box, other, eps)) continue;
-      if (PairMatches(box, other, eps)) {
+    active.Retire(box.min.x);
+    c.element_tests += active.size();
+    active.ForEachYzClose(box, eps, [&](std::uint32_t j) {
+      if (PairMatches(box, elems[j].box, eps)) {
         out.emplace_back(std::min(elems[i].id, elems[j].id),
                          std::max(elems[i].id, elems[j].id));
       }
-    }
-    active.push_back(i);
+    });
+    active.Insert(box, i, eps);
   }
   c.results += out.size();
   return out;
@@ -76,33 +167,30 @@ std::vector<JoinPair> PlaneSweepJoin(const std::vector<Element>& a,
   });
 
   std::vector<JoinPair> out;
-  std::vector<const Element*> active_a;
-  std::vector<const Element*> active_b;
+  ActiveList active_a;
+  ActiveList active_b;
   QueryCounters local;
   QueryCounters& c = counters != nullptr ? *counters : local;
 
-  const auto retire = [&](std::vector<const Element*>* lst, float front) {
-    std::size_t w = 0;
-    for (std::size_t r = 0; r < lst->size(); ++r) {
-      if ((*lst)[r]->box.max.x + eps >= front) (*lst)[w++] = (*lst)[r];
-    }
-    lst->resize(w);
-  };
-
   for (const Tagged& t : order) {
     const AABB& box = t.e->box;
-    retire(&active_a, box.min.x);
-    retire(&active_b, box.min.x);
-    const auto& other = t.from_a ? active_b : active_a;
-    for (const Element* o : other) {
-      c.element_tests += 1;
-      if (!YzClose(box, o->box, eps)) continue;
-      if (PairMatches(box, o->box, eps)) {
-        out.emplace_back(t.from_a ? t.e->id : o->id,
-                         t.from_a ? o->id : t.e->id);
+    active_a.Retire(box.min.x);
+    active_b.Retire(box.min.x);
+    const ActiveList& other = t.from_a ? active_b : active_a;
+    const std::vector<Element>& other_elems = t.from_a ? b : a;
+    c.element_tests += other.size();
+    other.ForEachYzClose(box, eps, [&](std::uint32_t j) {
+      const Element& o = other_elems[j];
+      if (PairMatches(box, o.box, eps)) {
+        out.emplace_back(t.from_a ? t.e->id : o.id,
+                         t.from_a ? o.id : t.e->id);
       }
-    }
-    (t.from_a ? active_a : active_b).push_back(t.e);
+    });
+    (t.from_a ? active_a : active_b)
+        .Insert(box,
+                static_cast<std::uint32_t>(t.e -
+                                           (t.from_a ? a.data() : b.data())),
+                eps);
   }
   c.results += out.size();
   return out;

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "join/join_parallel.h"
 #include "join/spatial_join.h"
 
 namespace simspatial::join {
@@ -196,14 +197,27 @@ void ProbeSubtree(const Hierarchy& h, std::uint32_t node, const Element& p,
   }
 }
 
-template <typename Emit>
-void JoinBuckets(const Hierarchy& h, float eps, QueryCounters* c,
-                 const Emit& emit) {
-  for (std::uint32_t node = 0; node < h.nodes.size(); ++node) {
-    for (const Element* p : h.nodes[node].bucket) {
-      ProbeSubtree(h, node, *p, eps, c, emit);
-    }
-  }
+// Phase 3, parallel over node index ranges: the hierarchy is read-only
+// here and every bucket belongs to exactly one node, so contiguous node
+// chunks partition the work with no sharing. `self` keeps only the
+// (build < probe) orientation, removing the double discovery of the
+// self-join.
+void JoinBuckets(const Hierarchy& h, float eps, std::uint32_t threads,
+                 bool self, std::vector<JoinPair>* out, QueryCounters* c) {
+  detail::RunDeterministicChunks(
+      h.nodes.size(), threads, out, c, nullptr,
+      [&](detail::JoinShard* shard, std::size_t begin, std::size_t end) {
+        const auto emit = [&](const Element* a, const Element* b) {
+          if (self && a->id >= b->id) return;
+          shard->pairs.emplace_back(a->id, b->id);
+        };
+        for (std::size_t node = begin; node < end; ++node) {
+          for (const Element* p : h.nodes[node].bucket) {
+            ProbeSubtree(h, static_cast<std::uint32_t>(node), *p, eps,
+                         &shard->counters, emit);
+          }
+        }
+      });
 }
 
 }  // namespace
@@ -219,9 +233,7 @@ std::vector<JoinPair> TouchJoin(const std::vector<Element>& build_side,
 
   Hierarchy h = BuildHierarchy(build_side, std::max(4u, options.fanout));
   AssignProbes(&h, probe_side, eps, &c);
-  JoinBuckets(h, eps, &c, [&](const Element* a, const Element* b) {
-    out.emplace_back(a->id, b->id);
-  });
+  JoinBuckets(h, eps, options.threads, /*self=*/false, &out, &c);
   c.results += out.size();
   return out;
 }
@@ -238,9 +250,7 @@ std::vector<JoinPair> TouchSelfJoin(const std::vector<Element>& elems,
   AssignProbes(&h, elems, eps, &c);
   // Every unordered pair is discovered from both sides (each probe sees all
   // of its build-side matches); keep the (build < probe) orientation.
-  JoinBuckets(h, eps, &c, [&](const Element* a, const Element* b) {
-    if (a->id < b->id) out.emplace_back(a->id, b->id);
-  });
+  JoinBuckets(h, eps, options.threads, /*self=*/true, &out, &c);
   c.results += out.size();
   return out;
 }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <cstring>
 #include <queue>
+#include <span>
+
+#include "rtree/pack_order.h"
 
 namespace simspatial::rtree {
 
@@ -98,71 +100,31 @@ DiskRTree::DiskRTree(storage::PageStore* store,
     return;
   }
 
-  const auto cx = [](const EntryRef& e) { return e.box.min.x + e.box.max.x; };
-  const auto cy = [](const EntryRef& e) { return e.box.min.y + e.box.max.y; };
-  const auto cz = [](const EntryRef& e) { return e.box.min.z + e.box.max.z; };
-
-  std::uint16_t level = 0;
-  while (true) {
-    const std::size_t n = entries.size();
-    const std::size_t node_count = (n + capacity_ - 1) / capacity_;
-
-    // STR tiling at this level. Slab/run sizes are multiples of the page
-    // capacity so packed pages never straddle tile boundaries.
-    const std::size_t sx = static_cast<std::size_t>(
-        std::ceil(std::cbrt(static_cast<double>(node_count))));
-    const std::size_t nodes_per_slab = (node_count + sx - 1) / sx;
-    const std::size_t slab = nodes_per_slab * capacity_;
-    std::sort(entries.begin(), entries.end(),
-              [&](const EntryRef& a, const EntryRef& b) {
-                return cx(a) < cx(b);
-              });
-    for (std::size_t s0 = 0; s0 < n; s0 += slab) {
-      const std::size_t s1 = std::min(n, s0 + slab);
-      const std::size_t slab_nodes = (s1 - s0 + capacity_ - 1) / capacity_;
-      const std::size_t sy = static_cast<std::size_t>(
-          std::ceil(std::sqrt(static_cast<double>(slab_nodes))));
-      const std::size_t run = ((slab_nodes + sy - 1) / sy) * capacity_;
-      std::sort(entries.begin() + s0, entries.begin() + s1,
-                [&](const EntryRef& a, const EntryRef& b) {
-                  return cy(a) < cy(b);
-                });
-      for (std::size_t r0 = s0; r0 < s1; r0 += run) {
-        const std::size_t r1 = std::min(s1, r0 + run);
-        std::sort(entries.begin() + r0, entries.begin() + r1,
-                  [&](const EntryRef& a, const EntryRef& b) {
-                    return cz(a) < cz(b);
-                  });
-      }
+  // Ordering and level-by-level packing are the shared curve-order
+  // builder's (rtree/pack_order.h — the same PackLevels the in-memory
+  // PackedRTree uses); this constructor only materialises each emitted
+  // node as an on-disk page.
+  std::uint16_t max_level = 0;
+  const auto box_of = [](const EntryRef& e) -> const AABB& { return e.box; };
+  const auto emit = [&](std::uint32_t level,
+                        std::span<EntryRef> node_entries) -> EntryRef {
+    const storage::PageId pg = store_->Allocate();
+    std::byte* raw = store_->PagePtr(pg);
+    WriteHeader(raw, static_cast<std::uint16_t>(level),
+                static_cast<std::uint16_t>(node_entries.size()));
+    AABB mbr;
+    for (std::size_t j = 0; j < node_entries.size(); ++j) {
+      WriteEntry(raw, j, node_entries[j].box, node_entries[j].value);
+      mbr.Extend(node_entries[j].box);
     }
-
-    // Pack consecutive runs into pages.
-    std::vector<EntryRef> next;
-    next.reserve(node_count);
-    for (std::size_t i = 0; i < n;) {
-      const std::size_t take = std::min<std::size_t>(capacity_, n - i);
-      const storage::PageId pg = store_->Allocate();
-      std::byte* raw = store_->PagePtr(pg);
-      WriteHeader(raw, level, static_cast<std::uint16_t>(take));
-      AABB mbr;
-      for (std::size_t j = 0; j < take; ++j) {
-        WriteEntry(raw, j, entries[i + j].box, entries[i + j].value);
-        mbr.Extend(entries[i + j].box);
-      }
-      ++pages_used_;
-      next.push_back(EntryRef{mbr, pg});
-      i += take;
-    }
-    if (next.size() == 1) {
-      root_ = next[0].value;
-      height_ = level + 1;
-      // Bulk load complete: checksum every page so queries verify reads.
-      store_->SealAll();
-      return;
-    }
-    entries = std::move(next);
-    ++level;
-  }
+    ++pages_used_;
+    max_level = std::max(max_level, static_cast<std::uint16_t>(level));
+    return EntryRef{mbr, pg};
+  };
+  root_ = PackLevels(&entries, capacity_, PackOrder::kStr, box_of, emit).value;
+  height_ = max_level + 1;
+  // Bulk load complete: checksum every page so queries verify reads.
+  store_->SealAll();
 }
 
 void DiskRTree::RangeQuery(const AABB& range, storage::BufferPool* pool,

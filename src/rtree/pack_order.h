@@ -1,0 +1,151 @@
+// SimSpatial — shared curve-order bulk-load packer for the R-tree family.
+//
+// Every bulk loader in the family (the packed in-memory trees, the paged
+// DiskRTree, and TOUCH's transient hierarchy) reduces to the same two
+// steps per level: put the level's entries in a spatial order — STR tiling
+// or a Hilbert-curve sort of the box centres — then cut the ordered
+// sequence into consecutive capacity-sized nodes. This header is that one
+// builder, templated on the entry type and the node-emission callback, so
+// the memory and disk trees share the ordering logic instead of each
+// carrying its own copy of the three-sort STR loop.
+
+#ifndef SIMSPATIAL_RTREE_PACK_ORDER_H_
+#define SIMSPATIAL_RTREE_PACK_ORDER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace simspatial::rtree {
+
+/// Which curve order the packed bulk load lays leaves out in.
+enum class PackOrder : std::uint8_t {
+  /// Sort-Tile-Recursive: x-slabs, y-runs, z inside — re-tiled per level.
+  kStr = 0,
+  /// Hilbert key of the box centre (common/geometry's HilbertEncodeCell
+  /// codec over the 21-bit quantised lattice): sorted once at the leaves,
+  /// upper levels chunk consecutively — curve order already clusters
+  /// parents.
+  kHilbert = 1,
+};
+
+inline const char* ToString(PackOrder order) {
+  return order == PackOrder::kStr ? "str" : "hilbert";
+}
+
+/// In-place STR tiling of [first, last): sort by x-centre into vertical
+/// slabs, each slab by y into runs, each run by z. Slab/run sizes are
+/// multiples of the node capacity `cap` so packed nodes never straddle
+/// tile boundaries (a straddling node unions two distant tiles and
+/// destroys the packing quality). `box_of(*it)` must yield the entry's
+/// AABB (by value or reference).
+template <typename It, typename BoxOf>
+void StrTileLevel(It first, It last, std::size_t cap, const BoxOf& box_of) {
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n == 0) return;
+  const std::size_t node_count = (n + cap - 1) / cap;
+
+  const auto cx = [&](const auto& e) {
+    const AABB& b = box_of(e);
+    return b.min.x + b.max.x;
+  };
+  const auto cy = [&](const auto& e) {
+    const AABB& b = box_of(e);
+    return b.min.y + b.max.y;
+  };
+  const auto cz = [&](const auto& e) {
+    const AABB& b = box_of(e);
+    return b.min.z + b.max.z;
+  };
+
+  const std::size_t sx = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(node_count))));
+  const std::size_t nodes_per_slab = (node_count + sx - 1) / sx;
+  const std::size_t slab = nodes_per_slab * cap;
+
+  std::sort(first, last,
+            [&](const auto& a, const auto& b) { return cx(a) < cx(b); });
+  for (std::size_t s0 = 0; s0 < n; s0 += slab) {
+    const std::size_t s1 = std::min(n, s0 + slab);
+    const std::size_t slab_nodes = (s1 - s0 + cap - 1) / cap;
+    const std::size_t sy = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slab_nodes))));
+    const std::size_t run = ((slab_nodes + sy - 1) / sy) * cap;
+    std::sort(first + s0, first + s1,
+              [&](const auto& a, const auto& b) { return cy(a) < cy(b); });
+    for (std::size_t r0 = s0; r0 < s1; r0 += run) {
+      const std::size_t r1 = std::min(s1, r0 + run);
+      std::sort(first + r0, first + r1,
+                [&](const auto& a, const auto& b) { return cz(a) < cz(b); });
+    }
+  }
+}
+
+/// In-place Hilbert-curve order of [first, last): sort by the Hilbert key
+/// of each entry's box centre within `bounds`. Key ties keep the input
+/// order (the sort key carries the original position), so the packing is
+/// reproducible run to run.
+template <typename It, typename BoxOf>
+void HilbertCurveOrder(It first, It last, const AABB& bounds,
+                       const BoxOf& box_of) {
+  using Entry = typename std::iterator_traits<It>::value_type;
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed;
+  keyed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keyed.emplace_back(HilbertEncode(box_of(first[i]).Center(), bounds),
+                       static_cast<std::uint32_t>(i));
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Entry> reordered;
+  reordered.reserve(n);
+  for (const auto& [key, idx] : keyed) reordered.push_back(first[idx]);
+  std::move(reordered.begin(), reordered.end(), first);
+}
+
+/// Level-by-level bottom-up packer — the one bulk-load builder behind the
+/// packed in-memory trees and DiskRTree. Orders the level-0 `entries` in
+/// curve order (STR re-tiles every level; Hilbert sorts once at the
+/// leaves, upper levels chunk consecutively), cuts each ordered level into
+/// consecutive nodes of at most `cap` entries, and calls
+/// `emit(level, std::span<Entry>)` per node; emit materialises the node
+/// (memory node, disk page, ...) and returns the parent-level entry
+/// referencing it. Returns the root entry. `entries` must be non-empty;
+/// only the last node of each level may be under-full, which is the packed
+/// fill invariant CheckInvariants asserts.
+template <typename Entry, typename BoxOf, typename Emit>
+Entry PackLevels(std::vector<Entry>* entries, std::size_t cap,
+                 PackOrder order, const BoxOf& box_of, const Emit& emit) {
+  if (order == PackOrder::kHilbert) {
+    AABB bounds;
+    for (const Entry& e : *entries) bounds.Extend(box_of(e));
+    HilbertCurveOrder(entries->begin(), entries->end(), bounds, box_of);
+  }
+  std::uint32_t level = 0;
+  while (true) {
+    const std::size_t n = entries->size();
+    if (order == PackOrder::kStr) {
+      StrTileLevel(entries->begin(), entries->end(), cap, box_of);
+    }
+    std::vector<Entry> next;
+    next.reserve((n + cap - 1) / cap);
+    for (std::size_t i = 0; i < n;) {
+      const std::size_t take = std::min(cap, n - i);
+      next.push_back(emit(level, std::span<Entry>(entries->data() + i, take)));
+      i += take;
+    }
+    if (next.size() == 1) return next[0];
+    *entries = std::move(next);
+    ++level;
+  }
+}
+
+}  // namespace simspatial::rtree
+
+#endif  // SIMSPATIAL_RTREE_PACK_ORDER_H_

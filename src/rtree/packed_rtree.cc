@@ -1,0 +1,314 @@
+#include "rtree/packed_rtree.h"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+#include <sstream>
+
+namespace simspatial::rtree {
+
+namespace {
+
+// One level-0 / parent-level entry flowing through the shared packer.
+struct PackEntry {
+  AABB box;
+  std::uint32_t value = 0;  // Element id at level 0, node index above.
+};
+
+constexpr std::uint32_t BlocksFor(std::uint32_t count) {
+  return (count + kBoxBatchWidth - 1) / kBoxBatchWidth;
+}
+
+}  // namespace
+
+PackedRTree::PackedRTree(PackedRTreeOptions options) : options_(options) {
+  if (options_.max_entries < 2) options_.max_entries = 2;
+}
+
+void PackedRTree::Build(std::span<const Element> elements) {
+  nodes_.clear();
+  lanes_.clear();
+  values_.clear();
+  size_ = elements.size();
+  root_ = 0;
+
+  if (elements.empty()) {
+    Node leaf;
+    leaf.mbr = AABB();
+    nodes_.push_back(leaf);
+    return;
+  }
+
+  std::vector<PackEntry> entries;
+  entries.reserve(elements.size());
+  for (const Element& e : elements) entries.push_back({e.box, e.id});
+
+  const auto box_of = [](const PackEntry& e) -> const AABB& { return e.box; };
+  const auto emit = [&](std::uint32_t level,
+                        std::span<PackEntry> node_entries) -> PackEntry {
+    Node node;
+    node.level = level;
+    node.count = static_cast<std::uint32_t>(node_entries.size());
+    node.first_block = static_cast<std::uint32_t>(lanes_.size());
+    const std::uint32_t blocks = BlocksFor(node.count);
+    lanes_.resize(lanes_.size() + blocks);
+    values_.resize(values_.size() + blocks * kBoxBatchWidth, 0);
+    for (std::uint32_t j = 0; j < blocks * kBoxBatchWidth; ++j) {
+      BoxBatch& block = lanes_[node.first_block + j / kBoxBatchWidth];
+      if (j < node.count) {
+        block.SetLane(j % kBoxBatchWidth, node_entries[j].box);
+        values_[node.first_block * kBoxBatchWidth + j] = node_entries[j].value;
+        node.mbr.Extend(node_entries[j].box);
+      } else {
+        block.SetLane(j % kBoxBatchWidth, AABB());  // Inert padding lane.
+      }
+    }
+    const std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(node);
+    return PackEntry{node.mbr, index};
+  };
+
+  root_ = PackLevels(&entries, options_.max_entries, options_.order, box_of,
+                     emit)
+              .value;
+}
+
+void PackedRTree::ScanNode(const Node& n, const AABB& range,
+                           std::vector<ElementId>* out,
+                           std::vector<std::uint32_t>* stack) const {
+  const std::uint32_t blocks = BlocksFor(n.count);
+  const std::uint32_t value_base = n.first_block * kBoxBatchWidth;
+  for (std::uint32_t g = 0; g < blocks; ++g) {
+    std::uint32_t mask = BoxBatchIntersect(lanes_[n.first_block + g], range);
+    while (mask != 0) {
+      const std::uint32_t lane = std::countr_zero(mask);
+      mask &= mask - 1;
+      const std::uint32_t v = values_[value_base + g * kBoxBatchWidth + lane];
+      if (n.level == 0) {
+        out->push_back(v);
+      } else {
+        stack->push_back(v);
+      }
+    }
+  }
+}
+
+void PackedRTree::RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                             QueryCounters* counters) const {
+  out->clear();
+  if (size_ == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  c.structure_tests += 1;  // Root MBR test.
+  if (!nodes_[root_].mbr.Intersects(range)) return;
+
+  // Per-thread reusable traversal stack: a fresh vector here costs a heap
+  // round-trip per query, which is visible at this query's scale (the whole
+  // traversal is a handful of node scans). thread_local keeps concurrent
+  // readers race-free without a mutable member.
+  thread_local std::vector<std::uint32_t> stack;
+  stack.clear();
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    c.bytes_read += sizeof(Node) + BlocksFor(n.count) *
+                                       (sizeof(BoxBatch) +
+                                        kBoxBatchWidth * sizeof(std::uint32_t));
+    if (n.level == 0) {
+      c.element_tests += n.count;
+    } else {
+      c.structure_tests += n.count;
+    }
+    ScanNode(n, range, out, &stack);
+  }
+  c.results += out->size();
+}
+
+void PackedRTree::KnnQuery(const Vec3& p, std::size_t k,
+                           std::vector<ElementId>* out,
+                           QueryCounters* counters) const {
+  out->clear();
+  if (size_ == 0 || k == 0) return;
+  QueryCounters local;
+  QueryCounters& c = counters != nullptr ? *counters : local;
+
+  // Best-first search; same ordering contract as RTree::KnnQuery (nodes
+  // sort before elements at equal distance, elements tie-break by id).
+  struct PqEntry {
+    float dist2;
+    bool is_element;
+    std::uint32_t value;  // Element id or node index.
+    bool operator>(const PqEntry& o) const {
+      if (dist2 != o.dist2) return dist2 > o.dist2;
+      if (is_element != o.is_element) return is_element && !o.is_element;
+      return value > o.value;
+    }
+  };
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  pq.push({0.0f, false, root_});
+
+  while (!pq.empty() && out->size() < k) {
+    const PqEntry e = pq.top();
+    pq.pop();
+    if (e.is_element) {
+      out->push_back(e.value);
+      continue;
+    }
+    const Node& n = nodes_[e.value];
+    c.nodes_visited += 1;
+    c.pointer_hops += 1;
+    c.bytes_read += sizeof(Node) + BlocksFor(n.count) *
+                                       (sizeof(BoxBatch) +
+                                        kBoxBatchWidth * sizeof(std::uint32_t));
+    c.distance_computations += n.count;
+    const std::uint32_t value_base = n.first_block * kBoxBatchWidth;
+    for (std::uint32_t j = 0; j < n.count; ++j) {
+      const AABB box =
+          lanes_[n.first_block + j / kBoxBatchWidth].Lane(j % kBoxBatchWidth);
+      pq.push({box.SquaredDistanceTo(p), n.level == 0, values_[value_base + j]});
+    }
+  }
+  c.results += out->size();
+}
+
+PackedRTreeShape PackedRTree::Shape() const {
+  PackedRTreeShape s;
+  s.elements = size_;
+  s.height = nodes_.empty() ? 0 : nodes_[root_].level + 1;
+  for (const Node& n : nodes_) {
+    if (n.level == 0) {
+      ++s.leaf_nodes;
+    } else {
+      ++s.internal_nodes;
+    }
+  }
+  s.bytes = nodes_.size() * sizeof(Node) + lanes_.size() * sizeof(BoxBatch) +
+            values_.size() * sizeof(std::uint32_t);
+  return s;
+}
+
+bool PackedRTree::CheckInvariants(std::string* error) const {
+  std::ostringstream err;
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  if (nodes_.empty()) return fail("no nodes (even an empty tree has a root)");
+  if (root_ >= nodes_.size()) return fail("root index out of range");
+  if (size_ == 0) {
+    if (nodes_.size() != 1 || nodes_[0].count != 0 || nodes_[0].level != 0) {
+      return fail("empty tree must be a single empty leaf");
+    }
+    return true;
+  }
+
+  // Pass 1: per-node checks — lane ranges, MBR = union of entry boxes,
+  // inert padding lanes, packed fill (only the LAST node of each level may
+  // be under-full; the packer cuts full nodes off the front of each level).
+  std::vector<std::uint32_t> level_last(nodes_[root_].level + 1, 0);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.level >= level_last.size()) {
+      err << "node " << i << " level " << n.level << " above root level";
+      return fail(err.str());
+    }
+    level_last[n.level] = i;
+  }
+  std::size_t leaf_entries = 0;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.count == 0) {
+      err << "node " << i << " is empty";
+      return fail(err.str());
+    }
+    if (n.count > options_.max_entries) {
+      err << "node " << i << " over capacity: " << n.count;
+      return fail(err.str());
+    }
+    if (n.count < options_.max_entries && i != level_last[n.level]) {
+      err << "node " << i << " under-full (" << n.count << "/"
+          << options_.max_entries << ") but not the last of level "
+          << n.level;
+      return fail(err.str());
+    }
+    const std::uint32_t blocks = BlocksFor(n.count);
+    if (std::size_t(n.first_block) + blocks > lanes_.size()) {
+      err << "node " << i << " lane range out of bounds";
+      return fail(err.str());
+    }
+    AABB unioned;
+    for (std::uint32_t j = 0; j < blocks * kBoxBatchWidth; ++j) {
+      const AABB box =
+          lanes_[n.first_block + j / kBoxBatchWidth].Lane(j % kBoxBatchWidth);
+      if (j < n.count) {
+        unioned.Extend(box);
+        if (!n.mbr.Contains(box)) {
+          err << "node " << i << " entry " << j << " escapes the node MBR";
+          return fail(err.str());
+        }
+      } else if (!box.IsEmpty()) {
+        err << "node " << i << " padding lane " << j << " is not empty";
+        return fail(err.str());
+      }
+    }
+    if (!(unioned == n.mbr)) {
+      err << "node " << i << " MBR is not the union of its entries";
+      return fail(err.str());
+    }
+    if (n.level == 0) leaf_entries += n.count;
+  }
+  if (leaf_entries != size_) {
+    err << "leaf entries " << leaf_entries << " != size " << size_;
+    return fail(err.str());
+  }
+
+  // Pass 2: topology from the root — child levels decrease by one, child
+  // entry boxes mirror the child's MBR, every node referenced exactly once
+  // (uniform leaf depth follows: every leaf sits level() steps down).
+  std::vector<std::uint32_t> referenced(nodes_.size(), 0);
+  referenced[root_] = 1;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    if (n.level == 0) continue;
+    const std::uint32_t value_base = n.first_block * kBoxBatchWidth;
+    for (std::uint32_t j = 0; j < n.count; ++j) {
+      const std::uint32_t child = values_[value_base + j];
+      if (child >= nodes_.size()) {
+        err << "child index " << child << " out of range";
+        return fail(err.str());
+      }
+      if (nodes_[child].level + 1 != n.level) {
+        err << "child " << child << " level " << nodes_[child].level
+            << " under parent level " << n.level;
+        return fail(err.str());
+      }
+      const AABB entry_box =
+          lanes_[n.first_block + j / kBoxBatchWidth].Lane(j % kBoxBatchWidth);
+      if (!(entry_box == nodes_[child].mbr)) {
+        err << "entry box of child " << child << " is stale";
+        return fail(err.str());
+      }
+      if (++referenced[child] > 1) {
+        err << "node " << child << " referenced more than once";
+        return fail(err.str());
+      }
+      stack.push_back(child);
+    }
+  }
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (referenced[i] != 1) {
+      err << "node " << i << " unreachable from the root";
+      return fail(err.str());
+    }
+  }
+  return true;
+}
+
+}  // namespace simspatial::rtree

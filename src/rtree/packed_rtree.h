@@ -1,0 +1,109 @@
+// SimSpatial — packed (bulk-load-only) R-tree.
+//
+// The cache-conscious counterpart of the dynamic RTree: the whole tree is
+// built in one bottom-up pass by the shared curve-order packer
+// (rtree/pack_order.h — STR tiling or Hilbert-curve order, the same
+// builder DiskRTree packs its pages with), leaves laid out contiguously in
+// curve order in ONE flat node array, and every node's entry MBRs stored
+// as structure-of-arrays lane blocks sized for the batched AABB kernel
+// (common/geometry's BoxBatchIntersect). No parent pointers, no per-node
+// allocation, no insertion bookkeeping — a node is an MBR plus a range of
+// SoA lanes, and a query is a stack of node indices streaming 8-wide
+// intersection masks. Mutation goes through a rebuild (the paper's
+// "rebuild from scratch" competitor, §4.1); the dynamic RTree remains the
+// mutation-path structure.
+
+#ifndef SIMSPATIAL_RTREE_PACKED_RTREE_H_
+#define SIMSPATIAL_RTREE_PACKED_RTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/element.h"
+#include "common/geometry.h"
+#include "rtree/pack_order.h"
+
+namespace simspatial::rtree {
+
+/// Tuning knobs of the packed R-tree.
+struct PackedRTreeOptions {
+  /// Maximum entries per node. The SoA lane blocks round this up to the
+  /// batch width internally, so multiples of kBoxBatchWidth waste nothing.
+  std::uint32_t max_entries = 32;
+  /// Leaf layout order (see rtree/pack_order.h).
+  PackOrder order = PackOrder::kStr;
+};
+
+/// Shape statistics (mirrors RTreeShape for the §3.2 size comparisons).
+struct PackedRTreeShape {
+  std::size_t elements = 0;
+  std::size_t leaf_nodes = 0;
+  std::size_t internal_nodes = 0;
+  std::uint32_t height = 0;  ///< 1 = root is a leaf.
+  std::size_t bytes = 0;     ///< Node + lane storage footprint.
+};
+
+/// Static packed R-tree over `Element`s. Build() replaces all content.
+class PackedRTree {
+ public:
+  explicit PackedRTree(PackedRTreeOptions options = PackedRTreeOptions());
+
+  /// Discard all content and bulk load `elements` in curve order.
+  void Build(std::span<const Element> elements);
+
+  /// Ids of all elements whose box intersects `range` (unsorted).
+  void RangeQuery(const AABB& range, std::vector<ElementId>* out,
+                  QueryCounters* counters = nullptr) const;
+
+  /// Up to `k` element ids by increasing box distance from `p` (best-first
+  /// search; ties broken by id — exact, same contract as RTree::KnnQuery).
+  void KnnQuery(const Vec3& p, std::size_t k, std::vector<ElementId>* out,
+                QueryCounters* counters = nullptr) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const PackedRTreeOptions& options() const { return options_; }
+
+  /// Tree-shape statistics (O(nodes)).
+  PackedRTreeShape Shape() const;
+
+  /// Verify structural invariants: per-node MBR containment (a node's MBR
+  /// is exactly the union of its entry boxes, and internal entries mirror
+  /// their child's MBR), uniform leaf depth, child-index topology (each
+  /// non-root node referenced exactly once, levels decrease by one), the
+  /// packed fill bound (only the last node of each level may be
+  /// under-full), empty-box padding in the SoA tail lanes, and the element
+  /// count. Returns true if healthy; otherwise fills `error`.
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  struct Node {
+    AABB mbr;
+    std::uint32_t first_block = 0;  ///< First BoxBatch lane block.
+    std::uint32_t count = 0;        ///< Live entries (<= max_entries).
+    std::uint32_t level = 0;        ///< 0 = leaf.
+  };
+
+  void ScanNode(const Node& n, const AABB& range,
+                std::vector<ElementId>* out,
+                std::vector<std::uint32_t>* stack) const;
+
+  PackedRTreeOptions options_;
+  std::size_t size_ = 0;
+  std::uint32_t root_ = 0;  ///< Node index; nodes are packed leaves-first.
+  std::vector<Node> nodes_;
+  /// Entry MBRs, kBoxBatchWidth per block; a node's entries occupy lanes
+  /// [0, count) of blocks [first_block, first_block + ceil(count/8));
+  /// tail lanes hold the empty box (they never set mask bits).
+  std::vector<BoxBatch> lanes_;
+  /// Entry payloads aligned with the lanes (index = block * 8 + lane):
+  /// element id at a leaf, child node index at an internal node.
+  std::vector<std::uint32_t> values_;
+};
+
+}  // namespace simspatial::rtree
+
+#endif  // SIMSPATIAL_RTREE_PACKED_RTREE_H_

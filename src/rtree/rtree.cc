@@ -1,6 +1,7 @@
 #include "rtree/rtree.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -770,18 +771,30 @@ void RTree::RangeQuery(const AABB& range, std::vector<ElementId>* out,
     c.nodes_visited += 1;
     c.pointer_hops += 1;
     c.bytes_read += node_bytes;
+    // Batched scan over the node's contiguous AABB array: test 8 entries
+    // per BoxBatchIntersect and walk the hit mask in lane order, so the
+    // emission order matches the scalar per-entry loop exactly.
     const AABB* boxes = Boxes(n);
+    const Slot* slots = Slots(n);
     if (n->level == 0) {
-      const Slot* slots = Slots(n);
       c.element_tests += n->count;
-      for (std::uint32_t i = 0; i < n->count; ++i) {
-        if (boxes[i].Intersects(range)) out->push_back(slots[i].eid);
-      }
     } else {
-      const Slot* slots = Slots(n);
       c.structure_tests += n->count;
-      for (std::uint32_t i = 0; i < n->count; ++i) {
-        if (boxes[i].Intersects(range)) stack.push_back(slots[i].child);
+    }
+    for (std::uint32_t i = 0; i < n->count; i += kBoxBatchWidth) {
+      const std::uint32_t lanes =
+          std::min(kBoxBatchWidth, n->count - i);
+      BoxBatch batch;
+      BoxBatchLoad(boxes + i, sizeof(AABB), lanes, &batch);
+      std::uint32_t mask = BoxBatchIntersect(batch, range);
+      while (mask != 0) {
+        const std::uint32_t lane = std::countr_zero(mask);
+        mask &= mask - 1;
+        if (n->level == 0) {
+          out->push_back(slots[i + lane].eid);
+        } else {
+          stack.push_back(slots[i + lane].child);
+        }
       }
     }
   }

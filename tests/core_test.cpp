@@ -781,9 +781,11 @@ INSTANTIATE_TEST_SUITE_P(AllIndexes, RegistryDifferentialTest,
 // transitively cross-checks the profiles against each other.
 TEST(RegistryTest, SeededMixedWorkloadDifferentialFuzz) {
   const std::vector<std::string> profiles = {
-      "memgrid",         "memgrid-padded",  "memgrid-morton",
-      "memgrid-hilbert", "memgrid-sharded", "memgrid-sortscan",
-      "rtree",           "linear-scan"};
+      "memgrid",          "memgrid-padded",
+      "memgrid-morton",   "memgrid-hilbert",
+      "memgrid-sharded",  "memgrid-sortscan",
+      "rtree",            "rtree-packed-str",
+      "rtree-packed-hilbert", "linear-scan"};
   std::vector<std::unique_ptr<SpatialIndex>> indexes;
   for (const std::string& p : profiles) {
     auto index = MakeIndex(p);

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace simspatial {
@@ -449,6 +452,97 @@ TEST(HilbertTest, ExtremesMapToCurveEnds) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_LT(HilbertEncode(rng.PointIn(u), u), 1ULL << 63);
   }
+}
+
+// --- Batched AABB kernel -----------------------------------------------------
+
+// A pool of NaN-free boxes stressing every comparison edge the kernel
+// evaluates: ordinary overlapping/disjoint volumes, zero-extent boxes
+// (min == max on one or all axes), inverted boxes (min > max — the empty
+// convention and the serving layer's tombstones), the default empty
+// sentinel, and huge-magnitude but finite coordinates.
+std::vector<AABB> BatchKernelBoxPool() {
+  std::vector<AABB> pool;
+  Rng rng(77);
+  const AABB u(Vec3(-50, -50, -50), Vec3(50, 50, 50));
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 c = rng.PointIn(u);
+    pool.push_back(AABB::FromCenterHalfExtents(
+        c, Vec3(rng.Uniform(0.0f, 8.0f), rng.Uniform(0.0f, 8.0f),
+                rng.Uniform(0.0f, 8.0f))));
+  }
+  for (int i = 0; i < 50; ++i) {
+    pool.push_back(AABB::FromPoint(rng.PointIn(u)));  // Zero extent.
+  }
+  for (int i = 0; i < 50; ++i) {  // Inverted on one or more axes.
+    AABB b = pool[rng.NextBelow(pool.size())];
+    const int axis = static_cast<int>(rng.NextBelow(3));
+    std::swap(b.min[axis], b.max[axis]);
+    b.min[axis] += 1.0f;  // Force min > max even for zero-extent sources.
+    pool.push_back(b);
+  }
+  pool.push_back(AABB());  // Default empty sentinel (the padding lane).
+  pool.push_back(AABB(Vec3(-3e37f, -3e37f, -3e37f), Vec3(3e37f, 3e37f, 3e37f)));
+  return pool;
+}
+
+TEST(BoxBatchTest, IntersectAndContainsMatchScalarBitForBit) {
+  const std::vector<AABB> pool = BatchKernelBoxPool();
+  Rng rng(78);
+  for (int trial = 0; trial < 500; ++trial) {
+    BoxBatch batch;
+    for (std::uint32_t lane = 0; lane < kBoxBatchWidth; ++lane) {
+      batch.SetLane(lane, pool[rng.NextBelow(pool.size())]);
+    }
+    const AABB query = pool[rng.NextBelow(pool.size())];
+    EXPECT_EQ(BoxBatchIntersect(batch, query),
+              BoxBatchIntersectScalar(batch, query))
+        << "trial " << trial;
+    EXPECT_EQ(BoxBatchContains(batch, query),
+              BoxBatchContainsScalar(batch, query))
+        << "trial " << trial;
+  }
+}
+
+TEST(BoxBatchTest, LoadPadsTailLanesWithTheEmptyBox) {
+  const AABB everything(Vec3(-1e30f, -1e30f, -1e30f),
+                        Vec3(1e30f, 1e30f, 1e30f));
+  const AABB boxes[3] = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                         AABB::FromPoint(Vec3(2, 2, 2)),
+                         AABB(Vec3(-4, -4, -4), Vec3(-3, -3, -3))};
+  BoxBatch batch;
+  BoxBatchLoad(boxes, sizeof(AABB), 3, &batch);
+  // Only the three loaded lanes can hit, even against an all-covering
+  // query: padding lanes hold the empty box.
+  EXPECT_EQ(BoxBatchIntersect(batch, everything), 0b111u);
+  EXPECT_EQ(BoxBatchContains(batch, everything), 0b111u);
+  for (std::uint32_t lane = 3; lane < kBoxBatchWidth; ++lane) {
+    EXPECT_TRUE(batch.Lane(lane).IsEmpty());
+  }
+}
+
+TEST(BoxBatchTest, StridedLoadReadsBoxesEmbeddedInRecords) {
+  struct Record {
+    AABB box;
+    std::uint32_t id;
+  };
+  std::vector<Record> records;
+  Rng rng(79);
+  const AABB u(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  for (std::uint32_t i = 0; i < kBoxBatchWidth; ++i) {
+    records.push_back(
+        {AABB::FromCenterHalfExtent(rng.PointIn(u), rng.Uniform(0.1f, 2.0f)),
+         i});
+  }
+  BoxBatch batch;
+  BoxBatchLoad(&records[0].box, sizeof(Record), kBoxBatchWidth, &batch);
+  const AABB query = AABB::FromCenterHalfExtent(rng.PointIn(u), 3.0f);
+  std::uint32_t want = 0;
+  for (std::uint32_t i = 0; i < kBoxBatchWidth; ++i) {
+    EXPECT_EQ(batch.Lane(i), records[i].box);
+    want |= static_cast<std::uint32_t>(records[i].box.Intersects(query)) << i;
+  }
+  EXPECT_EQ(BoxBatchIntersect(batch, query), want);
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+// Packed R-tree: unit, invariant, and differential tests for both curve
+// orders. STR and Hilbert lay the leaves out differently but index the
+// same element set, so their query results must be identical to each
+// other and to the brute-force mirror.
+
+#include "rtree/packed_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bruteforce.h"
+#include "common/rng.h"
+#include "datagen/neuron.h"
+
+namespace simspatial::rtree {
+namespace {
+
+using datagen::GenerateClusteredBoxes;
+using datagen::GenerateUniformBoxes;
+
+const AABB kUniverse(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+std::vector<ElementId> Sorted(std::vector<ElementId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+PackedRTree MakeTree(PackOrder order, std::uint32_t max_entries = 32) {
+  PackedRTreeOptions o;
+  o.max_entries = max_entries;
+  o.order = order;
+  return PackedRTree(o);
+}
+
+TEST(PackedRTreeTest, EmptyTreeQueries) {
+  for (const PackOrder order : {PackOrder::kStr, PackOrder::kHilbert}) {
+    PackedRTree t = MakeTree(order);
+    t.Build({});
+    std::vector<ElementId> out;
+    t.RangeQuery(kUniverse, &out);
+    EXPECT_TRUE(out.empty());
+    t.KnnQuery(Vec3(0, 0, 0), 5, &out);
+    EXPECT_TRUE(out.empty());
+    std::string err;
+    EXPECT_TRUE(t.CheckInvariants(&err)) << err;
+    EXPECT_EQ(t.size(), 0u);
+  }
+}
+
+TEST(PackedRTreeTest, SingleElement) {
+  PackedRTree t = MakeTree(PackOrder::kStr);
+  const Element e(42, AABB(Vec3(1, 1, 1), Vec3(2, 2, 2)));
+  t.Build({&e, 1});
+  EXPECT_EQ(t.size(), 1u);
+  std::vector<ElementId> out;
+  t.RangeQuery(AABB(Vec3(0, 0, 0), Vec3(3, 3, 3)), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  t.RangeQuery(AABB(Vec3(5, 5, 5), Vec3(6, 6, 6)), &out);
+  EXPECT_TRUE(out.empty());
+  t.KnnQuery(Vec3(10, 10, 10), 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+}
+
+TEST(PackedRTreeTest, BuildKeepsInvariantsBothOrders) {
+  const auto elems = GenerateUniformBoxes(5000, kUniverse, 0.1f, 1.0f);
+  for (const PackOrder order : {PackOrder::kStr, PackOrder::kHilbert}) {
+    PackedRTree t = MakeTree(order);
+    t.Build(elems);
+    EXPECT_EQ(t.size(), elems.size());
+    std::string err;
+    EXPECT_TRUE(t.CheckInvariants(&err)) << ToString(order) << ": " << err;
+    const PackedRTreeShape s = t.Shape();
+    EXPECT_EQ(s.elements, elems.size());
+    EXPECT_GT(s.height, 1u);
+    EXPECT_GT(s.leaf_nodes, 0u);
+    EXPECT_GT(s.bytes, 0u);
+  }
+}
+
+TEST(PackedRTreeTest, RangeDifferentialBothOrders) {
+  const auto elems = GenerateClusteredBoxes(4000, kUniverse, 8, 4.0f, 0.2f,
+                                            0.8f);
+  PackedRTree str = MakeTree(PackOrder::kStr);
+  PackedRTree hil = MakeTree(PackOrder::kHilbert);
+  str.Build(elems);
+  hil.Build(elems);
+  Rng rng(7);
+  for (int q = 0; q < 40; ++q) {
+    const AABB query = AABB::FromCenterHalfExtent(rng.PointIn(kUniverse),
+                                                  rng.Uniform(0.5f, 12.0f));
+    const auto want = Sorted(ScanRange(elems, query));
+    std::vector<ElementId> got_str, got_hil;
+    str.RangeQuery(query, &got_str);
+    hil.RangeQuery(query, &got_hil);
+    EXPECT_EQ(Sorted(got_str), want) << "str q" << q;
+    EXPECT_EQ(Sorted(got_hil), want) << "hilbert q" << q;
+  }
+}
+
+TEST(PackedRTreeTest, KnnDifferentialBothOrders) {
+  const auto elems = GenerateUniformBoxes(3000, kUniverse, 0.1f, 0.9f);
+  for (const PackOrder order : {PackOrder::kStr, PackOrder::kHilbert}) {
+    PackedRTree t = MakeTree(order);
+    t.Build(elems);
+    Rng rng(11);
+    for (int q = 0; q < 25; ++q) {
+      const Vec3 p = rng.PointIn(kUniverse);
+      const auto want = ScanKnn(elems, p, 9);
+      std::vector<ElementId> got;
+      t.KnnQuery(p, 9, &got);
+      EXPECT_EQ(got, want) << ToString(order) << " q" << q;
+    }
+  }
+}
+
+TEST(PackedRTreeTest, RebuildDiscardsPreviousContent) {
+  PackedRTree t = MakeTree(PackOrder::kHilbert);
+  t.Build(GenerateUniformBoxes(2000, kUniverse, 0.1f, 1.0f));
+  const auto fresh = GenerateClusteredBoxes(500, kUniverse, 4, 3.0f, 0.2f,
+                                            0.6f);
+  t.Build(fresh);
+  EXPECT_EQ(t.size(), fresh.size());
+  std::vector<ElementId> out;
+  t.RangeQuery(kUniverse, &out);
+  EXPECT_EQ(Sorted(out), Sorted(ScanRange(fresh, kUniverse)));
+  std::string err;
+  EXPECT_TRUE(t.CheckInvariants(&err)) << err;
+}
+
+TEST(PackedRTreeTest, SmallCapacityStressesFillInvariant) {
+  // cap 2 maximises node count and tail under-fill cases.
+  const auto elems = GenerateUniformBoxes(257, kUniverse, 0.1f, 1.0f);
+  for (const PackOrder order : {PackOrder::kStr, PackOrder::kHilbert}) {
+    PackedRTree t = MakeTree(order, 2);
+    t.Build(elems);
+    std::string err;
+    EXPECT_TRUE(t.CheckInvariants(&err)) << ToString(order) << ": " << err;
+    std::vector<ElementId> out;
+    t.RangeQuery(kUniverse, &out);
+    EXPECT_EQ(out.size(), elems.size());
+  }
+}
+
+}  // namespace
+}  // namespace simspatial::rtree
